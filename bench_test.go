@@ -1,0 +1,174 @@
+// Package repro's root benchmarks regenerate each table and figure of the
+// paper at reduced concurrency — one benchmark per artifact, so
+//
+//	go test -bench=. -benchmem
+//
+// exercises the full reproduction pipeline. Full-scale runs go through
+// cmd/petasim.
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/apps/beambeam3d"
+	"repro/internal/apps/cactus"
+	"repro/internal/apps/elbm3d"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hyperclaw"
+	"repro/internal/apps/paratec"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/pingpong"
+	"repro/internal/simmpi"
+	"repro/internal/stream"
+)
+
+// BenchmarkTable1Stream regenerates the EP-STREAM triad column.
+func BenchmarkTable1Stream(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range machine.All() {
+			if r := stream.Measure(m, 1<<18); r.GBsPerProc <= 0 {
+				b.Fatal("bad stream measurement")
+			}
+		}
+	}
+}
+
+// BenchmarkTable1PingPong regenerates the MPI latency/bandwidth columns.
+func BenchmarkTable1PingPong(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		for _, m := range machine.All() {
+			if _, err := pingpong.Measure(m); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
+// BenchmarkTable2 regenerates the application overview.
+func BenchmarkTable2(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if rows := experiments.Table2(); len(rows) != 6 {
+			b.Fatal("wrong table 2")
+		}
+	}
+}
+
+// BenchmarkFig1CommTopo captures the six communication topologies.
+func BenchmarkFig1CommTopo(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig1CommTopos(16); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig2GTC runs one Figure 2 weak-scaling point.
+func BenchmarkFig2GTC(b *testing.B) {
+	cfg := gtc.DefaultConfig(machine.Jaguar, 64)
+	cfg.ActualParticlesPerRank = 500
+	cfg.Steps = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gtc.Run(simmpi.Config{Machine: machine.Jaguar, Procs: 64}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig3ELBM3D runs one Figure 3 strong-scaling point.
+func BenchmarkFig3ELBM3D(b *testing.B) {
+	cfg := elbm3d.DefaultConfig(64)
+	cfg.ActualN = 16
+	cfg.Steps = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := elbm3d.Run(simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4Cactus runs one Figure 4 weak-scaling point.
+func BenchmarkFig4Cactus(b *testing.B) {
+	cfg := cactus.DefaultConfig(64)
+	cfg.ActualPerProc = 6
+	cfg.Steps = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cactus.Run(simmpi.Config{Machine: machine.BGW, Procs: 64}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig5BeamBeam3D runs one Figure 5 strong-scaling point.
+func BenchmarkFig5BeamBeam3D(b *testing.B) {
+	cfg := beambeam3d.DefaultConfig(64)
+	cfg.ParticlesPerRank = 200
+	cfg.Steps = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := beambeam3d.Run(simmpi.Config{Machine: machine.Phoenix, Procs: 64}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6PARATEC runs one Figure 6 strong-scaling point.
+func BenchmarkFig6PARATEC(b *testing.B) {
+	cfg := paratec.DefaultConfig(false)
+	cfg.Iters = 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := paratec.Run(simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig7HyperCLaw runs one Figure 7 weak-scaling point.
+func BenchmarkFig7HyperCLaw(b *testing.B) {
+	cfg := hyperclaw.DefaultConfig(16)
+	cfg.Steps = 2
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := hyperclaw.Run(simmpi.Config{Machine: machine.Jacquard, Procs: 16}, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig8Summary regenerates the cross-application summary at
+// reduced concurrency.
+func BenchmarkFig8Summary(b *testing.B) {
+	opts := experiments.Options{Quick: true, MaxProcs: 32}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig8Summary(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkGTCOptStudy regenerates the §3.1 optimisation ladder.
+func BenchmarkGTCOptStudy(b *testing.B) {
+	opts := experiments.Options{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.GTCOptStudy(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAMROptStudy regenerates the §8.1 optimisation comparison.
+func BenchmarkAMROptStudy(b *testing.B) {
+	opts := experiments.Options{Quick: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AMROptStudy(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,205 @@
+// Command petasim regenerates the tables and figures of "Scientific
+// Application Performance on Candidate PetaScale Platforms" (Oliker et
+// al., IPDPS 2007) on the simulated platform models.
+//
+// Usage:
+//
+//	petasim [flags] <experiment>
+//
+// Experiments:
+//
+//	table1    architectural highlights (STREAM, MPI microbenchmarks)
+//	table2    application overview
+//	fig1      communication topologies of the six applications
+//	fig2      GTC weak scaling
+//	fig3      ELBM3D strong scaling
+//	fig4      Cactus weak scaling
+//	fig5      BeamBeam3D strong scaling
+//	fig6      PARATEC strong scaling
+//	fig7      HyperCLaw weak scaling
+//	fig8      cross-application summary
+//	figures   figures 2–7 in sequence
+//	gtcopt    §3.1 GTC BG/L optimisation ladder
+//	amropt    §8.1 HyperCLaw X1E knapsack/regrid optimisations
+//	vnode     §3.1 BG/L virtual-node-mode efficiency
+//	machines  list the modelled platforms
+//	all       everything above
+//
+// Flags:
+//
+//	-quick        cap concurrencies for a fast smoke run
+//	-max N        cap every series at N processors
+//	-csv DIR      also write each figure's points as CSV into DIR
+//	-commtopo-p N concurrency for fig1 (default 64)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/apexmap"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+// experimentsApexSweep adapts the Apex-MAP sweep for the CLI.
+func experimentsApexSweep(spec machine.Spec, procs int, alphas []float64, ls []int) ([]apexmap.Result, error) {
+	return apexmap.Sweep(spec, procs, alphas, ls)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "cap concurrencies for a fast smoke run")
+	maxProcs := flag.Int("max", 0, "cap every series at this many processors")
+	csvDir := flag.String("csv", "", "write figure CSVs into this directory")
+	commP := flag.Int("commtopo-p", 64, "concurrency for the fig1 topology capture")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs}
+	cmd := strings.ToLower(flag.Arg(0))
+	if err := run(cmd, opts, *csvDir, *commP); err != nil {
+		fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
+	out := os.Stdout
+	figure := func(f func(experiments.Options) (*experiments.Figure, error)) error {
+		fig, err := f(opts)
+		if err != nil {
+			return err
+		}
+		if err := fig.Render(out); err != nil {
+			return err
+		}
+		if err := fig.RenderChart(out, "gflops"); err != nil {
+			return err
+		}
+		return writeCSV(csvDir, fig)
+	}
+
+	switch cmd {
+	case "table1":
+		rows, err := experiments.Table1()
+		if err != nil {
+			return err
+		}
+		experiments.RenderTable1(out, rows)
+	case "table2":
+		experiments.RenderTable2(out)
+	case "fig1", "commtopo":
+		topos, err := experiments.Fig1CommTopos(commP)
+		if err != nil {
+			return err
+		}
+		for _, t := range topos {
+			if err := t.Render(out, 48); err != nil {
+				return err
+			}
+		}
+	case "fig2":
+		return figure(experiments.Fig2GTC)
+	case "fig3":
+		return figure(experiments.Fig3ELBM3D)
+	case "fig4":
+		return figure(experiments.Fig4Cactus)
+	case "fig5":
+		return figure(experiments.Fig5BeamBeam3D)
+	case "fig6":
+		return figure(experiments.Fig6PARATEC)
+	case "fig7":
+		return figure(experiments.Fig7HyperCLaw)
+	case "figures":
+		figs, err := experiments.AllFigures(opts)
+		if err != nil {
+			return err
+		}
+		for _, fig := range figs {
+			if err := fig.Render(out); err != nil {
+				return err
+			}
+			if err := writeCSV(csvDir, fig); err != nil {
+				return err
+			}
+		}
+	case "fig8":
+		sum, err := experiments.Fig8Summary(opts)
+		if err != nil {
+			return err
+		}
+		sum.Render(out)
+	case "gtcopt":
+		rows, err := experiments.GTCOptStudy(opts)
+		if err != nil {
+			return err
+		}
+		experiments.RenderOptResults(out, "GTC optimisations on BG/L (§3.1)", rows)
+	case "amropt":
+		rows, err := experiments.AMROptStudy(opts)
+		if err != nil {
+			return err
+		}
+		experiments.RenderOptResults(out, "HyperCLaw knapsack/regrid optimisations on the X1E (§8.1)", rows)
+	case "vnode":
+		rows, err := experiments.VirtualNodeStudy(opts)
+		if err != nil {
+			return err
+		}
+		experiments.RenderOptResults(out, "GTC BG/L virtual-node-mode study (§3.1)", rows)
+	case "apexmap":
+		alphas := []float64{0.02, 0.1, 0.5, 1.0}
+		ls := []int{1, 8, 64}
+		fmt.Fprintln(out, "Apex-MAP locality sweep (global accesses per µs, higher is better)")
+		for _, spec := range machine.All() {
+			procs := 64
+			if procs > spec.TotalProcs {
+				procs = spec.TotalProcs
+			}
+			res, err := experimentsApexSweep(spec, procs, alphas, ls)
+			if err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "%-9s", spec.Name)
+			for _, r := range res {
+				fmt.Fprintf(out, "  a=%.2f/L=%-3d %8.2f", r.Alpha, r.L, r.AccessPerUs)
+			}
+			fmt.Fprintln(out)
+		}
+	case "machines":
+		for _, m := range machine.All() {
+			fmt.Fprintln(out, m.String())
+		}
+	case "all":
+		for _, c := range []string{"table1", "table2", "fig1", "figures", "fig8", "gtcopt", "amropt", "vnode", "apexmap"} {
+			if err := run(c, opts, csvDir, commP); err != nil {
+				return err
+			}
+		}
+	default:
+		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures gtcopt amropt vnode machines all)", cmd)
+	}
+	return nil
+}
+
+func writeCSV(dir string, fig *experiments.Figure) error {
+	if dir == "" {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	name := strings.ToLower(strings.ReplaceAll(fig.ID, " ", ""))
+	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return fig.CSV(f)
+}

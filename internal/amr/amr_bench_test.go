@@ -1,0 +1,64 @@
+package amr
+
+import "testing"
+
+// The §8.1 ablations: the original O(N²) intersection versus the hashed
+// replacement, and the copying versus pointer-swap knapsack.
+
+func benchBoxes(n int) ([]Box, []Box) {
+	a := randBoxes(n, 200, 8, 11)
+	b := randBoxes(n, 200, 8, 13)
+	return a, b
+}
+
+func BenchmarkIntersectNaive1000(b *testing.B) {
+	x, y := benchBoxes(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectNaive(x, y)
+	}
+}
+
+func BenchmarkIntersectHashed1000(b *testing.B) {
+	x, y := benchBoxes(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		IntersectHashed(x, y)
+	}
+}
+
+func benchWeights(n int) []float64 {
+	boxes := randBoxes(n, 500, 16, 7)
+	return BoxWeights(boxes)
+}
+
+func BenchmarkKnapsackPointer4096(b *testing.B) {
+	w := benchWeights(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KnapsackPointer(w, 64)
+	}
+}
+
+func BenchmarkKnapsackCopying4096(b *testing.B) {
+	w := benchWeights(4096)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		KnapsackCopying(w, 64)
+	}
+}
+
+func BenchmarkCluster(b *testing.B) {
+	domain := NewBox([3]int{0, 0, 0}, [3]int{128, 128, 128})
+	tags := NewTagSet()
+	for i := 0; i < 128; i += 4 {
+		for j := 0; j < 16; j++ {
+			tags.Add(i, 60+j%8, 64)
+		}
+	}
+	buffered := tags.Buffer(1, domain)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Cluster(buffered, 0.7, 4096)
+	}
+}

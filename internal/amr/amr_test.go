@@ -1,0 +1,320 @@
+package amr
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+func TestBoxBasics(t *testing.T) {
+	b := NewBox([3]int{0, 0, 0}, [3]int{4, 3, 2})
+	if b.Size() != 24 {
+		t.Errorf("size %d, want 24", b.Size())
+	}
+	if b.Empty() {
+		t.Error("non-empty box reported empty")
+	}
+	if !b.Contains([3]int{3, 2, 1}) || b.Contains([3]int{4, 0, 0}) {
+		t.Error("containment wrong at corners")
+	}
+	empty := NewBox([3]int{2, 0, 0}, [3]int{2, 5, 5})
+	if !empty.Empty() || empty.Size() != 0 {
+		t.Error("degenerate box not empty")
+	}
+}
+
+func TestBoxIntersect(t *testing.T) {
+	a := NewBox([3]int{0, 0, 0}, [3]int{10, 10, 10})
+	b := NewBox([3]int{5, 5, 5}, [3]int{15, 15, 15})
+	ov, ok := a.Intersect(b)
+	if !ok || ov != NewBox([3]int{5, 5, 5}, [3]int{10, 10, 10}) {
+		t.Errorf("intersect = %v, %v", ov, ok)
+	}
+	c := NewBox([3]int{20, 0, 0}, [3]int{25, 5, 5})
+	if _, ok := a.Intersect(c); ok {
+		t.Error("disjoint boxes intersected")
+	}
+	// Touching faces do not overlap (half-open convention).
+	d := NewBox([3]int{10, 0, 0}, [3]int{12, 5, 5})
+	if a.Intersects(d) {
+		t.Error("touching boxes reported overlapping")
+	}
+}
+
+func TestRefineCoarsenRoundTrip(t *testing.T) {
+	f := func(lo0, lo1, lo2 int8, w0, w1, w2 uint8) bool {
+		lo := [3]int{int(lo0), int(lo1), int(lo2)}
+		hi := [3]int{lo[0] + int(w0%16) + 1, lo[1] + int(w1%16) + 1, lo[2] + int(w2%16) + 1}
+		b := NewBox(lo, hi)
+		const r = 4
+		// Refining then coarsening is the identity.
+		return b.Refine(r).Coarsen(r) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCoarsenCoversRefined(t *testing.T) {
+	b := NewBox([3]int{1, 3, 5}, [3]int{7, 9, 11})
+	c := b.Coarsen(4)
+	// Every cell of b must be inside c refined back.
+	cr := c.Refine(4)
+	if _, ok := b.Intersect(cr); !ok {
+		t.Fatal("coarsened box does not cover original")
+	}
+	if ov, _ := b.Intersect(cr); ov != b {
+		t.Errorf("refine(coarsen(b)) does not contain b: %v vs %v", ov, b)
+	}
+}
+
+func TestGrowShift(t *testing.T) {
+	b := NewBox([3]int{0, 0, 0}, [3]int{2, 2, 2})
+	g := b.Grow(1)
+	if g != NewBox([3]int{-1, -1, -1}, [3]int{3, 3, 3}) {
+		t.Errorf("grow = %v", g)
+	}
+	s := b.Shift(1, 2, 3)
+	if s != NewBox([3]int{1, 2, 3}, [3]int{3, 4, 5}) {
+		t.Errorf("shift = %v", s)
+	}
+}
+
+func TestChopAllBoundsSizeAndPreservesCells(t *testing.T) {
+	boxes := []Box{NewBox([3]int{0, 0, 0}, [3]int{32, 16, 8})}
+	chopped := ChopAll(boxes, 256)
+	if TotalCells(chopped) != 32*16*8 {
+		t.Errorf("chopping lost cells: %d", TotalCells(chopped))
+	}
+	for _, b := range chopped {
+		if b.Size() > 256 {
+			t.Errorf("box %v exceeds 256 cells", b)
+		}
+	}
+	// Chopped boxes must be pairwise disjoint.
+	for i := range chopped {
+		for j := i + 1; j < len(chopped); j++ {
+			if chopped[i].Intersects(chopped[j]) {
+				t.Fatalf("chopped boxes %d and %d overlap", i, j)
+			}
+		}
+	}
+}
+
+func randBoxes(n int, span, maxExtent int, seed int64) []Box {
+	rng := rand.New(rand.NewSource(seed))
+	boxes := make([]Box, n)
+	for i := range boxes {
+		var lo, hi [3]int
+		for d := 0; d < 3; d++ {
+			lo[d] = rng.Intn(span)
+			hi[d] = lo[d] + 1 + rng.Intn(maxExtent)
+		}
+		boxes[i] = NewBox(lo, hi)
+	}
+	return boxes
+}
+
+// TestHashedIntersectMatchesNaive is the §8.1 correctness check: the
+// O(N log N) replacement must find exactly the pairs the O(N²) version
+// finds.
+func TestHashedIntersectMatchesNaive(t *testing.T) {
+	for _, n := range []int{0, 1, 10, 100, 400} {
+		a := randBoxes(n, 100, 8, int64(n)+1)
+		b := randBoxes(n, 100, 12, int64(n)+2)
+		naive := IntersectNaive(a, b)
+		hashed := IntersectHashed(a, b)
+		if len(naive) != len(hashed) {
+			t.Fatalf("n=%d: naive %d pairs, hashed %d", n, len(naive), len(hashed))
+		}
+		if !reflect.DeepEqual(naive, hashed) {
+			t.Fatalf("n=%d: pair sets differ", n)
+		}
+	}
+}
+
+func TestIntersectHashedNegativeCoords(t *testing.T) {
+	a := []Box{NewBox([3]int{-10, -10, -10}, [3]int{-5, -5, -5})}
+	b := []Box{NewBox([3]int{-7, -7, -7}, [3]int{0, 0, 0})}
+	if got := IntersectHashed(a, b); len(got) != 1 {
+		t.Fatalf("negative-coordinate overlap missed: %v", got)
+	}
+}
+
+func TestKnapsackVariantsAgree(t *testing.T) {
+	for _, n := range []int{1, 16, 200} {
+		boxes := randBoxes(n, 64, 10, int64(n))
+		w := BoxWeights(boxes)
+		const p = 8
+		a1 := KnapsackPointer(w, p)
+		a2 := KnapsackCopying(w, p)
+		if !reflect.DeepEqual(a1, a2) {
+			t.Fatalf("n=%d: pointer and copying knapsack disagree", n)
+		}
+	}
+}
+
+func TestKnapsackBalance(t *testing.T) {
+	// Many similar boxes must balance well.
+	w := make([]float64, 512)
+	rng := rand.New(rand.NewSource(3))
+	for i := range w {
+		w[i] = 100 + rng.Float64()*20
+	}
+	const p = 16
+	asg := KnapsackPointer(w, p)
+	if len(asg) != len(w) {
+		t.Fatalf("assignment length %d", len(asg))
+	}
+	eff := asg.Efficiency(w, p)
+	if eff < 0.9 {
+		t.Errorf("knapsack efficiency %.3f, want ≥0.9", eff)
+	}
+	for _, pr := range asg {
+		if pr < 0 || pr >= p {
+			t.Fatalf("invalid processor %d", pr)
+		}
+	}
+}
+
+func TestKnapsackMoreProcsThanBoxes(t *testing.T) {
+	w := []float64{5, 3}
+	asg := KnapsackPointer(w, 8)
+	if asg[0] == asg[1] {
+		t.Error("two boxes placed on the same processor with 8 free")
+	}
+}
+
+func TestTagSetBufferAndBounding(t *testing.T) {
+	domain := NewBox([3]int{0, 0, 0}, [3]int{16, 16, 16})
+	tags := NewTagSet()
+	tags.Add(8, 8, 8)
+	buf := tags.Buffer(2, domain)
+	if buf.Len() != 125 {
+		t.Errorf("buffered singleton has %d cells, want 125", buf.Len())
+	}
+	bb, ok := buf.BoundingBox()
+	if !ok || bb != NewBox([3]int{6, 6, 6}, [3]int{11, 11, 11}) {
+		t.Errorf("bounding box %v", bb)
+	}
+	// Buffering near the edge clips to the domain.
+	edge := NewTagSet()
+	edge.Add(0, 0, 0)
+	if got := edge.Buffer(2, domain).Len(); got != 27 {
+		t.Errorf("edge buffer has %d cells, want 27", got)
+	}
+}
+
+func TestClusterCoversAllTags(t *testing.T) {
+	domain := NewBox([3]int{0, 0, 0}, [3]int{64, 64, 64})
+	tags := NewTagSet()
+	// Two well-separated blobs.
+	for _, c := range [][3]int{{10, 10, 10}, {50, 50, 50}} {
+		for dz := 0; dz < 4; dz++ {
+			for dy := 0; dy < 4; dy++ {
+				for dx := 0; dx < 4; dx++ {
+					tags.Add(c[0]+dx, c[1]+dy, c[2]+dz)
+				}
+			}
+		}
+	}
+	_ = domain
+	boxes := Cluster(tags, 0.7, 0)
+	if len(boxes) < 2 {
+		t.Errorf("separated blobs clustered into %d box(es)", len(boxes))
+	}
+	for c := range tags {
+		covered := false
+		for _, b := range boxes {
+			if b.Contains(c) {
+				covered = true
+				break
+			}
+		}
+		if !covered {
+			t.Fatalf("tag %v not covered", c)
+		}
+	}
+	// Efficiency constraint: every box reasonably full.
+	for _, b := range boxes {
+		eff := float64(tags.countIn(b)) / float64(b.Size())
+		if eff < 0.5 {
+			t.Errorf("box %v efficiency %.2f", b, eff)
+		}
+	}
+}
+
+func TestClusterEmptyTags(t *testing.T) {
+	if got := Cluster(NewTagSet(), 0.8, 0); got != nil {
+		t.Errorf("empty tags clustered into %v", got)
+	}
+}
+
+func TestClusterRespectsMaxCells(t *testing.T) {
+	tags := NewTagSet()
+	for i := 0; i < 32; i++ {
+		for j := 0; j < 8; j++ {
+			tags.Add(i, j, 0)
+		}
+	}
+	boxes := Cluster(tags, 0.5, 64)
+	for _, b := range boxes {
+		if b.Size() > 64 {
+			t.Errorf("box %v exceeds maxCells", b)
+		}
+	}
+}
+
+func TestEfficiencyDegenerate(t *testing.T) {
+	var asg Assignment
+	if eff := asg.Efficiency(nil, 4); eff != 1 {
+		t.Errorf("empty assignment efficiency %g, want 1", eff)
+	}
+}
+
+func TestIntersectionCommutativityProperty(t *testing.T) {
+	// Box intersection is symmetric: a∩b == b∩a, for random boxes.
+	f := func(l1, l2, l3, m1, m2, m3 int8, w uint8) bool {
+		a := NewBox([3]int{int(l1), int(l2), int(l3)},
+			[3]int{int(l1) + int(w%9) + 1, int(l2) + int(w%7) + 1, int(l3) + int(w%5) + 1})
+		b := NewBox([3]int{int(m1), int(m2), int(m3)},
+			[3]int{int(m1) + int(w%6) + 1, int(m2) + int(w%8) + 1, int(m3) + int(w%4) + 1})
+		ab, ok1 := a.Intersect(b)
+		ba, ok2 := b.Intersect(a)
+		return ok1 == ok2 && ab == ba
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGrowShrinkInverseProperty(t *testing.T) {
+	// Growing then shrinking (negative grow) is the identity for boxes
+	// large enough to survive.
+	f := func(n uint8) bool {
+		g := int(n%5) + 1
+		b := NewBox([3]int{0, 0, 0}, [3]int{20, 20, 20})
+		return b.Grow(g).Grow(-g) == b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestChopAllAlignedKeepsAlignment(t *testing.T) {
+	boxes := []Box{NewBox([3]int{0, 0, 0}, [3]int{64, 32, 16})}
+	for _, align := range []int{2, 4} {
+		out := ChopAllAligned(boxes, 128, align)
+		if TotalCells(out) != 64*32*16 {
+			t.Fatalf("align %d: cells lost", align)
+		}
+		for _, b := range out {
+			for d := 0; d < 3; d++ {
+				if b.Lo[d]%align != 0 {
+					t.Fatalf("align %d: box %v has unaligned corner", align, b)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,200 @@
+// Package amr is the structured adaptive-mesh-refinement substrate
+// underlying HyperCLaw: boxes and box lists, the box-intersection
+// algorithms (the paper's original O(N²) version and the hashed
+// O(N log N) replacement of §8.1), the knapsack load balancer (copying
+// and pointer-swap variants), and tag-and-cluster regridding.
+package amr
+
+import "fmt"
+
+// Box is an axis-aligned integer lattice region with inclusive lower and
+// exclusive upper corners.
+type Box struct {
+	Lo, Hi [3]int
+}
+
+// NewBox builds a box from corner coordinates.
+func NewBox(lo, hi [3]int) Box { return Box{Lo: lo, Hi: hi} }
+
+// Empty reports whether the box contains no cells.
+func (b Box) Empty() bool {
+	for d := 0; d < 3; d++ {
+		if b.Hi[d] <= b.Lo[d] {
+			return true
+		}
+	}
+	return false
+}
+
+// Size returns the cell count.
+func (b Box) Size() int {
+	if b.Empty() {
+		return 0
+	}
+	return (b.Hi[0] - b.Lo[0]) * (b.Hi[1] - b.Lo[1]) * (b.Hi[2] - b.Lo[2])
+}
+
+// Extent returns the box's width along dimension d.
+func (b Box) Extent(d int) int { return b.Hi[d] - b.Lo[d] }
+
+// Contains reports whether the cell at pt lies inside the box.
+func (b Box) Contains(pt [3]int) bool {
+	for d := 0; d < 3; d++ {
+		if pt[d] < b.Lo[d] || pt[d] >= b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
+// Intersect returns the overlap of two boxes and whether it is non-empty.
+func (b Box) Intersect(o Box) (Box, bool) {
+	var out Box
+	for d := 0; d < 3; d++ {
+		out.Lo[d] = max(b.Lo[d], o.Lo[d])
+		out.Hi[d] = min(b.Hi[d], o.Hi[d])
+		if out.Hi[d] <= out.Lo[d] {
+			return Box{}, false
+		}
+	}
+	return out, true
+}
+
+// Intersects reports overlap without materialising it.
+func (b Box) Intersects(o Box) bool {
+	_, ok := b.Intersect(o)
+	return ok
+}
+
+// Grow expands the box by n cells on every face.
+func (b Box) Grow(n int) Box {
+	for d := 0; d < 3; d++ {
+		b.Lo[d] -= n
+		b.Hi[d] += n
+	}
+	return b
+}
+
+// Refine maps the box to a grid refined by ratio.
+func (b Box) Refine(ratio int) Box {
+	for d := 0; d < 3; d++ {
+		b.Lo[d] *= ratio
+		b.Hi[d] *= ratio
+	}
+	return b
+}
+
+// Coarsen maps the box to a grid coarsened by ratio (covering coarse
+// cells that contain any fine cell).
+func (b Box) Coarsen(ratio int) Box {
+	for d := 0; d < 3; d++ {
+		b.Lo[d] = floorDiv(b.Lo[d], ratio)
+		b.Hi[d] = ceilDiv(b.Hi[d], ratio)
+	}
+	return b
+}
+
+// Shift translates the box by the given offsets.
+func (b Box) Shift(dx, dy, dz int) Box {
+	b.Lo[0] += dx
+	b.Hi[0] += dx
+	b.Lo[1] += dy
+	b.Hi[1] += dy
+	b.Lo[2] += dz
+	b.Hi[2] += dz
+	return b
+}
+
+func (b Box) String() string {
+	return fmt.Sprintf("[%d,%d)x[%d,%d)x[%d,%d)",
+		b.Lo[0], b.Hi[0], b.Lo[1], b.Hi[1], b.Lo[2], b.Hi[2])
+}
+
+// ChopAll splits every box of the list so that no box exceeds maxCells
+// cells, chopping along the longest dimension — the grid-generation step
+// that bounds per-box work.
+func ChopAll(boxes []Box, maxCells int) []Box {
+	return ChopAllAligned(boxes, maxCells, 1)
+}
+
+// ChopAllAligned is ChopAll with cut planes snapped to multiples of
+// align, preserving refinement-ratio alignment of AMR level boxes.
+func ChopAllAligned(boxes []Box, maxCells, align int) []Box {
+	if maxCells < 1 {
+		return boxes
+	}
+	if align < 1 {
+		align = 1
+	}
+	var out []Box
+	stack := append([]Box(nil), boxes...)
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if b.Empty() {
+			continue
+		}
+		if b.Size() <= maxCells {
+			out = append(out, b)
+			continue
+		}
+		// Chop the longest choppable dimension near its middle, at an
+		// aligned plane.
+		d := -1
+		for dd := 0; dd < 3; dd++ {
+			if b.Extent(dd) < 2*align {
+				continue
+			}
+			if d < 0 || b.Extent(dd) > b.Extent(d) {
+				d = dd
+			}
+		}
+		if d < 0 {
+			out = append(out, b) // cannot chop further
+			continue
+		}
+		mid := b.Lo[d] + b.Extent(d)/2
+		mid = b.Lo[d] + ((mid-b.Lo[d])/align)*align
+		if mid <= b.Lo[d] {
+			mid = b.Lo[d] + align
+		}
+		left, right := b, b
+		left.Hi[d] = mid
+		right.Lo[d] = mid
+		stack = append(stack, left, right)
+	}
+	return out
+}
+
+// TotalCells sums the cell counts of a box list.
+func TotalCells(boxes []Box) int {
+	t := 0
+	for _, b := range boxes {
+		t += b.Size()
+	}
+	return t
+}
+
+func floorDiv(a, b int) int {
+	q := a / b
+	if a%b != 0 && (a < 0) != (b < 0) {
+		q--
+	}
+	return q
+}
+
+func ceilDiv(a, b int) int { return -floorDiv(-a, b) }
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,168 @@
+package amr
+
+import (
+	"container/heap"
+	"sort"
+)
+
+// Assignment maps each box index to a processor.
+type Assignment []int
+
+// Efficiency returns mean processor load divided by max load (1 = perfect
+// balance), given per-box weights.
+func (a Assignment) Efficiency(weights []float64, nprocs int) float64 {
+	loads := make([]float64, nprocs)
+	var total float64
+	for i, p := range a {
+		loads[p] += weights[i]
+		total += weights[i]
+	}
+	var maxLoad float64
+	for _, l := range loads {
+		if l > maxLoad {
+			maxLoad = l
+		}
+	}
+	if maxLoad == 0 {
+		return 1
+	}
+	return total / float64(nprocs) / maxLoad
+}
+
+// procHeap is a min-heap of processors by load.
+type procHeap struct {
+	load []float64
+	id   []int
+}
+
+func (h *procHeap) Len() int { return len(h.id) }
+func (h *procHeap) Less(i, j int) bool {
+	if h.load[i] != h.load[j] {
+		return h.load[i] < h.load[j]
+	}
+	return h.id[i] < h.id[j]
+}
+func (h *procHeap) Swap(i, j int) {
+	h.load[i], h.load[j] = h.load[j], h.load[i]
+	h.id[i], h.id[j] = h.id[j], h.id[i]
+}
+func (h *procHeap) Push(x any) { panic("fixed-size heap") }
+func (h *procHeap) Pop() any   { panic("fixed-size heap") }
+
+// greedyLPT assigns boxes to processors by longest-processing-time-first.
+func greedyLPT(weights []float64, nprocs int) (Assignment, []float64) {
+	order := make([]int, len(weights))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool {
+		if weights[order[a]] != weights[order[b]] {
+			return weights[order[a]] > weights[order[b]]
+		}
+		return order[a] < order[b]
+	})
+	h := &procHeap{load: make([]float64, nprocs), id: make([]int, nprocs)}
+	for i := range h.id {
+		h.id[i] = i
+	}
+	heap.Init(h)
+	asg := make(Assignment, len(weights))
+	loads := make([]float64, nprocs)
+	for _, bi := range order {
+		p := h.id[0]
+		asg[bi] = p
+		loads[p] += weights[bi]
+		h.load[0] += weights[bi]
+		heap.Fix(h, 0)
+	}
+	return asg, loads
+}
+
+// swapImprove runs the BoxLib-style pairwise improvement phase: repeatedly
+// try to move or swap boxes between the most and least loaded processors.
+// The moveLists callback abstracts how per-processor box lists are
+// manipulated: the original implementation copied whole lists per
+// candidate swap; the optimised version swaps pointers. Both produce the
+// same assignment; only their cost differs.
+func swapImprove(weights []float64, asg Assignment, loads []float64,
+	touch func(listA, listB []int)) Assignment {
+
+	nprocs := len(loads)
+	byProc := make([][]int, nprocs)
+	for i, p := range asg {
+		byProc[p] = append(byProc[p], i)
+	}
+	for iter := 0; iter < 3*nprocs; iter++ {
+		hi, lo := 0, 0
+		for p := 1; p < nprocs; p++ {
+			if loads[p] > loads[hi] {
+				hi = p
+			}
+			if loads[p] < loads[lo] {
+				lo = p
+			}
+		}
+		if hi == lo {
+			break
+		}
+		gap := loads[hi] - loads[lo]
+		// Find the largest box on hi that fits into half the gap.
+		bestIdx, bestW := -1, 0.0
+		for idx, bi := range byProc[hi] {
+			w := weights[bi]
+			if w < gap && w > bestW {
+				bestIdx, bestW = idx, w
+			}
+		}
+		touch(byProc[hi], byProc[lo])
+		if bestIdx < 0 {
+			break
+		}
+		bi := byProc[hi][bestIdx]
+		byProc[hi] = append(byProc[hi][:bestIdx], byProc[hi][bestIdx+1:]...)
+		byProc[lo] = append(byProc[lo], bi)
+		asg[bi] = lo
+		loads[hi] -= bestW
+		loads[lo] += bestW
+	}
+	return asg
+}
+
+// KnapsackPointer is the optimised balancer of §8.1: the swap phase
+// manipulates box-list references only ("copies pointers to box lists ...
+// instead of copying the lists themselves"), making it "almost cost-free,
+// even on hundreds of thousands of boxes".
+func KnapsackPointer(weights []float64, nprocs int) Assignment {
+	if nprocs < 1 {
+		return nil
+	}
+	asg, loads := greedyLPT(weights, nprocs)
+	return swapImprove(weights, asg, loads, func(a, b []int) {})
+}
+
+// KnapsackCopying is the original balancer: every improvement step copies
+// the candidate processors' whole box lists, the memory inefficiency the
+// paper identified. The assignment is identical to KnapsackPointer; the
+// cost is not.
+func KnapsackCopying(weights []float64, nprocs int) Assignment {
+	if nprocs < 1 {
+		return nil
+	}
+	asg, loads := greedyLPT(weights, nprocs)
+	sink := 0
+	return swapImprove(weights, asg, loads, func(a, b []int) {
+		// Simulate the list copies of the original implementation.
+		ca := append([]int(nil), a...)
+		cb := append([]int(nil), b...)
+		sink += len(ca) + len(cb)
+	})
+}
+
+// BoxWeights returns the cell counts of boxes as float weights.
+func BoxWeights(boxes []Box) []float64 {
+	w := make([]float64, len(boxes))
+	for i, b := range boxes {
+		w[i] = float64(b.Size())
+	}
+	return w
+}

@@ -1,0 +1,38 @@
+// Package apps holds the shared metadata and result types of the six
+// scientific applications reproduced from the paper (Table 2).
+package apps
+
+import "fmt"
+
+// Meta is one row of the paper's Table 2.
+type Meta struct {
+	Name       string
+	Lines      int // lines of code of the original application
+	Discipline string
+	Methods    string
+	Structure  string
+	// Scaling is "weak" or "strong", per the paper's experiment design.
+	Scaling string
+}
+
+// Row renders the Table 2 row.
+func (m Meta) Row() string {
+	return fmt.Sprintf("%-12s %7d  %-18s %-38s %s",
+		m.Name, m.Lines, m.Discipline, m.Methods, m.Structure)
+}
+
+// Point is one (machine, concurrency) measurement in the paper's units.
+type Point struct {
+	App      string
+	Machine  string
+	Procs    int
+	Gflops   float64 // Gflop/s per processor
+	PctPeak  float64
+	CommFrac float64
+	WallSec  float64
+}
+
+func (p Point) String() string {
+	return fmt.Sprintf("%-12s %-10s P=%-6d %6.3f Gflops/P  %5.1f%% peak  comm %4.1f%%",
+		p.App, p.Machine, p.Procs, p.Gflops, p.PctPeak, p.CommFrac*100)
+}

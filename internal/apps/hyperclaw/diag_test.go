@@ -1,0 +1,21 @@
+package hyperclaw
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+func TestDiagPhases(t *testing.T) {
+	for _, p := range []int{16, 128} {
+		cfg := DefaultConfig(p)
+		rep, err := Run(simmpi.Config{Machine: machine.Jacquard, Procs: p}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fmt.Printf("P=%d wall=%.4f gf/p=%.4f comm=%.2f imbalance=%.2f bytes=%.3g msgs=%d\n%s\n",
+			p, rep.Wall, rep.GflopsPerProc(), rep.CommFrac, rep.LoadImbalance, rep.BytesSent, rep.Messages, rep.PhaseBreakdown())
+	}
+}

@@ -1,0 +1,191 @@
+// Package hyperclaw reproduces HyperCLaw, the adaptive-mesh-refinement
+// gas-dynamics framework of the paper's §8: hyperbolic conservation laws
+// solved by a Godunov method on a dynamically refined grid hierarchy,
+// applied to a Mach 1.25 shock in air striking a spherical helium bubble
+// (after Haas & Sturtevant).
+//
+// This file implements the gas dynamics: the compressible Euler equations
+// for a two-component gas (air + helium tracked by a mass fraction, which
+// sets the local ratio of specific heats), advanced with dimensionally
+// split first-order Godunov sweeps using an HLL approximate Riemann
+// solver. The original's higher-order reconstruction is simplified to
+// piecewise-constant states; the data structures, flux structure and AMR
+// machinery are preserved (see DESIGN.md).
+package hyperclaw
+
+import "math"
+
+// Field indices of the conserved state vector.
+const (
+	QRho  = iota // density
+	QMx          // x momentum
+	QMy          // y momentum
+	QMz          // z momentum
+	QEner        // total energy
+	QRhoY        // partial density of helium (ρ·Y)
+	NFields
+)
+
+// Gas constants: diatomic air and monatomic helium.
+const (
+	GammaAir = 1.4
+	GammaHe  = 5.0 / 3.0
+)
+
+// gammaOf returns the effective ratio of specific heats for helium mass
+// fraction y.
+func gammaOf(y float64) float64 {
+	if y <= 0 {
+		return GammaAir
+	}
+	if y >= 1 {
+		return GammaHe
+	}
+	return GammaAir + (GammaHe-GammaAir)*y
+}
+
+// prim holds primitive variables extracted from a conserved state.
+type prim struct {
+	rho, u, v, w, p, y, c float64
+}
+
+// toPrim converts a conserved state (6 contiguous values) to primitives.
+func toPrim(q []float64) prim {
+	rho := q[QRho]
+	if rho < 1e-12 {
+		rho = 1e-12
+	}
+	u := q[QMx] / rho
+	v := q[QMy] / rho
+	w := q[QMz] / rho
+	y := q[QRhoY] / rho
+	g := gammaOf(y)
+	kin := 0.5 * rho * (u*u + v*v + w*w)
+	p := (g - 1) * (q[QEner] - kin)
+	if p < 1e-12 {
+		p = 1e-12
+	}
+	return prim{rho: rho, u: u, v: v, w: w, p: p, y: y, c: math.Sqrt(g * p / rho)}
+}
+
+// conserved assembles a state vector from primitives.
+func conserved(rho, u, v, w, p, y float64) [NFields]float64 {
+	g := gammaOf(y)
+	var q [NFields]float64
+	q[QRho] = rho
+	q[QMx] = rho * u
+	q[QMy] = rho * v
+	q[QMz] = rho * w
+	q[QEner] = p/(g-1) + 0.5*rho*(u*u+v*v+w*w)
+	q[QRhoY] = rho * y
+	return q
+}
+
+// flux computes the Euler flux of state q along dimension d into out.
+func flux(q []float64, d int, out []float64) {
+	pr := toPrim(q)
+	var un float64
+	switch d {
+	case 0:
+		un = pr.u
+	case 1:
+		un = pr.v
+	default:
+		un = pr.w
+	}
+	out[QRho] = q[QRho] * un
+	out[QMx] = q[QMx] * un
+	out[QMy] = q[QMy] * un
+	out[QMz] = q[QMz] * un
+	out[QMx+d] += pr.p
+	out[QEner] = (q[QEner] + pr.p) * un
+	out[QRhoY] = q[QRhoY] * un
+}
+
+// hllFlux computes the HLL approximate Riemann flux between left and
+// right states along dimension d.
+func hllFlux(ql, qr []float64, d int, out []float64) {
+	pl, pr := toPrim(ql), toPrim(qr)
+	var ul, ur float64
+	switch d {
+	case 0:
+		ul, ur = pl.u, pr.u
+	case 1:
+		ul, ur = pl.v, pr.v
+	default:
+		ul, ur = pl.w, pr.w
+	}
+	sl := math.Min(ul-pl.c, ur-pr.c)
+	sr := math.Max(ul+pl.c, ur+pr.c)
+	var fl, fr [NFields]float64
+	switch {
+	case sl >= 0:
+		flux(ql, d, out)
+	case sr <= 0:
+		flux(qr, d, out)
+	default:
+		flux(ql, d, fl[:])
+		flux(qr, d, fr[:])
+		inv := 1 / (sr - sl)
+		for f := 0; f < NFields; f++ {
+			out[f] = (sr*fl[f] - sl*fr[f] + sl*sr*(qr[f]-ql[f])) * inv
+		}
+	}
+}
+
+// maxWaveSpeed returns |u|+c maximised over the three directions.
+func maxWaveSpeed(q []float64) float64 {
+	pr := toPrim(q)
+	m := math.Abs(pr.u)
+	if a := math.Abs(pr.v); a > m {
+		m = a
+	}
+	if a := math.Abs(pr.w); a > m {
+		m = a
+	}
+	return m + pr.c
+}
+
+// Shock-tube initial conditions (Haas & Sturtevant configuration): a
+// Mach 1.25 shock in air approaching a spherical helium bubble.
+type initialConditions struct {
+	shockX  float64 // shock plane position (fraction of domain x)
+	bubbleX float64 // bubble centre
+	bubbleY float64
+	bubbleZ float64
+	bubbleR float64 // bubble radius (fraction of domain y extent)
+}
+
+var shockBubbleIC = initialConditions{
+	shockX: 0.10, bubbleX: 0.25, bubbleY: 0.5, bubbleZ: 0.5, bubbleR: 0.35,
+}
+
+// Post-shock state for a Mach 1.25 shock in air at (ρ,p) = (1,1)
+// (Rankine-Hugoniot).
+var (
+	shockMach = 1.25
+	postRho   = (GammaAir + 1) * shockMach * shockMach /
+		((GammaAir-1)*shockMach*shockMach + 2) // ≈ 1.429
+	postP = 1 + 2*GammaAir/(GammaAir+1)*(shockMach*shockMach-1) // ≈ 1.656
+	postU = shockMach * math.Sqrt(GammaAir) * (1 - 1/postRho)   // piston speed
+	// heliumRhoRatio is helium's density relative to air at equal
+	// pressure and temperature.
+	heliumRhoRatio = 0.138
+)
+
+// initialState returns the conserved state at physical coordinates
+// (x, y, z) in [0,1]³ (x along the tube).
+func initialState(x, y, z float64, ic initialConditions) [NFields]float64 {
+	if x < ic.shockX {
+		// Post-shock air moving right.
+		return conserved(postRho, postU, 0, 0, postP, 0)
+	}
+	dx, dy, dz := x-ic.bubbleX, (y-ic.bubbleY)*0.125, (z-ic.bubbleZ)*0.0625
+	// The domain is 512×64×32, so y and z are squashed relative to x;
+	// the bubble is spherical in physical units.
+	r := math.Sqrt(dx*dx + dy*dy + dz*dz)
+	if r < ic.bubbleR*0.125 {
+		return conserved(heliumRhoRatio, 0, 0, 0, 1, 1)
+	}
+	return conserved(1, 0, 0, 0, 1, 0)
+}

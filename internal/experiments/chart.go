@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// chart renders a figure panel as an ASCII line chart: x is log2(P), y is
+// the chosen metric, one glyph per machine — a terminal rendition of the
+// paper's plots.
+type chart struct {
+	Width, Height int
+}
+
+// seriesGlyphs assigns stable glyphs by series order.
+var seriesGlyphs = []rune("o*x+#@%&")
+
+// RenderChart writes one figure panel ("gflops" or "pct") as an ASCII
+// chart followed by a legend.
+func (f *Figure) RenderChart(w io.Writer, metric string) error {
+	var sel func(i, j int) (float64, bool)
+	var title string
+	switch metric {
+	case "pct":
+		title = "percentage of peak"
+		sel = func(i, j int) (float64, bool) {
+			return f.Series[i].Points[j].PctPeak, true
+		}
+	default:
+		title = "Gflop/s per processor"
+		sel = func(i, j int) (float64, bool) {
+			return f.Series[i].Points[j].Gflops, true
+		}
+	}
+	c := chart{Width: 64, Height: 16}
+	return c.render(w, f, title, sel)
+}
+
+func (c chart) render(w io.Writer, f *Figure, title string,
+	sel func(i, j int) (float64, bool)) error {
+
+	procs := f.procsUnion()
+	if len(procs) == 0 {
+		return fmt.Errorf("experiments: empty figure %s", f.ID)
+	}
+	xOf := func(p int) float64 { return math.Log2(float64(p)) }
+	xMin, xMax := xOf(procs[0]), xOf(procs[len(procs)-1])
+	if xMax == xMin {
+		xMax = xMin + 1
+	}
+	var yMax float64
+	for i := range f.Series {
+		for j := range f.Series[i].Points {
+			if v, ok := sel(i, j); ok && v > yMax {
+				yMax = v
+			}
+		}
+	}
+	if yMax == 0 {
+		yMax = 1
+	}
+	grid := make([][]rune, c.Height)
+	for r := range grid {
+		grid[r] = []rune(strings.Repeat(" ", c.Width))
+	}
+	for i := range f.Series {
+		glyph := seriesGlyphs[i%len(seriesGlyphs)]
+		for j := range f.Series[i].Points {
+			v, ok := sel(i, j)
+			if !ok {
+				continue
+			}
+			x := int((xOf(f.Series[i].Points[j].Procs) - xMin) / (xMax - xMin) * float64(c.Width-1))
+			y := c.Height - 1 - int(v/yMax*float64(c.Height-1))
+			if y < 0 {
+				y = 0
+			}
+			if grid[y][x] == ' ' {
+				grid[y][x] = glyph
+			} else if grid[y][x] != glyph {
+				grid[y][x] = '?'
+			}
+		}
+	}
+	fmt.Fprintf(w, "  %s (y max %.3g)\n", title, yMax)
+	for _, row := range grid {
+		fmt.Fprintf(w, "  |%s\n", string(row))
+	}
+	fmt.Fprintf(w, "  +%s\n", strings.Repeat("-", c.Width))
+	// X labels: log2 ticks.
+	ticks := make([]string, 0, len(procs))
+	for _, p := range procs {
+		ticks = append(ticks, fmt.Sprint(p))
+	}
+	fmt.Fprintf(w, "   P: %s (log2 axis)\n", strings.Join(ticks, " "))
+	legend := make([]string, 0, len(f.Series))
+	for i, s := range f.Series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[i%len(seriesGlyphs)], s.Machine))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "   %s\n", strings.Join(legend, "  "))
+	return nil
+}

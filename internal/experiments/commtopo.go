@@ -1,0 +1,109 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/beambeam3d"
+	"repro/internal/apps/cactus"
+	"repro/internal/apps/elbm3d"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hyperclaw"
+	"repro/internal/apps/paratec"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/trace"
+)
+
+// CommTopo is one application's recorded interprocessor communication
+// structure — the data behind the paper's Figure 1 (bottom row).
+type CommTopo struct {
+	App       string
+	Procs     int
+	Collector *trace.Collector
+}
+
+// Fig1CommTopos runs every application at a modest concurrency with a
+// communication collector attached and returns the six topologies.
+func Fig1CommTopos(procs int) ([]CommTopo, error) {
+	if procs <= 0 {
+		procs = 64
+	}
+	spec := machine.Jaguar
+
+	type def struct {
+		name string
+		run  func(sim simmpi.Config) error
+	}
+	defs := []def{
+		{"GTC", func(sim simmpi.Config) error {
+			cfg := gtc.DefaultConfig(spec, sim.Procs)
+			cfg.ActualParticlesPerRank = 400
+			cfg.Steps = 2
+			_, err := gtc.Run(sim, cfg)
+			return err
+		}},
+		{"ELBM3D", func(sim simmpi.Config) error {
+			cfg := elbm3d.DefaultConfig(sim.Procs)
+			cfg.Steps = 2
+			_, err := elbm3d.Run(sim, cfg)
+			return err
+		}},
+		{"Cactus", func(sim simmpi.Config) error {
+			cfg := cactus.DefaultConfig(sim.Procs)
+			cfg.ActualPerProc = 6
+			cfg.Steps = 2
+			_, err := cactus.Run(sim, cfg)
+			return err
+		}},
+		{"BeamBeam3D", func(sim simmpi.Config) error {
+			cfg := beambeam3d.DefaultConfig(sim.Procs)
+			cfg.ParticlesPerRank = 200
+			cfg.Steps = 2
+			_, err := beambeam3d.Run(sim, cfg)
+			return err
+		}},
+		{"PARATEC", func(sim simmpi.Config) error {
+			cfg := paratec.DefaultConfig(false)
+			cfg.Iters = 1
+			_, err := paratec.Run(sim, cfg)
+			return err
+		}},
+		{"HyperCLaw", func(sim simmpi.Config) error {
+			cfg := hyperclaw.DefaultConfig(sim.Procs)
+			cfg.Steps = 2
+			// Small boxes so the dynamic hierarchy exposes the
+			// many-to-many pattern of Figure 1f.
+			cfg.MaxBoxCells = 64
+			_, err := hyperclaw.Run(sim, cfg)
+			return err
+		}},
+	}
+
+	var out []CommTopo
+	for _, d := range defs {
+		col := trace.NewCollector(procs)
+		sim := simmpi.Config{Machine: spec, Procs: procs, Collector: col}
+		if err := d.run(sim); err != nil {
+			return nil, fmt.Errorf("commtopo %s: %w", d.name, err)
+		}
+		out = append(out, CommTopo{App: d.name, Procs: procs, Collector: col})
+	}
+	return out, nil
+}
+
+// Render writes the six topology heatmaps with partner statistics, the
+// textual equivalent of Figure 1's bottom row.
+func (c CommTopo) Render(w io.Writer, size int) error {
+	fmt.Fprintf(w, "--- %s (P=%d): point-to-point communication topology ---\n", c.App, c.Procs)
+	fmt.Fprintf(w, "messages=%d, p2p bytes=%.3g, avg partners/rank=%.1f\n",
+		c.Collector.Messages(), c.Collector.Bytes(), c.Collector.Partners())
+	for _, s := range c.Collector.CollectiveCounts() {
+		fmt.Fprintf(w, "collective: %s\n", s)
+	}
+	if err := c.Collector.WriteHeatmap(w, size); err != nil {
+		return err
+	}
+	fmt.Fprintln(w)
+	return nil
+}

@@ -1,0 +1,278 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/apps/beambeam3d"
+	"repro/internal/apps/cactus"
+	"repro/internal/apps/elbm3d"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hyperclaw"
+	"repro/internal/apps/paratec"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// seriesSpec pairs a machine with the concurrencies to run.
+type seriesSpec struct {
+	spec  machine.Spec
+	procs []int
+}
+
+// appRunner runs one application instance on (machine, P).
+type appRunner func(spec machine.Spec, procs int) (*simmpi.Report, error)
+
+// buildFigure runs every (machine, P) point through the runner.
+func buildFigure(id, title, scaling, appName string, opts Options,
+	series []seriesSpec, run appRunner) (*Figure, error) {
+
+	fig := &Figure{ID: id, Title: title, Scaling: scaling}
+	for _, ss := range series {
+		s := Series{Machine: ss.spec.Name, Peak: ss.spec.PeakGFs}
+		for _, p := range ss.procs {
+			if opts.capProcs(p) || p > ss.spec.TotalProcs {
+				continue
+			}
+			rep, err := run(ss.spec, p)
+			if err != nil {
+				return nil, fmt.Errorf("%s %s P=%d: %w", id, ss.spec.Name, p, err)
+			}
+			s.Points = append(s.Points, apps.Point{
+				App: appName, Machine: ss.spec.Name, Procs: p,
+				Gflops:   rep.GflopsPerProc(),
+				PctPeak:  rep.PercentOfPeak(ss.spec.PeakGFs),
+				CommFrac: rep.CommFrac,
+				WallSec:  rep.Wall,
+			})
+		}
+		if len(s.Points) > 0 {
+			fig.Series = append(fig.Series, s)
+		}
+	}
+	return fig, nil
+}
+
+// gtcActualParticles bounds the computed-on particle count so host time
+// stays sane at extreme concurrency.
+func gtcActualParticles(p int) int {
+	n := 3_000_000 / p
+	if n > 1500 {
+		n = 1500
+	}
+	if n < 200 {
+		n = 200
+	}
+	return n
+}
+
+// Fig2GTC regenerates Figure 2: GTC weak scaling, 100 particles per cell
+// per processor (10 on BG/L), BG/L data on the BGW system in virtual
+// node mode.
+func Fig2GTC(opts Options) (*Figure, error) {
+	bgw := machine.BGW.WithMode(machine.VirtualNode)
+	maxBGW := 32768
+	if opts.Quick {
+		maxBGW = 256
+	}
+	series := []seriesSpec{
+		{machine.Bassi, powersOfTwo(64, 512)},
+		{machine.Jacquard, powersOfTwo(64, 512)},
+		{machine.Jaguar, powersOfTwo(64, 4096)},
+		{bgw, powersOfTwo(64, maxBGW)},
+		{machine.Phoenix, powersOfTwo(64, 512)},
+	}
+	fig, err := buildFigure("Figure 2", "GTC weak-scaling performance", "weak", "GTC", opts, series,
+		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := gtc.DefaultConfig(spec, p)
+			cfg.ActualParticlesPerRank = gtcActualParticles(p)
+			sim := simmpi.Config{Machine: spec, Procs: p}
+			if spec.IsBGL() {
+				// §3.1: the BG/L runs use the explicit mapping file that
+				// aligns the toroidal ring with the torus network.
+				if m, err := gtc.AlignedBGLMapping(spec, p, cfg.Domains); err == nil {
+					sim.Mapping = m
+				}
+			}
+			return gtc.Run(sim, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"100 particles/cell/proc (10 on BG/L); all BG/L data collected on BGW (virtual node mode)")
+	return fig, nil
+}
+
+// Fig3ELBM3D regenerates Figure 3: ELBM3D strong scaling on a 512³ grid.
+func Fig3ELBM3D(opts Options) (*Figure, error) {
+	series := []seriesSpec{
+		{machine.Bassi, powersOfTwo(64, 512)},
+		{machine.Jacquard, powersOfTwo(64, 512)},
+		{machine.Jaguar, powersOfTwo(64, 1024)},
+		{machine.BGL, powersOfTwo(256, 1024)}, // memory floor per §4.1
+		{machine.Phoenix, powersOfTwo(64, 512)},
+	}
+	fig, err := buildFigure("Figure 3", "ELBM3D strong-scaling performance (512³ grid)", "strong", "ELBM3D", opts, series,
+		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := elbm3d.DefaultConfig(p)
+			cfg.Steps = 3
+			return elbm3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"BG/L data in coprocessor mode; cannot run below 256 processors for this problem size")
+	return fig, nil
+}
+
+// cactusActualPerProc bounds the per-rank computed grid.
+func cactusActualPerProc(p int) int {
+	switch {
+	case p <= 512:
+		return 8
+	case p <= 4096:
+		return 5
+	default:
+		return 3
+	}
+}
+
+// Fig4Cactus regenerates Figure 4: Cactus weak scaling, 60³ points per
+// processor; Phoenix data on the Cray X1.
+func Fig4Cactus(opts Options) (*Figure, error) {
+	maxBGW := 16384
+	if opts.Quick {
+		maxBGW = 256
+	}
+	series := []seriesSpec{
+		{machine.Bassi, powersOfTwo(16, 512)},
+		{machine.Jacquard, powersOfTwo(16, 512)},
+		{machine.BGW, powersOfTwo(16, maxBGW)},
+		{machine.PhoenixX1, powersOfTwo(16, 256)},
+	}
+	fig, err := buildFigure("Figure 4", "Cactus weak-scaling performance (60³ per processor)", "weak", "Cactus", opts, series,
+		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := cactus.DefaultConfig(p)
+			cfg.ActualPerProc = cactusActualPerProc(p)
+			cfg.Steps = 3
+			return cactus.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"Phoenix data shown on the Cray X1 platform; BG/L data run on BGW")
+	return fig, nil
+}
+
+// Fig5BeamBeam3D regenerates Figure 5: BeamBeam3D strong scaling on a
+// 256×256×32 grid with 5 million particles.
+func Fig5BeamBeam3D(opts Options) (*Figure, error) {
+	maxBGW := 2048
+	if opts.Quick {
+		maxBGW = 256
+	}
+	series := []seriesSpec{
+		{machine.Bassi, powersOfTwo(64, 512)},
+		{machine.Jacquard, powersOfTwo(64, 512)},
+		{machine.Jaguar, powersOfTwo(64, 2048)},
+		{machine.BGW, powersOfTwo(64, maxBGW)},
+		{machine.Phoenix, powersOfTwo(64, 512)},
+	}
+	fig, err := buildFigure("Figure 5", "BeamBeam3D strong-scaling performance (256²×32 grid, 5M particles)", "strong", "BeamBeam3D", opts, series,
+		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := beambeam3d.DefaultConfig(p)
+			cfg.ParticlesPerRank = bb3dActualParticles(p)
+			return beambeam3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"ANL BG/L for P≤512, BGW for P=1024,2048; 2048-way is the highest-concurrency BB3D run to date")
+	return fig, nil
+}
+
+func bb3dActualParticles(p int) int {
+	n := 600_000 / p
+	if n > 600 {
+		n = 600
+	}
+	if n < 50 {
+		n = 50
+	}
+	return n
+}
+
+// Fig6PARATEC regenerates Figure 6: PARATEC strong scaling on the
+// 488-atom CdSe quantum dot (432-atom Si on BG/L).
+func Fig6PARATEC(opts Options) (*Figure, error) {
+	maxBGW := 1024
+	if opts.Quick {
+		maxBGW = 256
+	}
+	series := []seriesSpec{
+		{machine.Bassi, powersOfTwo(64, 512)},
+		{machine.Jacquard, powersOfTwo(64, 256)}, // memory-bound below 128 in the paper
+		{machine.Jaguar, powersOfTwo(64, 2048)},
+		{machine.BGW, powersOfTwo(64, maxBGW)},
+		{machine.Phoenix, powersOfTwo(64, 512)},
+	}
+	fig, err := buildFigure("Figure 6", "PARATEC strong-scaling performance (488-atom CdSe quantum dot)", "strong", "PARATEC", opts, series,
+		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := paratec.DefaultConfig(spec.IsBGL())
+			return paratec.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"BG/L runs the 432-atom bulk-silicon system (memory constraints); Phoenix ran an X1 binary")
+	return fig, nil
+}
+
+// Fig7HyperCLaw regenerates Figure 7: HyperCLaw weak scaling on a
+// 512×64×32 base grid refined by 2 then 4.
+func Fig7HyperCLaw(opts Options) (*Figure, error) {
+	maxBGL := 512
+	if opts.Quick {
+		maxBGL = 128
+	}
+	series := []seriesSpec{
+		{machine.Bassi, powersOfTwo(16, 256)},
+		{machine.Jacquard, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
+		{machine.Jaguar, powersOfTwo(16, 256)},
+		{machine.BGL, powersOfTwo(16, maxBGL)},
+		{machine.Phoenix, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
+	}
+	fig, err := buildFigure("Figure 7", "HyperCLaw weak-scaling performance (512×64×32 base grid)", "weak", "HyperCLaw", opts, series,
+		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := hyperclaw.DefaultConfig(p)
+			return hyperclaw.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		})
+	if err != nil {
+		return nil, err
+	}
+	fig.Notes = append(fig.Notes,
+		"base grid refined by 2 then 4 (effective 4096×512×256)",
+		"Phoenix and Jacquard experiments crash at P≥256 in the paper; those points are omitted")
+	return fig, nil
+}
+
+// AllFigures runs Figures 2–7 in order.
+func AllFigures(opts Options) ([]*Figure, error) {
+	funcs := []func(Options) (*Figure, error){
+		Fig2GTC, Fig3ELBM3D, Fig4Cactus, Fig5BeamBeam3D, Fig6PARATEC, Fig7HyperCLaw,
+	}
+	var out []*Figure
+	for _, f := range funcs {
+		fig, err := f(opts)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, fig)
+	}
+	return out, nil
+}

@@ -1,0 +1,264 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps/beambeam3d"
+	"repro/internal/apps/cactus"
+	"repro/internal/apps/elbm3d"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hyperclaw"
+	"repro/internal/apps/paratec"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// SummaryCell is one (application, machine) entry of Figure 8.
+type SummaryCell struct {
+	App      string
+	Machine  string
+	Procs    int
+	Gflops   float64
+	PctPeak  float64
+	Relative float64 // runtime performance relative to the fastest machine
+}
+
+// Summary holds the Figure 8 data: per-application relative performance
+// (normalised to the fastest system) and sustained percentage of peak at
+// the largest comparable concurrencies.
+type Summary struct {
+	Cells []SummaryCell
+	Notes []string
+}
+
+// fig8Procs returns the paper's "largest comparable concurrency" for an
+// app on a machine, honouring the BG/L exceptions (P=1024 for Cactus and
+// GTC on BG/L).
+func fig8Procs(app string, spec machine.Spec, opts Options) int {
+	base := map[string]int{
+		"HyperCLaw": 128, "BeamBeam3D": 512, "Cactus": 256,
+		"GTC": 512, "ELBM3D": 512, "PARATEC": 512,
+	}[app]
+	if spec.IsBGL() && (app == "Cactus" || app == "GTC") {
+		base = 1024
+	}
+	if opts.Quick && base > 128 {
+		base = 128
+	}
+	return maxPartition(spec, base)
+}
+
+// Fig8Summary regenerates the paper's Figure 8.
+func Fig8Summary(opts Options) (*Summary, error) {
+	sum := &Summary{Notes: []string{
+		"relative performance normalised to the fastest system per application",
+		"Cactus Phoenix results are on the X1 system; BG/L at P=1024 for Cactus and GTC",
+	}}
+	machines := []machine.Spec{machine.Bassi, machine.Jacquard, machine.Jaguar, machine.BGL, machine.Phoenix}
+
+	type appDef struct {
+		name string
+		run  func(spec machine.Spec, p int) (*simmpi.Report, error)
+	}
+	defs := []appDef{
+		{"HyperCLaw", func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			return hyperclaw.Run(simmpi.Config{Machine: spec, Procs: p}, hyperclaw.DefaultConfig(p))
+		}},
+		{"BeamBeam3D", func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := beambeam3d.DefaultConfig(p)
+			cfg.ParticlesPerRank = bb3dActualParticles(p)
+			return beambeam3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		}},
+		{"Cactus", func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			if spec.Name == machine.Phoenix.Name {
+				spec = machine.PhoenixX1
+			}
+			cfg := cactus.DefaultConfig(p)
+			cfg.ActualPerProc = cactusActualPerProc(p)
+			return cactus.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		}},
+		{"GTC", func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			cfg := gtc.DefaultConfig(spec, p)
+			cfg.ActualParticlesPerRank = gtcActualParticles(p)
+			return gtc.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
+		}},
+		{"ELBM3D", func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			return elbm3d.Run(simmpi.Config{Machine: spec, Procs: p}, elbm3d.DefaultConfig(p))
+		}},
+		{"PARATEC", func(spec machine.Spec, p int) (*simmpi.Report, error) {
+			return paratec.Run(simmpi.Config{Machine: spec, Procs: p}, paratec.DefaultConfig(spec.IsBGL()))
+		}},
+	}
+
+	for _, def := range defs {
+		var cells []SummaryCell
+		best := 0.0
+		for _, spec := range machines {
+			p := fig8Procs(def.name, spec, opts)
+			rep, err := def.run(spec, p)
+			if err != nil {
+				return nil, fmt.Errorf("fig8 %s on %s: %w", def.name, spec.Name, err)
+			}
+			c := SummaryCell{
+				App: def.name, Machine: spec.Name, Procs: p,
+				Gflops:  rep.GflopsPerProc(),
+				PctPeak: rep.PercentOfPeak(spec.PeakGFs),
+			}
+			if c.Gflops > best {
+				best = c.Gflops
+			}
+			cells = append(cells, c)
+		}
+		for i := range cells {
+			if best > 0 {
+				cells[i].Relative = cells[i].Gflops / best
+			}
+		}
+		sum.Cells = append(sum.Cells, cells...)
+	}
+	return sum, nil
+}
+
+// Machines returns the summary's machine order.
+func (s *Summary) Machines() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range s.Cells {
+		if !seen[c.Machine] {
+			seen[c.Machine] = true
+			out = append(out, c.Machine)
+		}
+	}
+	return out
+}
+
+// Apps returns the summary's application order.
+func (s *Summary) Apps() []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, c := range s.Cells {
+		if !seen[c.App] {
+			seen[c.App] = true
+			out = append(out, c.App)
+		}
+	}
+	return out
+}
+
+// Cell finds a summary cell.
+func (s *Summary) Cell(app, machineName string) *SummaryCell {
+	for i := range s.Cells {
+		if s.Cells[i].App == app && s.Cells[i].Machine == machineName {
+			return &s.Cells[i]
+		}
+	}
+	return nil
+}
+
+// AveragePctPeak returns a machine's mean sustained percentage of peak
+// across the six applications (Figure 8b's AVERAGE bars).
+func (s *Summary) AveragePctPeak(machineName string) float64 {
+	var t float64
+	n := 0
+	for _, c := range s.Cells {
+		if c.Machine == machineName {
+			t += c.PctPeak
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return t / float64(n)
+}
+
+// AverageRelative returns a machine's mean relative performance.
+func (s *Summary) AverageRelative(machineName string) float64 {
+	var t float64
+	n := 0
+	for _, c := range s.Cells {
+		if c.Machine == machineName {
+			t += c.Relative
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return t / float64(n)
+}
+
+// Render writes both Figure 8 panels.
+func (s *Summary) Render(w io.Writer) {
+	header(w, "Figure 8. Summary of results for largest comparable concurrencies")
+	machines := s.Machines()
+	fmt.Fprintln(w, "(a) relative runtime performance normalised to fastest system")
+	fmt.Fprintf(w, "%-14s", "App (P)")
+	for _, m := range machines {
+		fmt.Fprintf(w, " %10s", m)
+	}
+	fmt.Fprintln(w)
+	for _, app := range s.Apps() {
+		var p int
+		if c := s.Cell(app, machines[0]); c != nil {
+			p = c.Procs
+		}
+		fmt.Fprintf(w, "%-14s", fmt.Sprintf("%s (%d)", app, p))
+		for _, m := range machines {
+			if c := s.Cell(app, m); c != nil {
+				fmt.Fprintf(w, " %10.2f", c.Relative)
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s", "AVERAGE")
+	for _, m := range machines {
+		fmt.Fprintf(w, " %10.2f", s.AverageRelative(m))
+	}
+	fmt.Fprintln(w)
+
+	fmt.Fprintln(w, "\n(b) sustained percentage of peak")
+	fmt.Fprintf(w, "%-14s", "App")
+	for _, m := range machines {
+		fmt.Fprintf(w, " %10s", m)
+	}
+	fmt.Fprintln(w)
+	for _, app := range s.Apps() {
+		fmt.Fprintf(w, "%-14s", app)
+		for _, m := range machines {
+			if c := s.Cell(app, m); c != nil {
+				fmt.Fprintf(w, " %9.2f%%", c.PctPeak)
+			} else {
+				fmt.Fprintf(w, " %10s", "-")
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintf(w, "%-14s", "AVERAGE")
+	for _, m := range machines {
+		fmt.Fprintf(w, " %9.2f%%", s.AveragePctPeak(m))
+	}
+	fmt.Fprintln(w)
+	for _, n := range s.Notes {
+		fmt.Fprintf(w, "note: %s\n", n)
+	}
+}
+
+// Winners returns, per application, the fastest machine — the headline
+// comparison of the study.
+func (s *Summary) Winners() map[string]string {
+	out := map[string]string{}
+	for _, app := range s.Apps() {
+		bestM, best := "", 0.0
+		for _, m := range s.Machines() {
+			if c := s.Cell(app, m); c != nil && c.Gflops > best {
+				best, bestM = c.Gflops, m
+			}
+		}
+		out[app] = bestM
+	}
+	return out
+}

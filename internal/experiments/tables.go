@@ -1,0 +1,93 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/apps"
+	"repro/internal/apps/beambeam3d"
+	"repro/internal/apps/cactus"
+	"repro/internal/apps/elbm3d"
+	"repro/internal/apps/gtc"
+	"repro/internal/apps/hyperclaw"
+	"repro/internal/apps/paratec"
+	"repro/internal/machine"
+	"repro/internal/pingpong"
+	"repro/internal/stream"
+)
+
+// Table1Row is one machine's measured (simulated) architectural
+// highlights, mirroring the paper's Table 1 columns.
+type Table1Row struct {
+	Name         string
+	Network      string
+	Topology     string
+	TotalProcs   int
+	ProcsPerNode int
+	ClockGHz     float64
+	PeakGFs      float64
+	StreamGBs    float64 // measured via the EP-STREAM triad model
+	StreamBF     float64
+	MPILatencyUs float64 // measured via simulated ping-pong
+	MPIBWGBs     float64 // measured via simulated pairwise exchange
+}
+
+// Table1 regenerates the architectural-highlights table by running the
+// microbenchmarks on every platform model.
+func Table1() ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, spec := range machine.All() {
+		st := stream.Measure(spec, 1<<20)
+		pp, err := pingpong.Measure(spec)
+		if err != nil {
+			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+		}
+		rows = append(rows, Table1Row{
+			Name:         spec.Name,
+			Network:      spec.Network,
+			Topology:     string(spec.Topology),
+			TotalProcs:   spec.TotalProcs,
+			ProcsPerNode: spec.ProcsPerNode,
+			ClockGHz:     spec.ClockGHz,
+			PeakGFs:      spec.PeakGFs,
+			StreamGBs:    st.GBsPerProc,
+			StreamBF:     st.BytesPerFlopRatio,
+			MPILatencyUs: pp.LatencyUs,
+			MPIBWGBs:     pp.BandwidthGBs,
+		})
+	}
+	return rows, nil
+}
+
+// RenderTable1 writes the table in the paper's layout.
+func RenderTable1(w io.Writer, rows []Table1Row) {
+	header(w, "Table 1. Architectural highlights of studied HEC platforms")
+	fmt.Fprintf(w, "%-9s %-11s %-9s %7s %3s %6s %7s %8s %5s %8s %8s\n",
+		"Name", "Network", "Topology", "P", "P/N", "Clock", "Peak", "Stream", "B/F", "MPI-Lat", "MPI-BW")
+	fmt.Fprintf(w, "%-9s %-11s %-9s %7s %3s %6s %7s %8s %5s %8s %8s\n",
+		"", "", "", "", "", "(GHz)", "(GF/s)", "(GB/s)", "", "(µs)", "(GB/s)")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%-9s %-11s %-9s %7d %3d %6.1f %7.1f %8.1f %5.2f %8.1f %8.2f\n",
+			r.Name, r.Network, r.Topology, r.TotalProcs, r.ProcsPerNode,
+			r.ClockGHz, r.PeakGFs, r.StreamGBs, r.StreamBF, r.MPILatencyUs, r.MPIBWGBs)
+	}
+	fmt.Fprintln(w)
+}
+
+// Table2 returns the application-overview rows.
+func Table2() []apps.Meta {
+	return []apps.Meta{
+		gtc.Meta, elbm3d.Meta, cactus.Meta,
+		beambeam3d.Meta, paratec.Meta, hyperclaw.Meta,
+	}
+}
+
+// RenderTable2 writes the application overview in the paper's layout.
+func RenderTable2(w io.Writer) {
+	header(w, "Table 2. Overview of scientific applications examined in our study")
+	fmt.Fprintf(w, "%-12s %7s  %-18s %-38s %s\n", "Name", "Lines", "Discipline", "Methods", "Structure")
+	for _, m := range Table2() {
+		fmt.Fprintln(w, m.Row())
+	}
+	fmt.Fprintln(w)
+}

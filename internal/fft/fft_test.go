@@ -1,0 +1,230 @@
+package fft
+
+import (
+	"math"
+	"math/cmplx"
+	"math/rand"
+	"testing"
+)
+
+func randVec(n int, seed int64) []complex128 {
+	rng := rand.New(rand.NewSource(seed))
+	x := make([]complex128, n)
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), rng.NormFloat64())
+	}
+	return x
+}
+
+func maxDiff(a, b []complex128) float64 {
+	var m float64
+	for i := range a {
+		if d := cmplx.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func TestForwardMatchesDFT(t *testing.T) {
+	for _, n := range []int{1, 2, 4, 8, 16, 64, 256} {
+		x := randVec(n, int64(n))
+		want := DFT(x)
+		got := append([]complex128(nil), x...)
+		if err := Forward(got); err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if d := maxDiff(got, want); d > 1e-9*float64(n) {
+			t.Errorf("n=%d: max diff %g vs naive DFT", n, d)
+		}
+	}
+}
+
+func TestForwardInverseRoundTrip(t *testing.T) {
+	for _, n := range []int{2, 8, 32, 128, 1024} {
+		x := randVec(n, 42)
+		orig := append([]complex128(nil), x...)
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		if err := Inverse(x); err != nil {
+			t.Fatal(err)
+		}
+		if d := maxDiff(x, orig); d > 1e-10*float64(n) {
+			t.Errorf("n=%d: round trip error %g", n, d)
+		}
+	}
+}
+
+func TestNonPowerOfTwoRejected(t *testing.T) {
+	if err := Forward(make([]complex128, 12)); err == nil {
+		t.Error("length 12 accepted")
+	}
+	if err := Inverse(make([]complex128, 0)); err == nil {
+		t.Error("length 0 accepted")
+	}
+}
+
+func TestParsevalProperty(t *testing.T) {
+	// Parseval: sum |x|² = (1/n) sum |X|².
+	for _, n := range []int{16, 64, 256} {
+		x := randVec(n, int64(3*n))
+		var before float64
+		for _, v := range x {
+			before += real(v)*real(v) + imag(v)*imag(v)
+		}
+		if err := Forward(x); err != nil {
+			t.Fatal(err)
+		}
+		var after float64
+		for _, v := range x {
+			after += real(v)*real(v) + imag(v)*imag(v)
+		}
+		after /= float64(n)
+		if math.Abs(before-after) > 1e-8*before {
+			t.Errorf("n=%d: Parseval violated: %g vs %g", n, before, after)
+		}
+	}
+}
+
+func TestLinearityProperty(t *testing.T) {
+	const n = 64
+	x := randVec(n, 1)
+	y := randVec(n, 2)
+	sum := make([]complex128, n)
+	for i := range sum {
+		sum[i] = x[i] + 2*y[i]
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := Forward(y); err != nil {
+		t.Fatal(err)
+	}
+	if err := Forward(sum); err != nil {
+		t.Fatal(err)
+	}
+	for i := range sum {
+		want := x[i] + 2*y[i]
+		if cmplx.Abs(sum[i]-want) > 1e-9 {
+			t.Fatalf("linearity violated at %d", i)
+		}
+	}
+}
+
+func TestImpulseTransformsToConstant(t *testing.T) {
+	const n = 32
+	x := make([]complex128, n)
+	x[0] = 1
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range x {
+		if cmplx.Abs(v-1) > 1e-12 {
+			t.Errorf("bin %d = %v, want 1", i, v)
+		}
+	}
+}
+
+func TestForward3RoundTrip(t *testing.T) {
+	g := NewGrid3(8, 4, 16)
+	rng := rand.New(rand.NewSource(7))
+	orig := make([]complex128, len(g.Data))
+	for i := range g.Data {
+		g.Data[i] = complex(rng.NormFloat64(), 0)
+		orig[i] = g.Data[i]
+	}
+	if err := Forward3(g); err != nil {
+		t.Fatal(err)
+	}
+	if err := Inverse3(g); err != nil {
+		t.Fatal(err)
+	}
+	if d := maxDiff(g.Data, orig); d > 1e-9 {
+		t.Errorf("3D round trip error %g", d)
+	}
+}
+
+func TestForward3SingleMode(t *testing.T) {
+	// A pure plane wave exp(2πi(x kx/nx)) transforms to a single bin.
+	g := NewGrid3(8, 8, 8)
+	const kx = 3
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				phase := 2 * math.Pi * float64(kx*i) / 8
+				*g.At(i, j, k) = cmplx.Exp(complex(0, phase))
+			}
+		}
+	}
+	if err := Forward3(g); err != nil {
+		t.Fatal(err)
+	}
+	for k := 0; k < 8; k++ {
+		for j := 0; j < 8; j++ {
+			for i := 0; i < 8; i++ {
+				want := complex(0, 0)
+				if i == kx && j == 0 && k == 0 {
+					want = complex(512, 0) // 8³
+				}
+				if cmplx.Abs(*g.At(i, j, k)-want) > 1e-8 {
+					t.Fatalf("bin (%d,%d,%d) = %v, want %v", i, j, k, *g.At(i, j, k), want)
+				}
+			}
+		}
+	}
+}
+
+func TestFlopCounts(t *testing.T) {
+	if FlopsPerComplexFFT(1024) != 5*1024*10 {
+		t.Errorf("FlopsPerComplexFFT(1024) = %g", FlopsPerComplexFFT(1024))
+	}
+	if FlopsPerComplexFFT(1) != 0 {
+		t.Error("length-1 FFT should be free")
+	}
+	want := 3 * 64 * 64 * FlopsPerComplexFFT(64)
+	if got := Flops3(64, 64, 64); math.Abs(got-want) > 1 {
+		t.Errorf("Flops3 = %g, want %g", got, want)
+	}
+}
+
+func TestShiftTheoremProperty(t *testing.T) {
+	// Circularly shifting the input multiplies the spectrum by a phase:
+	// |X_k| must be invariant under input rotation.
+	const n = 64
+	x := randVec(n, 9)
+	shifted := make([]complex128, n)
+	for i := range x {
+		shifted[i] = x[(i+5)%n]
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	if err := Forward(shifted); err != nil {
+		t.Fatal(err)
+	}
+	for k := range x {
+		a, b := cmplx.Abs(x[k]), cmplx.Abs(shifted[k])
+		if math.Abs(a-b) > 1e-9*(1+a) {
+			t.Fatalf("bin %d magnitude changed under shift: %g vs %g", k, a, b)
+		}
+	}
+}
+
+func TestConjugateSymmetryOfRealInput(t *testing.T) {
+	// Real input ⇒ X[n−k] = conj(X[k]).
+	const n = 32
+	x := make([]complex128, n)
+	rng := rand.New(rand.NewSource(17))
+	for i := range x {
+		x[i] = complex(rng.NormFloat64(), 0)
+	}
+	if err := Forward(x); err != nil {
+		t.Fatal(err)
+	}
+	for k := 1; k < n; k++ {
+		if cmplx.Abs(x[n-k]-cmplx.Conj(x[k])) > 1e-9 {
+			t.Fatalf("conjugate symmetry violated at bin %d", k)
+		}
+	}
+}

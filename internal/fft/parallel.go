@@ -1,0 +1,260 @@
+package fft
+
+import (
+	"fmt"
+
+	"repro/internal/perfmodel"
+	"repro/internal/simmpi"
+)
+
+// Kernel describes 1D FFT butterflies to the processor model: moderately
+// cache-friendly, stride-heavy, fully vectorisable (the vendor FFT
+// libraries of §7.1 are "highly cache resident").
+var Kernel = perfmodel.Kernel{
+	Name:         "fft",
+	CPUFrac:      0.65,
+	BytesPerFlop: 0.35,
+	VectorFrac:   0.98,
+}
+
+// Parallel3D performs slab-decomposed 3D FFTs over the simulated MPI
+// runtime. The actual grid (NX, NY, NZ) may be a scaled-down stand-in for
+// the nominal grid (NomX, NomY, NomZ); computation and communication are
+// charged at nominal scale while the arithmetic runs on the actual data.
+type Parallel3D struct {
+	NX, NY, NZ       int // actual grid dimensions (powers of two)
+	NomX, NomY, NomZ int // nominal grid dimensions for cost charging
+
+	rank *simmpi.Rank
+	comm *simmpi.Comm
+	p    int
+	me   int
+	lz   int // local z-planes in slab layout
+	lx   int // local x-columns in pencil layout
+}
+
+// NewParallel3D validates the decomposition and builds the transform plan.
+// The communicator size must divide both NX and NZ (and the nominal dims).
+func NewParallel3D(r *simmpi.Rank, c *simmpi.Comm, nx, ny, nz, nomX, nomY, nomZ int) (*Parallel3D, error) {
+	p := c.Size()
+	if !IsPow2(nx) || !IsPow2(ny) || !IsPow2(nz) {
+		return nil, fmt.Errorf("fft: actual grid %dx%dx%d not powers of two", nx, ny, nz)
+	}
+	if nx%p != 0 || nz%p != 0 {
+		return nil, fmt.Errorf("fft: %d ranks do not divide nx=%d and nz=%d", p, nx, nz)
+	}
+	if nomX < nx || nomY < ny || nomZ < nz {
+		return nil, fmt.Errorf("fft: nominal grid smaller than actual")
+	}
+	return &Parallel3D{
+		NX: nx, NY: ny, NZ: nz,
+		NomX: nomX, NomY: nomY, NomZ: nomZ,
+		rank: r, comm: c, p: p, me: c.Rank(r),
+		lz: nz / p, lx: nx / p,
+	}, nil
+}
+
+// SlabLen returns the length of a rank's slab buffer.
+func (f *Parallel3D) SlabLen() int { return f.NX * f.NY * f.lz }
+
+// PencilLen returns the length of a rank's pencil buffer.
+func (f *Parallel3D) PencilLen() int { return f.lx * f.NY * f.NZ }
+
+// SlabIndex maps (i, j, local k) to the slab buffer offset.
+func (f *Parallel3D) SlabIndex(i, j, kl int) int { return i + f.NX*(j+f.NY*kl) }
+
+// PencilIndex maps (local i, j, global k) to the pencil buffer offset.
+func (f *Parallel3D) PencilIndex(il, j, k int) int { return il + f.lx*(j+f.NY*k) }
+
+// GlobalZ converts a local slab plane index to its global z coordinate.
+func (f *Parallel3D) GlobalZ(kl int) int { return f.me*f.lz + kl }
+
+// GlobalX converts a local pencil column index to its global x coordinate.
+func (f *Parallel3D) GlobalX(il int) int { return f.me*f.lx + il }
+
+// nominal per-pair transpose bytes: the full nominal complex grid crosses
+// the machine once, split across p² pairwise blocks.
+func (f *Parallel3D) nomPairBytes() float64 {
+	total := 16 * float64(f.NomX) * float64(f.NomY) * float64(f.NomZ)
+	return total / float64(f.p) / float64(f.p)
+}
+
+// chargeXY charges the slab-phase (x and y line) FFT work at nominal scale.
+func (f *Parallel3D) chargeXY() {
+	perRank := (float64(f.NomY)*FlopsPerComplexFFT(f.NomX) +
+		float64(f.NomX)*FlopsPerComplexFFT(f.NomY)) * float64(f.NomZ) / float64(f.p)
+	f.rank.Compute(Kernel, perRank)
+}
+
+// chargeZ charges the pencil-phase (z line) FFT work at nominal scale.
+func (f *Parallel3D) chargeZ() {
+	perRank := float64(f.NomX) * float64(f.NomY) * FlopsPerComplexFFT(f.NomZ) / float64(f.p)
+	f.rank.Compute(Kernel, perRank)
+}
+
+// fftXYLines transforms the x and y lines of a slab in place.
+func (f *Parallel3D) fftXYLines(slab []complex128, dir func([]complex128) error) error {
+	for kl := 0; kl < f.lz; kl++ {
+		for j := 0; j < f.NY; j++ {
+			base := f.SlabIndex(0, j, kl)
+			if err := dir(slab[base : base+f.NX]); err != nil {
+				return err
+			}
+		}
+		line := make([]complex128, f.NY)
+		for i := 0; i < f.NX; i++ {
+			for j := 0; j < f.NY; j++ {
+				line[j] = slab[f.SlabIndex(i, j, kl)]
+			}
+			if err := dir(line); err != nil {
+				return err
+			}
+			for j := 0; j < f.NY; j++ {
+				slab[f.SlabIndex(i, j, kl)] = line[j]
+			}
+		}
+	}
+	return nil
+}
+
+// fftZLines transforms the z lines of a pencil in place.
+func (f *Parallel3D) fftZLines(pencil []complex128, dir func([]complex128) error) error {
+	line := make([]complex128, f.NZ)
+	for j := 0; j < f.NY; j++ {
+		for il := 0; il < f.lx; il++ {
+			for k := 0; k < f.NZ; k++ {
+				line[k] = pencil[f.PencilIndex(il, j, k)]
+			}
+			if err := dir(line); err != nil {
+				return err
+			}
+			for k := 0; k < f.NZ; k++ {
+				pencil[f.PencilIndex(il, j, k)] = line[k]
+			}
+		}
+	}
+	return nil
+}
+
+// packComplex flattens complex values into float64 pairs for the runtime.
+func packComplex(src []complex128) []float64 {
+	out := make([]float64, 2*len(src))
+	for i, v := range src {
+		out[2*i] = real(v)
+		out[2*i+1] = imag(v)
+	}
+	return out
+}
+
+func unpackComplex(src []float64, dst []complex128) {
+	for i := range dst {
+		dst[i] = complex(src[2*i], src[2*i+1])
+	}
+}
+
+// transposeToPencil redistributes a slab into pencils via all-to-all.
+func (f *Parallel3D) transposeToPencil(slab []complex128) []complex128 {
+	parts := make([][]float64, f.p)
+	block := make([]complex128, f.lx*f.NY*f.lz)
+	for q := 0; q < f.p; q++ {
+		x0 := q * f.lx
+		idx := 0
+		for kl := 0; kl < f.lz; kl++ {
+			for j := 0; j < f.NY; j++ {
+				for il := 0; il < f.lx; il++ {
+					block[idx] = slab[f.SlabIndex(x0+il, j, kl)]
+					idx++
+				}
+			}
+		}
+		parts[q] = packComplex(block)
+	}
+	got := f.rank.AlltoallNominal(f.comm, parts, f.nomPairBytes())
+	pencil := make([]complex128, f.PencilLen())
+	blk := make([]complex128, f.lx*f.NY*f.lz)
+	for q := 0; q < f.p; q++ {
+		unpackComplex(got[q], blk)
+		idx := 0
+		for kl := 0; kl < f.lz; kl++ {
+			k := q*f.lz + kl
+			for j := 0; j < f.NY; j++ {
+				for il := 0; il < f.lx; il++ {
+					pencil[f.PencilIndex(il, j, k)] = blk[idx]
+					idx++
+				}
+			}
+		}
+	}
+	return pencil
+}
+
+// transposeToSlab is the inverse redistribution.
+func (f *Parallel3D) transposeToSlab(pencil []complex128) []complex128 {
+	parts := make([][]float64, f.p)
+	block := make([]complex128, f.lx*f.NY*f.lz)
+	for q := 0; q < f.p; q++ {
+		idx := 0
+		for kl := 0; kl < f.lz; kl++ {
+			k := q*f.lz + kl
+			for j := 0; j < f.NY; j++ {
+				for il := 0; il < f.lx; il++ {
+					block[idx] = pencil[f.PencilIndex(il, j, k)]
+					idx++
+				}
+			}
+		}
+		parts[q] = packComplex(block)
+	}
+	got := f.rank.AlltoallNominal(f.comm, parts, f.nomPairBytes())
+	slab := make([]complex128, f.SlabLen())
+	blk := make([]complex128, f.lx*f.NY*f.lz)
+	for q := 0; q < f.p; q++ {
+		unpackComplex(got[q], blk)
+		x0 := q * f.lx
+		idx := 0
+		for kl := 0; kl < f.lz; kl++ {
+			for j := 0; j < f.NY; j++ {
+				for il := 0; il < f.lx; il++ {
+					slab[f.SlabIndex(x0+il, j, kl)] = blk[idx]
+					idx++
+				}
+			}
+		}
+	}
+	return slab
+}
+
+// Forward transforms a slab-distributed field and returns it in pencil
+// layout (x distributed, z complete), ready for k-space operations.
+func (f *Parallel3D) Forward(slab []complex128) ([]complex128, error) {
+	if len(slab) != f.SlabLen() {
+		return nil, fmt.Errorf("fft: slab length %d, want %d", len(slab), f.SlabLen())
+	}
+	if err := f.fftXYLines(slab, Forward); err != nil {
+		return nil, err
+	}
+	f.chargeXY()
+	pencil := f.transposeToPencil(slab)
+	if err := f.fftZLines(pencil, Forward); err != nil {
+		return nil, err
+	}
+	f.chargeZ()
+	return pencil, nil
+}
+
+// Inverse transforms a pencil-distributed spectrum back to slab layout.
+func (f *Parallel3D) Inverse(pencil []complex128) ([]complex128, error) {
+	if len(pencil) != f.PencilLen() {
+		return nil, fmt.Errorf("fft: pencil length %d, want %d", len(pencil), f.PencilLen())
+	}
+	if err := f.fftZLines(pencil, Inverse); err != nil {
+		return nil, err
+	}
+	f.chargeZ()
+	slab := f.transposeToSlab(pencil)
+	if err := f.fftXYLines(slab, Inverse); err != nil {
+		return nil, err
+	}
+	f.chargeXY()
+	return slab, nil
+}

@@ -1,0 +1,52 @@
+package linalg
+
+import "testing"
+
+func BenchmarkGemm128(b *testing.B) {
+	a := randMatrix(128, 128, 1)
+	c := randMatrix(128, 128, 2)
+	out := NewMatrix(128, 128)
+	b.SetBytes(int64(8 * 128 * 128 * 3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := Gemm(1, a, c, 0, out); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGram(b *testing.B) {
+	a := randMatrix(4096, 16, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Gram(a)
+	}
+}
+
+func BenchmarkCholesky64(b *testing.B) {
+	base := Gram(randMatrix(128, 64, 4))
+	for i := 0; i < 64; i++ {
+		base.Set(i, i, base.At(i, i)+64)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m := base.Clone()
+		if err := Cholesky(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDot(b *testing.B) {
+	x := make([]float64, 1<<16)
+	y := make([]float64, 1<<16)
+	for i := range x {
+		x[i] = float64(i)
+		y[i] = 2
+	}
+	b.SetBytes(int64(16 * len(x)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dot(x, y)
+	}
+}

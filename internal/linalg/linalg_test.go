@@ -1,0 +1,193 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randMatrix(rows, cols int, seed int64) *Matrix {
+	rng := rand.New(rand.NewSource(seed))
+	m := NewMatrix(rows, cols)
+	for i := range m.Data {
+		m.Data[i] = rng.NormFloat64()
+	}
+	return m
+}
+
+func naiveGemm(alpha float64, a, b *Matrix, beta float64, c *Matrix) {
+	for i := 0; i < a.Rows; i++ {
+		for j := 0; j < b.Cols; j++ {
+			s := beta * c.At(i, j)
+			for k := 0; k < a.Cols; k++ {
+				s += alpha * a.At(i, k) * b.At(k, j)
+			}
+			c.Set(i, j, s)
+		}
+	}
+}
+
+func TestGemmMatchesNaive(t *testing.T) {
+	shapes := [][3]int{{1, 1, 1}, {3, 5, 7}, {32, 32, 32}, {33, 47, 65}, {64, 16, 80}}
+	for _, s := range shapes {
+		m, k, n := s[0], s[1], s[2]
+		a := randMatrix(m, k, 1)
+		b := randMatrix(k, n, 2)
+		c1 := randMatrix(m, n, 3)
+		c2 := c1.Clone()
+		if err := Gemm(1.5, a, b, 0.5, c1); err != nil {
+			t.Fatal(err)
+		}
+		naiveGemm(1.5, a, b, 0.5, c2)
+		for i := range c1.Data {
+			if math.Abs(c1.Data[i]-c2.Data[i]) > 1e-9 {
+				t.Fatalf("shape %v: blocked gemm diverges at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestGemmShapeMismatch(t *testing.T) {
+	a := NewMatrix(2, 3)
+	b := NewMatrix(4, 5)
+	c := NewMatrix(2, 5)
+	if err := Gemm(1, a, b, 0, c); err == nil {
+		t.Error("shape mismatch accepted")
+	}
+}
+
+func TestGemmFlops(t *testing.T) {
+	if got := GemmFlops(10, 20, 30); got != 12000 {
+		t.Errorf("GemmFlops = %g, want 12000", got)
+	}
+}
+
+func TestGramSymmetricAndCorrect(t *testing.T) {
+	a := randMatrix(20, 8, 4)
+	g := Gram(a)
+	at := Transpose(a)
+	want := NewMatrix(8, 8)
+	naiveGemm(1, at, a, 0, want)
+	for i := 0; i < 8; i++ {
+		for j := 0; j < 8; j++ {
+			if math.Abs(g.At(i, j)-want.At(i, j)) > 1e-10 {
+				t.Fatalf("gram(%d,%d) = %g, want %g", i, j, g.At(i, j), want.At(i, j))
+			}
+			if g.At(i, j) != g.At(j, i) {
+				t.Fatalf("gram not symmetric at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+func TestCholeskyReconstructs(t *testing.T) {
+	// Build an SPD matrix A = MᵀM + n·I and verify L·Lᵀ = A.
+	const n = 12
+	m := randMatrix(n, n, 5)
+	a := Gram(m)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+n)
+	}
+	l := a.Clone()
+	if err := Cholesky(l); err != nil {
+		t.Fatal(err)
+	}
+	lt := Transpose(l)
+	recon := NewMatrix(n, n)
+	if err := Gemm(1, l, lt, 0, recon); err != nil {
+		t.Fatal(err)
+	}
+	for i := range recon.Data {
+		if math.Abs(recon.Data[i]-a.Data[i]) > 1e-8 {
+			t.Fatalf("L·Lᵀ diverges at %d: %g vs %g", i, recon.Data[i], a.Data[i])
+		}
+	}
+	// Upper triangle must be zeroed.
+	if l.At(0, n-1) != 0 {
+		t.Error("upper triangle not zeroed")
+	}
+}
+
+func TestCholeskyRejectsIndefinite(t *testing.T) {
+	a := NewMatrix(2, 2)
+	a.Set(0, 0, 1)
+	a.Set(1, 1, -1)
+	if err := Cholesky(a); err == nil {
+		t.Error("indefinite matrix factored")
+	}
+	if err := Cholesky(NewMatrix(2, 3)); err == nil {
+		t.Error("non-square matrix factored")
+	}
+}
+
+func TestTriSolveOrthonormalises(t *testing.T) {
+	// The PARATEC use: given band matrix Ψ (m×n), S = ΨᵀΨ, S = LLᵀ,
+	// Ψ' = Ψ·L⁻ᵀ must satisfy Ψ'ᵀΨ' = I.
+	const m, n = 40, 6
+	psi := randMatrix(m, n, 6)
+	s := Gram(psi)
+	l := s.Clone()
+	if err := Cholesky(l); err != nil {
+		t.Fatal(err)
+	}
+	if err := TriSolveLowerT(l, psi); err != nil {
+		t.Fatal(err)
+	}
+	id := Gram(psi)
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(id.At(i, j)-want) > 1e-8 {
+				t.Fatalf("orthonormalisation failed: G(%d,%d) = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+}
+
+func TestLevel1Kernels(t *testing.T) {
+	x := []float64{1, 2, 3}
+	y := []float64{4, 5, 6}
+	Axpy(2, x, y)
+	if y[0] != 6 || y[2] != 12 {
+		t.Errorf("axpy: %v", y)
+	}
+	if got := Dot(x, x); got != 14 {
+		t.Errorf("dot = %g, want 14", got)
+	}
+	if got := Nrm2([]float64{3, 4}); got != 5 {
+		t.Errorf("nrm2 = %g, want 5", got)
+	}
+	Scal(0.5, x)
+	if x[1] != 1 {
+		t.Errorf("scal: %v", x)
+	}
+}
+
+func TestDotSymmetryProperty(t *testing.T) {
+	f := func(a, b []float64) bool {
+		n := len(a)
+		if len(b) < n {
+			n = len(b)
+		}
+		a, b = a[:n], b[:n]
+		d1, d2 := Dot(a, b), Dot(b, a)
+		return d1 == d2 || (math.IsNaN(d1) && math.IsNaN(d2))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTransposeInvolution(t *testing.T) {
+	a := randMatrix(5, 9, 8)
+	b := Transpose(Transpose(a))
+	for i := range a.Data {
+		if a.Data[i] != b.Data[i] {
+			t.Fatal("transpose not an involution")
+		}
+	}
+}

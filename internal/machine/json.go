@@ -1,0 +1,110 @@
+package machine
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/vtime"
+)
+
+// specJSON is the on-disk form of a machine definition: user-facing units
+// (Gflop/s, GB/s, microseconds, nanoseconds) rather than the internal SI
+// values, so files read like Table 1.
+type specJSON struct {
+	Name         string  `json:"name"`
+	Site         string  `json:"site,omitempty"`
+	Arch         string  `json:"arch"`
+	Network      string  `json:"network"`
+	Topology     string  `json:"topology"` // fattree | 3dtorus | hypercube | crossbar
+	TotalProcs   int     `json:"total_procs"`
+	ProcsPerNode int     `json:"procs_per_node"`
+	ClockGHz     float64 `json:"clock_ghz"`
+	PeakGFs      float64 `json:"peak_gflops"`
+	StreamGBs    float64 `json:"stream_gbs"`
+	MPILatencyUs float64 `json:"mpi_latency_us"`
+	MPIBWGBs     float64 `json:"mpi_bandwidth_gbs"`
+	PerHopNs     float64 `json:"per_hop_ns,omitempty"`
+
+	MemLatencyNs float64 `json:"mem_latency_ns"`
+	MemMLP       float64 `json:"mem_mlp"`
+	IssueEff     float64 `json:"issue_eff"`
+	Vector       bool    `json:"vector,omitempty"`
+	ScalarGFs    float64 `json:"scalar_gflops,omitempty"`
+	VectorMLP    float64 `json:"vector_mlp,omitempty"`
+
+	MathLibmNs   float64 `json:"math_libm_ns"`
+	MathScalarNs float64 `json:"math_scalar_ns"`
+	MathVectorNs float64 `json:"math_vector_ns"`
+}
+
+// FromJSON reads one machine definition. The spec is validated before
+// being returned.
+func FromJSON(r io.Reader) (Spec, error) {
+	var j specJSON
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Spec{}, fmt.Errorf("machine: decoding spec: %w", err)
+	}
+	s := Spec{
+		Name: j.Name, Site: j.Site, Arch: j.Arch, Network: j.Network,
+		Topology:     TopoKind(j.Topology),
+		TotalProcs:   j.TotalProcs,
+		ProcsPerNode: j.ProcsPerNode,
+		ClockGHz:     j.ClockGHz,
+		PeakGFs:      j.PeakGFs,
+		StreamGBs:    j.StreamGBs,
+		MPILatency:   vtime.Micro(j.MPILatencyUs),
+		MPIBandwidth: j.MPIBWGBs * 1e9,
+		PerHopLat:    vtime.Nano(j.PerHopNs),
+		MemLatency:   vtime.Nano(j.MemLatencyNs),
+		MemMLP:       j.MemMLP,
+		IssueEff:     j.IssueEff,
+		Vector:       j.Vector,
+		ScalarGFs:    j.ScalarGFs,
+		VectorMLP:    j.VectorMLP,
+		Math: MathCosts{
+			Libm:   vtime.Nano(j.MathLibmNs),
+			Scalar: vtime.Nano(j.MathScalarNs),
+			Vector: vtime.Nano(j.MathVectorNs),
+		},
+	}
+	switch s.Topology {
+	case FatTree, Torus3D, Hypercube, Crossbar:
+	default:
+		return Spec{}, fmt.Errorf("machine: unknown topology %q", j.Topology)
+	}
+	if err := s.Validate(); err != nil {
+		return Spec{}, err
+	}
+	return s, nil
+}
+
+// ToJSON writes the spec in the on-disk form.
+func ToJSON(w io.Writer, s Spec) error {
+	j := specJSON{
+		Name: s.Name, Site: s.Site, Arch: s.Arch, Network: s.Network,
+		Topology:     string(s.Topology),
+		TotalProcs:   s.TotalProcs,
+		ProcsPerNode: s.ProcsPerNode,
+		ClockGHz:     s.ClockGHz,
+		PeakGFs:      s.PeakGFs,
+		StreamGBs:    s.StreamGBs,
+		MPILatencyUs: s.MPILatency * 1e6,
+		MPIBWGBs:     s.MPIBandwidth / 1e9,
+		PerHopNs:     s.PerHopLat * 1e9,
+		MemLatencyNs: s.MemLatency * 1e9,
+		MemMLP:       s.MemMLP,
+		IssueEff:     s.IssueEff,
+		Vector:       s.Vector,
+		ScalarGFs:    s.ScalarGFs,
+		VectorMLP:    s.VectorMLP,
+		MathLibmNs:   s.Math.Libm * 1e9,
+		MathScalarNs: s.Math.Scalar * 1e9,
+		MathVectorNs: s.Math.Vector * 1e9,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(j)
+}

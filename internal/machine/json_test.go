@@ -1,0 +1,74 @@
+package machine
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	for _, s := range append(All(), PhoenixX1) {
+		var buf bytes.Buffer
+		if err := ToJSON(&buf, s); err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		got, err := FromJSON(&buf)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name, err)
+		}
+		if got.Name != s.Name || got.TotalProcs != s.TotalProcs || got.Topology != s.Topology {
+			t.Errorf("%s: identity fields lost: %+v", s.Name, got)
+		}
+		if math.Abs(got.MPILatency-s.MPILatency) > 1e-12 {
+			t.Errorf("%s: latency %g != %g", s.Name, got.MPILatency, s.MPILatency)
+		}
+		if math.Abs(got.Math.Vector-s.Math.Vector) > 1e-15 {
+			t.Errorf("%s: math cost drifted", s.Name)
+		}
+		if got.Vector != s.Vector || got.ScalarGFs != s.ScalarGFs {
+			t.Errorf("%s: vector fields lost", s.Name)
+		}
+	}
+}
+
+func TestFromJSONValidates(t *testing.T) {
+	cases := map[string]string{
+		"bad topology": `{"name":"X","arch":"a","network":"n","topology":"ring",
+			"total_procs":4,"procs_per_node":2,"clock_ghz":1,"peak_gflops":1,
+			"stream_gbs":1,"mpi_latency_us":1,"mpi_bandwidth_gbs":1,
+			"mem_latency_ns":50,"mem_mlp":2,"issue_eff":1,
+			"math_libm_ns":10,"math_scalar_ns":5,"math_vector_ns":1}`,
+		"invalid spec": `{"name":"X","arch":"a","network":"n","topology":"fattree",
+			"total_procs":5,"procs_per_node":2,"clock_ghz":1,"peak_gflops":1,
+			"stream_gbs":1,"mpi_latency_us":1,"mpi_bandwidth_gbs":1,
+			"mem_latency_ns":50,"mem_mlp":2,"issue_eff":1,
+			"math_libm_ns":10,"math_scalar_ns":5,"math_vector_ns":1}`,
+		"unknown field": `{"name":"X","frequency":3}`,
+		"not json":      `peak: 7.6`,
+	}
+	for name, src := range cases {
+		if _, err := FromJSON(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestFromJSONUsableSpec(t *testing.T) {
+	src := `{
+		"name": "MiniTorus", "arch": "test", "network": "custom",
+		"topology": "3dtorus",
+		"total_procs": 128, "procs_per_node": 2,
+		"clock_ghz": 2.0, "peak_gflops": 8, "stream_gbs": 4,
+		"mpi_latency_us": 3, "mpi_bandwidth_gbs": 1, "per_hop_ns": 30,
+		"mem_latency_ns": 80, "mem_mlp": 4, "issue_eff": 1,
+		"math_libm_ns": 20, "math_scalar_ns": 9, "math_vector_ns": 2
+	}`
+	s, err := FromJSON(strings.NewReader(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeakGFs != 8 || math.Abs(s.PerHopLat-30e-9) > 1e-15 {
+		t.Errorf("fields mistranslated: peak %g, hop %g", s.PeakGFs, s.PerHopLat)
+	}
+}

@@ -1,0 +1,299 @@
+// Package netmodel computes virtual-time costs of communication on a
+// modelled platform: LogGP-style point-to-point transfers (latency +
+// per-hop cost + serialisation) and collective operations with topology-
+// aware bisection contention. It is the engine behind the scaling
+// behaviour in the reproduced figures: fat-tree versus torus differences,
+// the BG/L 512→1024 all-to-all dropoff, and the GTC mapping optimisation
+// all fall out of these formulas.
+package netmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/topology"
+	"repro/internal/vtime"
+)
+
+// Model is the communication cost model for one allocated partition of a
+// machine: p ranks mapped onto a topology built over ceil(p/ppn) nodes.
+type Model struct {
+	Spec machine.Spec
+	Topo topology.Topology
+	Map  topology.Mapping
+
+	procs int
+}
+
+// New builds a model for a partition of p processors of the given machine,
+// with the default block rank→node mapping.
+func New(spec machine.Spec, procs int) (*Model, error) {
+	return NewWithMapping(spec, procs, nil)
+}
+
+// NewWithMapping builds a model with an explicit rank→node mapping
+// (nil selects the default block mapping).
+func NewWithMapping(spec machine.Spec, procs int, mapping topology.Mapping) (*Model, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if procs < 1 {
+		return nil, fmt.Errorf("netmodel: nonpositive processor count %d", procs)
+	}
+	if procs > spec.TotalProcs {
+		return nil, fmt.Errorf("netmodel: %d procs exceed %s's %d", procs, spec.Name, spec.TotalProcs)
+	}
+	nodes := (procs + spec.ProcsPerNode - 1) / spec.ProcsPerNode
+	var topo topology.Topology
+	switch spec.Topology {
+	case machine.Torus3D:
+		topo = topology.NewTorus3D(nodes)
+	case machine.FatTree:
+		topo = topology.FatTree{N: nodes}
+	case machine.Hypercube:
+		topo = topology.Hypercube{N: nodes}
+	default:
+		topo = topology.Crossbar{N: nodes}
+	}
+	if mapping == nil {
+		mapping = topology.BlockMapping{ProcsPerNode: spec.ProcsPerNode}
+	}
+	return &Model{Spec: spec, Topo: topo, Map: mapping, procs: procs}, nil
+}
+
+// Procs returns the partition size the model was built for.
+func (m *Model) Procs() int { return m.procs }
+
+// nodeOf clamps a rank into the partition and maps it to its node.
+func (m *Model) nodeOf(rank int) int {
+	n := m.Map.Node(rank)
+	if max := m.Topo.Nodes(); n >= max {
+		n = n % max
+	}
+	return n
+}
+
+// Hops returns the network distance between the nodes hosting two ranks.
+func (m *Model) Hops(src, dst int) int {
+	return m.Topo.Hops(m.nodeOf(src), m.nodeOf(dst))
+}
+
+// sendOverhead is the CPU time a rank spends initiating a send. In BG/L
+// coprocessor mode the second core absorbs most of the messaging work.
+func (m *Model) sendOverhead() vtime.Seconds {
+	o := 0.25 * m.Spec.MPILatency
+	if m.Spec.IsBGL() && m.Spec.Mode == machine.Coprocessor {
+		o *= 0.4
+	}
+	return o
+}
+
+// recvOverhead is the CPU time a rank spends completing a receive.
+func (m *Model) recvOverhead() vtime.Seconds {
+	return m.sendOverhead()
+}
+
+// hopPenalty is the per-extra-hop bandwidth-contention factor: a message
+// crossing h links occupies h links' worth of network capacity, so under
+// concurrent traffic its effective bandwidth degrades with distance. On a
+// full-bisection fat-tree the effect is small; on a torus it is the
+// mechanism behind the paper's §3.1 processor-mapping optimisation (30%
+// from aligning GTC's ring with the BG/L torus).
+func (m *Model) hopPenalty() float64 {
+	switch m.Spec.Topology {
+	case machine.Torus3D:
+		return 0.8
+	case machine.Hypercube:
+		return 0.3
+	case machine.FatTree:
+		return 0.15
+	default:
+		return 0
+	}
+}
+
+// P2P returns the cost of a point-to-point message of b bytes from rank
+// src to rank dst: the sender-side occupancy (added to the sender's clock)
+// and the delivery delay (message arrival = departure + delay).
+func (m *Model) P2P(src, dst int, b float64) (occupancy, delay vtime.Seconds) {
+	if b < 0 {
+		b = 0
+	}
+	sn, dn := m.nodeOf(src), m.nodeOf(dst)
+	if sn == dn {
+		// Intra-node transfer: shared-memory copy at a fraction of the
+		// node's STREAM rate, with a reduced software latency.
+		lat := 0.4 * m.Spec.MPILatency
+		bw := math.Max(m.Spec.MPIBandwidth, 0.5*m.Spec.StreamGBs*1e9)
+		return m.sendOverhead(), lat + b/bw
+	}
+	hops := m.Topo.Hops(sn, dn)
+	lat := m.Spec.MPILatency + float64(hops)*m.Spec.PerHopLat
+	ser := b / m.Spec.MPIBandwidth
+	occ := m.sendOverhead() + ser
+	if m.Spec.IsBGL() && m.Spec.Mode == machine.Coprocessor {
+		// The communication core streams the payload; the compute core
+		// only pays the injection overhead.
+		occ = m.sendOverhead()
+	}
+	contended := ser * (1 + m.hopPenalty()*float64(maxInt(hops-1, 0)))
+	return occ, lat + contended
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// RecvOverhead exposes the receive-side CPU cost for the simulator.
+func (m *Model) RecvOverhead() vtime.Seconds { return m.recvOverhead() }
+
+func log2ceil(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	return math.Ceil(math.Log2(float64(p)))
+}
+
+// latStep is the per-step latency term of tree-structured collectives,
+// using the average hop distance of the allocated partition.
+func (m *Model) latStep() vtime.Seconds {
+	return m.Spec.MPILatency + m.Topo.AvgHops()*m.Spec.PerHopLat
+}
+
+// linkBW estimates the bandwidth of one topology link. The measured
+// per-processor MPI bandwidth already reflects node-level sharing, so a
+// node link sustains roughly ProcsPerNode concurrent streams.
+func (m *Model) linkBW() float64 {
+	return m.Spec.MPIBandwidth * float64(m.Spec.ProcsPerNode)
+}
+
+// bisectionBW returns the aggregate bandwidth across a minimal bisection
+// of the partition.
+func (m *Model) bisectionBW() float64 {
+	return float64(m.Topo.BisectionLinks()) * m.linkBW()
+}
+
+// Barrier returns the duration of a barrier over p ranks.
+func (m *Model) Barrier(p int) vtime.Seconds {
+	return 2 * log2ceil(p) * m.latStep()
+}
+
+// Bcast returns the duration of broadcasting b bytes to p ranks.
+func (m *Model) Bcast(p int, b float64) vtime.Seconds {
+	if p <= 1 {
+		return 0
+	}
+	lg := log2ceil(p)
+	binomial := lg * (m.latStep() + b/m.Spec.MPIBandwidth)
+	// Large messages: scatter + allgather (van de Geijn).
+	pipelined := 2*lg*m.latStep() + 2*b*float64(p-1)/float64(p)/m.Spec.MPIBandwidth
+	return math.Min(binomial, pipelined)
+}
+
+// Reduce returns the duration of reducing b bytes from p ranks to a root.
+func (m *Model) Reduce(p int, b float64) vtime.Seconds {
+	if p <= 1 {
+		return 0
+	}
+	arith := float64(p-1) / float64(p) * (b / 8) / m.reduceOpRate()
+	return m.Bcast(p, b) + arith // symmetric tree structure plus combining
+}
+
+// reduceOpRate is the element-combining rate of reduction collectives.
+// The MPI reduction loops are scalar code: on the X1E they crawl on the
+// scalar unit — the paper's §3.1 explanation for GTC's per-processor
+// decline as intra-domain allreduces grow.
+func (m *Model) reduceOpRate() float64 {
+	if m.Spec.Vector {
+		return m.Spec.ScalarGFs * 1e9 * 2 // partial vectorisation of the sum
+	}
+	return m.Spec.EffectivePeak() * 0.25
+}
+
+// Allreduce returns the duration of an allreduce of b bytes over p ranks.
+func (m *Model) Allreduce(p int, b float64) vtime.Seconds {
+	if p <= 1 {
+		return 0
+	}
+	lg := log2ceil(p)
+	binomial := 2 * lg * (m.latStep() + b/m.Spec.MPIBandwidth)
+	rabenseifner := 2*lg*m.latStep() + 2*b*float64(p-1)/float64(p)*2/m.Spec.MPIBandwidth
+	arith := 2 * float64(p-1) / float64(p) * (b / 8) / m.reduceOpRate()
+	return math.Min(binomial, rabenseifner) + arith
+}
+
+// Allgather returns the duration of an allgather where every rank
+// contributes b bytes (hierarchical ring: latency per node step,
+// bandwidth for the full volume).
+func (m *Model) Allgather(p int, b float64) vtime.Seconds {
+	if p <= 1 {
+		return 0
+	}
+	steps := float64(p - 1)
+	latSteps := m.nodesOf(p) - 1
+	if latSteps < 1 {
+		latSteps = 1
+	}
+	t := latSteps*m.Spec.MPILatency + steps*b/m.Spec.MPIBandwidth
+	// The aggregate volume also has to fit through the bisection.
+	total := float64(p) * b * float64(p-1) / float64(p) / 2
+	if bb := m.bisectionBW(); bb > 0 {
+		t = math.Max(t, total/bb)
+	}
+	return t
+}
+
+// Gather returns the duration of gathering b bytes per rank to a root.
+// The root's injection link is the bottleneck for large messages.
+func (m *Model) Gather(p int, b float64) vtime.Seconds {
+	if p <= 1 {
+		return 0
+	}
+	return log2ceil(p)*m.latStep() + float64(p-1)*b/m.Spec.MPIBandwidth
+}
+
+// nodesOf returns the node count of a p-rank communicator (hierarchical
+// collective algorithms pay network latencies per node, with intra-node
+// combining nearly free on SMP nodes such as Bassi's 8-way Power5).
+func (m *Model) nodesOf(p int) float64 {
+	n := (p + m.Spec.ProcsPerNode - 1) / m.Spec.ProcsPerNode
+	if n < 1 {
+		n = 1
+	}
+	return float64(n)
+}
+
+// Alltoall returns the duration of a complete exchange where every rank
+// sends b bytes to every other rank (pairwise-exchange algorithm), with
+// bisection contention. This is the cost that limits the FFT transposes
+// in PARATEC and BeamBeam3D.
+func (m *Model) Alltoall(p int, b float64) vtime.Seconds {
+	if p <= 1 {
+		return 0
+	}
+	steps := float64(p - 1)
+	latSteps := m.nodesOf(p) - 1
+	if latSteps < 1 {
+		latSteps = 1
+	}
+	injection := latSteps*m.Spec.MPILatency + steps*b/m.Spec.MPIBandwidth
+	// Traffic crossing the bisection each way: p/2 ranks each sending
+	// b bytes to p/2 ranks on the far side.
+	half := float64(p) / 2
+	crossing := half * half * b
+	t := injection
+	if bb := m.bisectionBW(); bb > 0 {
+		t = math.Max(t, crossing/bb+latSteps*0.1*m.Spec.MPILatency)
+	}
+	return t
+}
+
+// Describe summarises the model for reports.
+func (m *Model) Describe() string {
+	return fmt.Sprintf("%s: %d procs on %s, map=%s, bisection %.1f GB/s",
+		m.Spec.Name, m.procs, m.Topo.Name(), m.Map.Name(), m.bisectionBW()/1e9)
+}

@@ -1,0 +1,207 @@
+package netmodel
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/topology"
+)
+
+func mustModel(t *testing.T, spec machine.Spec, p int) *Model {
+	t.Helper()
+	m, err := New(spec, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestNewValidates(t *testing.T) {
+	if _, err := New(machine.Bassi, 0); err == nil {
+		t.Error("accepted zero procs")
+	}
+	if _, err := New(machine.Bassi, 100000); err == nil {
+		t.Error("accepted more procs than the machine has")
+	}
+	if _, err := New(machine.Spec{}, 4); err == nil {
+		t.Error("accepted invalid spec")
+	}
+}
+
+func TestP2PLatencyFloor(t *testing.T) {
+	// A zero-byte inter-node message costs at least the MPI latency.
+	for _, spec := range machine.All() {
+		m := mustModel(t, spec, 2*spec.ProcsPerNode)
+		_, delay := m.P2P(0, spec.ProcsPerNode, 0) // different nodes
+		if delay < spec.MPILatency {
+			t.Errorf("%s: inter-node delay %g below latency %g", spec.Name, delay, spec.MPILatency)
+		}
+	}
+}
+
+func TestP2PBandwidthDominatesLargeMessages(t *testing.T) {
+	// Fat-tree machine: hop contention is mild, so a large message's
+	// delay tracks the line rate.
+	m := mustModel(t, machine.Bassi, 16)
+	const b = 64 << 20
+	_, delay := m.P2P(0, 8, b) // different nodes
+	ideal := float64(b) / machine.Bassi.MPIBandwidth
+	if delay < ideal || delay > 1.5*ideal {
+		t.Errorf("64MB delay %g, want within [%g, %g]", delay, ideal, 1.5*ideal)
+	}
+}
+
+func TestP2PTorusPathContention(t *testing.T) {
+	// On a torus a distant large message is slower than a neighbouring
+	// one by the path-contention factor (the §3.1 mapping mechanism).
+	m := mustModel(t, machine.BGW, 1024)
+	const b = 8 << 20
+	near, far := -1, -1
+	best, worst := 1<<30, -1
+	for r := 2; r < 1024; r += 2 {
+		h := m.Hops(0, r)
+		if h < best {
+			best, near = h, r
+		}
+		if h > worst {
+			worst, far = h, r
+		}
+	}
+	_, dNear := m.P2P(0, near, b)
+	_, dFar := m.P2P(0, far, b)
+	if dFar < dNear*1.5 {
+		t.Errorf("no meaningful path contention: near %g (h=%d), far %g (h=%d)",
+			dNear, best, dFar, worst)
+	}
+}
+
+func TestP2PIntraNodeFaster(t *testing.T) {
+	// Bassi has 8 procs/node: ranks 0 and 1 share a node; 0 and 8 do not.
+	m := mustModel(t, machine.Bassi, 16)
+	_, intra := m.P2P(0, 1, 1<<20)
+	_, inter := m.P2P(0, 8, 1<<20)
+	if intra >= inter {
+		t.Errorf("intra-node (%g) not faster than inter-node (%g)", intra, inter)
+	}
+}
+
+func TestP2PHopsIncreaseDelayOnTorus(t *testing.T) {
+	m := mustModel(t, machine.Jaguar, 1024)
+	// Rank 0 and its farthest partner differ by the per-hop latency.
+	near, far := -1, -1
+	best, worst := 1<<30, -1
+	for r := 2; r < 1024; r += 2 { // distinct nodes
+		h := m.Hops(0, r)
+		if h < best {
+			best, near = h, r
+		}
+		if h > worst {
+			worst, far = h, r
+		}
+	}
+	_, dNear := m.P2P(0, near, 0)
+	_, dFar := m.P2P(0, far, 0)
+	if dFar <= dNear {
+		t.Errorf("far delay %g not greater than near delay %g (hops %d vs %d)", dFar, dNear, worst, best)
+	}
+}
+
+func TestBGLCoprocessorOffloadsSends(t *testing.T) {
+	co := mustModel(t, machine.BGL, 128)
+	vn, err := New(machine.BGL.WithMode(machine.VirtualNode), 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const b = 1 << 20
+	occCo, _ := co.P2P(0, 64, b)
+	occVn, _ := vn.P2P(0, 64, b)
+	if occCo >= occVn {
+		t.Errorf("coprocessor occupancy %g not below virtual-node %g", occCo, occVn)
+	}
+}
+
+func TestCollectivesGrowWithP(t *testing.T) {
+	m64 := mustModel(t, machine.Jaguar, 64)
+	m1024 := mustModel(t, machine.Jaguar, 1024)
+	const b = 8192
+	type fn struct {
+		name string
+		f    func(*Model) float64
+	}
+	for _, c := range []fn{
+		{"barrier", func(m *Model) float64 { return m.Barrier(m.Procs()) }},
+		{"bcast", func(m *Model) float64 { return m.Bcast(m.Procs(), b) }},
+		{"allreduce", func(m *Model) float64 { return m.Allreduce(m.Procs(), b) }},
+		{"allgather", func(m *Model) float64 { return m.Allgather(m.Procs(), b) }},
+		{"alltoall", func(m *Model) float64 { return m.Alltoall(m.Procs(), b) }},
+		{"gather", func(m *Model) float64 { return m.Gather(m.Procs(), b) }},
+	} {
+		small, big := c.f(m64), c.f(m1024)
+		if small <= 0 {
+			t.Errorf("%s: nonpositive cost %g at P=64", c.name, small)
+		}
+		if big <= small {
+			t.Errorf("%s: cost did not grow with P (%g at 64, %g at 1024)", c.name, small, big)
+		}
+	}
+}
+
+func TestCollectivesTrivialAtP1(t *testing.T) {
+	m := mustModel(t, machine.Bassi, 8)
+	if m.Bcast(1, 1e6) != 0 || m.Allreduce(1, 1e6) != 0 || m.Alltoall(1, 1e6) != 0 {
+		t.Error("single-rank collectives should be free")
+	}
+}
+
+func TestAlltoallBisectionContention(t *testing.T) {
+	// On a torus, all-to-all per-pair cost at fixed total volume must be
+	// super-linear in P once the bisection saturates; on a full-bisection
+	// fat-tree the injection term dominates instead. This is the
+	// mechanism behind PARATEC's BG/L 512→1024 efficiency drop.
+	bgl512 := mustModel(t, machine.BGW, 512)
+	bgl1024 := mustModel(t, machine.BGW, 1024)
+	// Fixed aggregate FFT volume V split P ways: per-pair bytes = V/P².
+	const v = 1 << 30
+	t512 := bgl512.Alltoall(512, v/float64(512*512))
+	t1024 := bgl1024.Alltoall(1024, v/float64(1024*1024))
+	// Ideal scaling would halve the time; contention must prevent that.
+	if t1024 < t512*0.55 {
+		t.Errorf("torus alltoall scaled too ideally: %g → %g", t512, t1024)
+	}
+}
+
+func TestDescribeMentionsMachineAndTopology(t *testing.T) {
+	m := mustModel(t, machine.Jaguar, 128)
+	d := m.Describe()
+	if d == "" {
+		t.Fatal("empty description")
+	}
+}
+
+func TestCustomMapping(t *testing.T) {
+	spec := machine.BGW
+	procs := 512
+	tor := topology.NewTorus3D(procs / spec.ProcsPerNode)
+	aligned, err := topology.AlignRingToTorus(tor, 16, procs/16, spec.ProcsPerNode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewWithMapping(spec, procs, aligned)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ring neighbours (d,p)→(d+1,p) should be closer under the aligned
+	// mapping than the average pair under block mapping.
+	mBlock := mustModel(t, spec, procs)
+	perDomain := procs / 16
+	sumAligned, sumBlock := 0, 0
+	for d := 0; d < 16; d++ {
+		r1 := d * perDomain
+		r2 := ((d + 1) % 16) * perDomain
+		sumAligned += m.Hops(r1, r2)
+		sumBlock += mBlock.Hops(r1, r2)
+	}
+	if sumAligned >= sumBlock {
+		t.Errorf("aligned mapping hops %d not below block mapping %d", sumAligned, sumBlock)
+	}
+}

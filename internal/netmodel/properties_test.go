@@ -1,0 +1,116 @@
+package netmodel
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+// Property tests: the cost models must be monotone in message size and
+// communicator size for every machine — a misordered cost function would
+// silently invert scaling conclusions.
+
+func TestP2PMonotoneInBytes(t *testing.T) {
+	for _, spec := range machine.All() {
+		m, err := New(spec, 2*spec.ProcsPerNode)
+		if err != nil {
+			t.Fatal(err)
+		}
+		f := func(b1, b2 uint32) bool {
+			lo, hi := float64(b1%1e6), float64(b2%1e6)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			_, d1 := m.P2P(0, spec.ProcsPerNode, lo)
+			_, d2 := m.P2P(0, spec.ProcsPerNode, hi)
+			return d1 <= d2
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", spec.Name, err)
+		}
+	}
+}
+
+func TestCollectivesMonotoneInBytes(t *testing.T) {
+	m, err := New(machine.Jaguar, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := map[string]func(int, float64) float64{
+		"bcast":     m.Bcast,
+		"reduce":    m.Reduce,
+		"allreduce": m.Allreduce,
+		"allgather": m.Allgather,
+		"alltoall":  m.Alltoall,
+		"gather":    m.Gather,
+	}
+	for name, op := range ops {
+		f := func(b1, b2 uint32) bool {
+			lo, hi := float64(b1%1e7), float64(b2%1e7)
+			if lo > hi {
+				lo, hi = hi, lo
+			}
+			return op(256, lo) <= op(256, hi)
+		}
+		if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+			t.Errorf("%s: %v", name, err)
+		}
+	}
+}
+
+func TestCollectivesNonNegative(t *testing.T) {
+	for _, spec := range machine.All() {
+		m, err := New(spec, spec.ProcsPerNode*4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, p := range []int{1, 2, 3, 4} {
+			for _, b := range []float64{0, 1, 1e3, 1e9} {
+				for name, v := range map[string]float64{
+					"barrier":   m.Barrier(p),
+					"bcast":     m.Bcast(p, b),
+					"allreduce": m.Allreduce(p, b),
+					"allgather": m.Allgather(p, b),
+					"alltoall":  m.Alltoall(p, b),
+				} {
+					if v < 0 {
+						t.Fatalf("%s %s(p=%d,b=%g) = %g < 0", spec.Name, name, p, b, v)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestHopPenaltyOrdering(t *testing.T) {
+	// Torus machines must penalise distance more than fat-tree machines:
+	// the premise of the mapping optimisation.
+	torus, err := New(machine.BGW, 2048)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tree, err := New(machine.Bassi, 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if torus.hopPenalty() <= tree.hopPenalty() {
+		t.Error("torus hop penalty not above fat-tree")
+	}
+}
+
+func TestReduceOpRateVectorPenalty(t *testing.T) {
+	// The X1E's reduction-combining rate must be far below the
+	// superscalar machines' (the §3.1 intra-domain allreduce story).
+	phx, err := New(machine.Phoenix, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jag, err := New(machine.Jaguar, 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if phx.reduceOpRate() >= jag.reduceOpRate() {
+		t.Error("X1E reduction rate not below Opteron's")
+	}
+}

@@ -1,0 +1,114 @@
+// Package perfmodel converts computational work into virtual time on a
+// modelled processor. The model is a mechanistic roofline extended with
+// the two effects the paper identifies as decisive:
+//
+//   - a random-access latency term (the gather/scatter of the PIC codes is
+//     "sensitive to memory access latency", §3.1), and
+//   - an Amdahl split between vector and scalar units on the X1E (the
+//     "large differential between vector and scalar performance", §5.1).
+//
+// Heavy transcendental calls (log/exp/sin/cos) are charged per call with
+// per-machine, per-library costs, reproducing the MASS/MASSV/ACML
+// optimisation studies of §3.1 and §4.1.
+package perfmodel
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/machine"
+	"repro/internal/vtime"
+)
+
+// Kernel characterises the instruction and memory mix of a computational
+// phase. All rates are per flop so the same descriptor scales with work.
+type Kernel struct {
+	Name string
+
+	// CPUFrac is the fraction of (issue-adjusted) peak the kernel's
+	// instruction mix can sustain when not memory bound: ~0.8 for DGEMM,
+	// ~0.1–0.2 for spill-heavy stencils, ~0.3–0.5 for typical loops.
+	CPUFrac float64
+
+	// BytesPerFlop is streaming main-memory traffic per flop.
+	BytesPerFlop float64
+
+	// RandomFrac is the number of latency-bound (cache-missing, random)
+	// memory accesses per flop.
+	RandomFrac float64
+
+	// VectorFrac is the fraction of the work that vectorises on a vector
+	// machine. Ignored on superscalar machines.
+	VectorFrac float64
+
+	// MathPerFlop is the number of heavy transcendental calls per flop.
+	MathPerFlop float64
+
+	// MathLib selects which math library the build uses.
+	MathLib machine.MathLib
+}
+
+// Validate checks that the kernel descriptor is usable.
+func (k Kernel) Validate() error {
+	switch {
+	case k.CPUFrac <= 0 || k.CPUFrac > 1:
+		return fmt.Errorf("perfmodel: kernel %s CPUFrac %g outside (0,1]", k.Name, k.CPUFrac)
+	case k.BytesPerFlop < 0 || k.RandomFrac < 0 || k.MathPerFlop < 0:
+		return fmt.Errorf("perfmodel: kernel %s has negative rates", k.Name)
+	case k.VectorFrac < 0 || k.VectorFrac > 1:
+		return fmt.Errorf("perfmodel: kernel %s VectorFrac %g outside [0,1]", k.Name, k.VectorFrac)
+	}
+	return nil
+}
+
+// WithMathLib returns a copy of the kernel built against the given math
+// library (the unit of the paper's library-optimisation ablations).
+func (k Kernel) WithMathLib(lib machine.MathLib) Kernel {
+	out := k
+	out.MathLib = lib
+	return out
+}
+
+// cpuRate returns the sustained flop/s of the kernel's arithmetic on m.
+func cpuRate(m machine.Spec, k Kernel) float64 {
+	if m.Vector {
+		// Amdahl split: vectorised work runs at CPUFrac of the vector
+		// peak; the remainder crawls on the scalar unit.
+		vec := m.PeakGFs * 1e9 * k.CPUFrac
+		scal := m.ScalarGFs * 1e9
+		return 1 / (k.VectorFrac/vec + (1-k.VectorFrac)/scal)
+	}
+	return m.EffectivePeak() * k.CPUFrac
+}
+
+// Time returns the virtual duration of executing the given number of flops
+// of kernel k on machine m.
+func Time(m machine.Spec, k Kernel, flops float64) vtime.Seconds {
+	if flops <= 0 {
+		return 0
+	}
+	tCPU := flops / cpuRate(m, k)
+	tStream := flops * k.BytesPerFlop / (m.StreamGBs * 1e9)
+	mlp := m.MemMLP
+	if m.Vector && m.VectorMLP > 0 {
+		// Hardware gather/scatter pipelines random accesses.
+		mlp = m.VectorMLP
+	}
+	tRandom := flops * k.RandomFrac * m.MemLatency / mlp
+	tMath := flops * k.MathPerFlop * m.Math.Cost(k.MathLib)
+	// Compute and streaming overlap (out-of-order / prefetch); latency
+	// stalls and library calls serialise with both.
+	return math.Max(tCPU, tStream) + tRandom + tMath
+}
+
+// Rate returns the sustained Gflop/s of kernel k on machine m.
+func Rate(m machine.Spec, k Kernel) float64 {
+	const probe = 1e9
+	return probe / Time(m, k, probe) / 1e9
+}
+
+// PercentOfPeak returns the sustained percentage of the machine's stated
+// peak (the paper's Figures 2b–7b metric).
+func PercentOfPeak(m machine.Spec, k Kernel) float64 {
+	return Rate(m, k) / m.PeakGFs * 100
+}

@@ -1,0 +1,513 @@
+package simmpi
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+
+	"repro/internal/vtime"
+)
+
+// Op selects the reduction operator of Reduce/Allreduce. Reductions are
+// applied in communicator-rank order, so results are bit-deterministic.
+type Op int
+
+// Reduction operators.
+const (
+	OpSum Op = iota
+	OpMax
+	OpMin
+)
+
+func (o Op) combine(dst, src []float64) {
+	switch o {
+	case OpSum:
+		for i := range dst {
+			dst[i] += src[i]
+		}
+	case OpMax:
+		for i := range dst {
+			if src[i] > dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	case OpMin:
+		for i := range dst {
+			if src[i] < dst[i] {
+				dst[i] = src[i]
+			}
+		}
+	}
+}
+
+// Comm is a communicator: an ordered group of world ranks with shared
+// rendezvous state for collectives. A single *Comm value is shared by all
+// of its members.
+type Comm struct {
+	w      *World
+	ranks  []int       // ranks[i] = world id of communicator rank i
+	pos    map[int]int // world id → communicator rank
+	shared *commShared
+}
+
+type commShared struct {
+	mu       sync.Mutex
+	cond     *sync.Cond
+	gen      uint64
+	arrived  int
+	maxClock vtime.Seconds
+	nomBytes float64
+	inputs   []any
+	outputs  []any
+	finish   vtime.Seconds
+}
+
+func newCommShared(w *World, n int) *commShared {
+	s := &commShared{
+		maxClock: math.Inf(-1),
+		inputs:   make([]any, n),
+		outputs:  make([]any, n),
+	}
+	s.cond = sync.NewCond(&s.mu)
+	w.commMu.Lock()
+	w.commList = append(w.commList, s)
+	w.commMu.Unlock()
+	return s
+}
+
+func newComm(w *World, ranks []int) *Comm {
+	pos := make(map[int]int, len(ranks))
+	for i, wr := range ranks {
+		pos[wr] = i
+	}
+	return &Comm{w: w, ranks: ranks, pos: pos, shared: newCommShared(w, len(ranks))}
+}
+
+func newWorldComm(w *World) *Comm {
+	ranks := make([]int, w.cfg.Procs)
+	for i := range ranks {
+		ranks[i] = i
+	}
+	return newComm(w, ranks)
+}
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.ranks) }
+
+// Rank returns r's rank within the communicator, or -1 if not a member.
+func (c *Comm) Rank(r *Rank) int {
+	if i, ok := c.pos[r.id]; ok {
+		return i
+	}
+	return -1
+}
+
+// WorldRank translates a communicator rank to a world rank.
+func (c *Comm) WorldRank(commRank int) int { return c.ranks[commRank] }
+
+// collect is the generation-numbered rendezvous at the heart of every
+// collective. The last arriver runs fin (under the lock) to fill outputs
+// and the finish time; everyone leaves with their output and their clock
+// advanced to the finish instant.
+func (c *Comm) collect(r *Rank, input any, nomBytes float64, fin func(s *commShared)) any {
+	r.checkAbort()
+	me := c.Rank(r)
+	if me < 0 {
+		panic(fmt.Sprintf("simmpi: rank %d is not a member of the communicator", r.id))
+	}
+	entry := r.clock.Now()
+	s := c.shared
+	s.mu.Lock()
+	g := s.gen
+	s.inputs[me] = input
+	if entry > s.maxClock {
+		s.maxClock = entry
+	}
+	if nomBytes > s.nomBytes {
+		s.nomBytes = nomBytes
+	}
+	s.arrived++
+	if s.arrived == len(c.ranks) {
+		fin(s)
+		s.arrived = 0
+		s.maxClock = math.Inf(-1)
+		s.nomBytes = 0
+		for i := range s.inputs {
+			s.inputs[i] = nil
+		}
+		s.gen++
+		s.cond.Broadcast()
+	} else {
+		for s.gen == g {
+			if err := r.w.aborted(); err != nil {
+				s.mu.Unlock()
+				panic(abortedPanic{err})
+			}
+			s.cond.Wait()
+		}
+	}
+	out := s.outputs[me]
+	finish := s.finish
+	s.mu.Unlock()
+
+	r.clock.AdvanceTo(finish)
+	r.commT += r.clock.Now() - entry
+	return out
+}
+
+func (c *Comm) record(kind string, b float64) {
+	if tc := c.w.cfg.Collector; tc != nil {
+		tc.RecordCollective(kind, len(c.ranks), b)
+		perPair := b
+		if kind != "alltoall" {
+			// Tree/ring collectives move ~b bytes per rank, spread over
+			// the membership.
+			perPair = b / float64(len(c.ranks))
+		}
+		if perPair <= 0 {
+			perPair = 8
+		}
+		tc.RecordCollectivePattern(c.ranks, perPair)
+	}
+}
+
+// Barrier synchronises all members of the communicator.
+func (r *Rank) Barrier(c *Comm) {
+	c.record("barrier", 0)
+	c.collect(r, nil, 0, func(s *commShared) {
+		s.finish = s.maxClock + r.w.net.Barrier(len(c.ranks))
+	})
+}
+
+// Bcast distributes root's data to every member and returns each member's
+// copy. root is a communicator rank.
+func (r *Rank) Bcast(c *Comm, root int, data []float64) []float64 {
+	return r.BcastNominal(c, root, data, -1)
+}
+
+// BcastNominal is Bcast charging an explicit nominal byte count
+// (nomBytes < 0 charges the actual payload size).
+func (r *Rank) BcastNominal(c *Comm, root int, data []float64, nomBytes float64) []float64 {
+	c.record("bcast", nomBytes)
+	var in []float64
+	if c.Rank(r) == root {
+		in = data
+	}
+	out := c.collect(r, in, nomBytes, func(s *commShared) {
+		src, _ := s.inputs[root].([]float64)
+		b := s.nomBytes
+		if b < 0 || s.nomBytes == 0 {
+			b = float64(len(src) * 8)
+		}
+		for i := range s.outputs {
+			s.outputs[i] = append([]float64(nil), src...)
+		}
+		s.finish = s.maxClock + r.w.net.Bcast(len(c.ranks), b)
+	})
+	res, _ := out.([]float64)
+	return res
+}
+
+// Allreduce combines data elementwise across all members with op and
+// returns the combined vector to every member.
+func (r *Rank) Allreduce(c *Comm, data []float64, op Op) []float64 {
+	return r.AllreduceNominal(c, data, op, -1)
+}
+
+// AllreduceNominal is Allreduce charging an explicit nominal byte count.
+func (r *Rank) AllreduceNominal(c *Comm, data []float64, op Op, nomBytes float64) []float64 {
+	c.record("allreduce", nomBytes)
+	out := c.collect(r, data, nomBytes, func(s *commShared) {
+		acc := reduceInputs(s.inputs, op)
+		b := s.nomBytes
+		if b <= 0 {
+			b = float64(len(acc) * 8)
+		}
+		for i := range s.outputs {
+			s.outputs[i] = append([]float64(nil), acc...)
+		}
+		s.finish = s.maxClock + r.w.net.Allreduce(len(c.ranks), b)
+	})
+	res, _ := out.([]float64)
+	return res
+}
+
+// AllreduceScalar reduces a single value across the communicator.
+func (r *Rank) AllreduceScalar(c *Comm, v float64, op Op) float64 {
+	res := r.Allreduce(c, []float64{v}, op)
+	return res[0]
+}
+
+// Reduce combines data to the root (communicator rank). Only the root
+// receives a non-nil result.
+func (r *Rank) Reduce(c *Comm, root int, data []float64, op Op) []float64 {
+	c.record("reduce", float64(len(data)*8))
+	out := c.collect(r, data, float64(len(data)*8), func(s *commShared) {
+		acc := reduceInputs(s.inputs, op)
+		for i := range s.outputs {
+			s.outputs[i] = nil
+		}
+		s.outputs[root] = acc
+		s.finish = s.maxClock + r.w.net.Reduce(len(c.ranks), s.nomBytes)
+	})
+	res, _ := out.([]float64)
+	return res
+}
+
+func reduceInputs(inputs []any, op Op) []float64 {
+	var acc []float64
+	for _, in := range inputs {
+		v, _ := in.([]float64)
+		if v == nil {
+			continue
+		}
+		if acc == nil {
+			acc = append([]float64(nil), v...)
+			continue
+		}
+		op.combine(acc, v)
+	}
+	return acc
+}
+
+// Allgather concatenates every member's contribution; element i of the
+// result is member i's (shared, read-only) contribution.
+func (r *Rank) Allgather(c *Comm, data []float64) [][]float64 {
+	return r.AllgatherNominal(c, data, -1)
+}
+
+// AllgatherNominal is Allgather charging an explicit per-rank nominal
+// byte count.
+func (r *Rank) AllgatherNominal(c *Comm, data []float64, nomBytes float64) [][]float64 {
+	c.record("allgather", nomBytes)
+	out := c.collect(r, append([]float64(nil), data...), nomBytes, func(s *commShared) {
+		all := make([][]float64, len(s.inputs))
+		for i, in := range s.inputs {
+			all[i], _ = in.([]float64)
+		}
+		b := s.nomBytes
+		if b <= 0 {
+			b = maxInputBytes(s.inputs)
+		}
+		for i := range s.outputs {
+			s.outputs[i] = all
+		}
+		s.finish = s.maxClock + r.w.net.Allgather(len(c.ranks), b)
+	})
+	res, _ := out.([][]float64)
+	return res
+}
+
+// Gather collects every member's contribution at the root; only the root
+// receives a non-nil result (read-only slices).
+func (r *Rank) Gather(c *Comm, root int, data []float64) [][]float64 {
+	c.record("gather", float64(len(data)*8))
+	out := c.collect(r, append([]float64(nil), data...), float64(len(data)*8), func(s *commShared) {
+		all := make([][]float64, len(s.inputs))
+		for i, in := range s.inputs {
+			all[i], _ = in.([]float64)
+		}
+		for i := range s.outputs {
+			s.outputs[i] = nil
+		}
+		s.outputs[root] = all
+		s.finish = s.maxClock + r.w.net.Gather(len(c.ranks), s.nomBytes)
+	})
+	res, _ := out.([][]float64)
+	return res
+}
+
+// Alltoall performs a complete exchange: parts[i] is sent to communicator
+// rank i, and the returned slice holds what each member sent to this rank.
+// The caller owns the returned inner slices exclusively.
+func (r *Rank) Alltoall(c *Comm, parts [][]float64) [][]float64 {
+	return r.AlltoallNominal(c, parts, -1)
+}
+
+// AlltoallNominal is Alltoall charging an explicit nominal byte count per
+// rank pair.
+func (r *Rank) AlltoallNominal(c *Comm, parts [][]float64, nomBytesPerPair float64) [][]float64 {
+	if len(parts) != len(c.ranks) {
+		panic(fmt.Sprintf("simmpi: alltoall with %d parts on a %d-rank communicator",
+			len(parts), len(c.ranks)))
+	}
+	c.record("alltoall", nomBytesPerPair)
+	// Snapshot inputs so senders may reuse their buffers.
+	snap := make([][]float64, len(parts))
+	for i, p := range parts {
+		snap[i] = append([]float64(nil), p...)
+	}
+	out := c.collect(r, snap, nomBytesPerPair, func(s *commShared) {
+		n := len(s.inputs)
+		b := s.nomBytes
+		if b <= 0 {
+			b = maxPartBytes(s.inputs)
+		}
+		for j := 0; j < n; j++ {
+			recvd := make([][]float64, n)
+			for i := 0; i < n; i++ {
+				if in, ok := s.inputs[i].([][]float64); ok {
+					recvd[i] = in[j]
+				}
+			}
+			s.outputs[j] = recvd
+		}
+		s.finish = s.maxClock + r.w.net.Alltoall(n, b)
+	})
+	res, _ := out.([][]float64)
+	return res
+}
+
+func maxInputBytes(inputs []any) float64 {
+	var b float64
+	for _, in := range inputs {
+		if v, ok := in.([]float64); ok {
+			if s := float64(len(v) * 8); s > b {
+				b = s
+			}
+		}
+	}
+	return b
+}
+
+func maxPartBytes(inputs []any) float64 {
+	var b float64
+	for _, in := range inputs {
+		if parts, ok := in.([][]float64); ok {
+			for _, p := range parts {
+				if s := float64(len(p) * 8); s > b {
+					b = s
+				}
+			}
+		}
+	}
+	return b
+}
+
+// Scatter distributes root's parts: member i receives parts[i]. Only the
+// root's parts argument is consulted.
+func (r *Rank) Scatter(c *Comm, root int, parts [][]float64) []float64 {
+	var in any
+	if c.Rank(r) == root {
+		snap := make([][]float64, len(parts))
+		for i, p := range parts {
+			snap[i] = append([]float64(nil), p...)
+		}
+		in = snap
+	}
+	c.record("scatter", 0)
+	out := c.collect(r, in, 0, func(s *commShared) {
+		rootParts, _ := s.inputs[root].([][]float64)
+		var b float64
+		for i := range s.outputs {
+			var part []float64
+			if i < len(rootParts) {
+				part = rootParts[i]
+			}
+			if v := float64(len(part) * 8); v > b {
+				b = v
+			}
+			s.outputs[i] = part
+		}
+		// A scatter is a gather run in reverse: same root bottleneck.
+		s.finish = s.maxClock + r.w.net.Gather(len(c.ranks), b)
+	})
+	res, _ := out.([]float64)
+	return res
+}
+
+// ReduceScatter combines data elementwise across members, then scatters
+// the result in equal contiguous chunks: member i receives chunk i. The
+// input length must be divisible by the communicator size.
+func (r *Rank) ReduceScatter(c *Comm, data []float64, op Op) []float64 {
+	if len(data)%len(c.ranks) != 0 {
+		panic(fmt.Sprintf("simmpi: reduce-scatter of %d elements over %d ranks", len(data), len(c.ranks)))
+	}
+	c.record("reducescatter", float64(len(data)*8))
+	out := c.collect(r, data, float64(len(data)*8), func(s *commShared) {
+		acc := reduceInputs(s.inputs, op)
+		n := len(c.ranks)
+		chunk := len(acc) / n
+		for i := 0; i < n; i++ {
+			s.outputs[i] = append([]float64(nil), acc[i*chunk:(i+1)*chunk]...)
+		}
+		// Rabenseifner's allreduce is reduce-scatter + allgather; charge
+		// the first half plus combining.
+		s.finish = s.maxClock + r.w.net.Allreduce(n, s.nomBytes)/2
+	})
+	res, _ := out.([]float64)
+	return res
+}
+
+// ChargeAlltoallN synchronises the communicator once and advances every
+// member's clock by n times the modelled cost of an all-to-all moving
+// bytesPerPair between every rank pair. It moves no payload: it exists
+// for phases whose data motion is charged at nominal scale only (e.g.
+// PARATEC's band-blocked FFT transposes), where performing n real
+// collectives would cost O(n·P²) host allocations for no numerical
+// content.
+func (r *Rank) ChargeAlltoallN(c *Comm, bytesPerPair float64, n int) {
+	if n <= 0 {
+		return
+	}
+	c.record("alltoall", bytesPerPair)
+	c.collect(r, nil, bytesPerPair, func(s *commShared) {
+		for i := range s.outputs {
+			s.outputs[i] = nil
+		}
+		s.finish = s.maxClock + float64(n)*r.w.net.Alltoall(len(c.ranks), bytesPerPair)
+	})
+}
+
+// Split partitions the communicator by color, ordering each new
+// communicator by (key, world rank), exactly like MPI_Comm_split. Members
+// passing a negative color receive nil.
+func (r *Rank) Split(c *Comm, color, key int) *Comm {
+	c.record("split", 0)
+	out := c.collect(r, [2]int{color, key}, 0, func(s *commShared) {
+		type member struct{ color, key, world, idx int }
+		var ms []member
+		for i, in := range s.inputs {
+			ck := in.([2]int)
+			ms = append(ms, member{color: ck[0], key: ck[1], world: c.ranks[i], idx: i})
+		}
+		sort.Slice(ms, func(a, b int) bool {
+			if ms[a].color != ms[b].color {
+				return ms[a].color < ms[b].color
+			}
+			if ms[a].key != ms[b].key {
+				return ms[a].key < ms[b].key
+			}
+			return ms[a].world < ms[b].world
+		})
+		children := make(map[int]*Comm)
+		start := 0
+		for start < len(ms) {
+			end := start
+			for end < len(ms) && ms[end].color == ms[start].color {
+				end++
+			}
+			if ms[start].color >= 0 {
+				worldRanks := make([]int, 0, end-start)
+				for _, m := range ms[start:end] {
+					worldRanks = append(worldRanks, m.world)
+				}
+				children[ms[start].color] = newComm(c.w, worldRanks)
+			}
+			start = end
+		}
+		for i := range s.outputs {
+			s.outputs[i] = nil
+		}
+		for _, m := range ms {
+			if m.color >= 0 {
+				s.outputs[m.idx] = children[m.color]
+			}
+		}
+		// A split costs roughly an allgather of the (color, key) pairs.
+		s.finish = s.maxClock + r.w.net.Allgather(len(c.ranks), 8)
+	})
+	res, _ := out.(*Comm)
+	return res
+}

@@ -1,0 +1,174 @@
+package simmpi
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/vtime"
+)
+
+// Rank is one simulated MPI process. All methods must be called from the
+// rank's own goroutine (the body function passed to Run).
+type Rank struct {
+	id    int
+	w     *World
+	world *Comm
+
+	clock   vtime.Clock
+	flops   float64
+	compT   vtime.Seconds
+	commT   vtime.Seconds
+	sent    float64 // nominal bytes sent point-to-point
+	nmsgs   int64
+	phases  map[string]vtime.Seconds
+	stopped bool
+}
+
+// ID returns the world rank number.
+func (r *Rank) ID() int { return r.id }
+
+// N returns the world size.
+func (r *Rank) N() int { return r.w.cfg.Procs }
+
+// Machine returns the platform spec of the run.
+func (r *Rank) Machine() machine.Spec { return r.w.cfg.Machine }
+
+// World returns the world communicator.
+func (r *Rank) World() *Comm { return r.world }
+
+// Now returns the rank's current virtual time.
+func (r *Rank) Now() vtime.Seconds { return r.clock.Now() }
+
+// checkAbort unwinds this rank if another rank has failed.
+func (r *Rank) checkAbort() {
+	if err := r.w.aborted(); err != nil {
+		panic(abortedPanic{err})
+	}
+}
+
+// Compute advances the rank's clock by the modelled duration of executing
+// the given number of (nominal) flops of kernel k, and credits the flops
+// to the rank. This is how applications charge their computational phases.
+func (r *Rank) Compute(k perfmodel.Kernel, flops float64) {
+	if flops <= 0 {
+		return
+	}
+	t := perfmodel.Time(r.w.cfg.Machine, k, flops)
+	r.clock.Advance(t)
+	r.compT += t
+	r.flops += flops
+}
+
+// Elapse advances the clock without crediting flops — used for modelled
+// overheads that perform no arithmetic (e.g. data movement phases).
+func (r *Rank) Elapse(d vtime.Seconds) {
+	r.clock.Advance(d)
+	r.compT += d
+}
+
+// AddPhase attributes a duration to a named phase for reporting.
+func (r *Rank) AddPhase(name string, d vtime.Seconds) {
+	r.phases[name] += d
+}
+
+// Send transmits data to rank dst with the given tag. The nominal charged
+// size is len(data)*8 bytes. Send never blocks: the sender pays only its
+// occupancy; delivery happens in virtual time.
+func (r *Rank) Send(dst, tag int, data []float64) {
+	r.SendNominal(dst, tag, data, float64(len(data)*8))
+}
+
+// SendNominal transmits data but charges the cost model nomBytes instead
+// of the actual payload size — the mechanism that lets scaled-down arrays
+// stand in for paper-scale problems.
+func (r *Rank) SendNominal(dst, tag int, data []float64, nomBytes float64) {
+	r.checkAbort()
+	if dst < 0 || dst >= r.N() {
+		panic(fmt.Sprintf("simmpi: rank %d sends to invalid rank %d", r.id, dst))
+	}
+	occ, delay := r.w.net.P2P(r.id, dst, nomBytes)
+	depart := r.clock.Now()
+	r.clock.Advance(occ)
+	r.commT += occ
+	r.sent += nomBytes
+	r.nmsgs++
+	if c := r.w.cfg.Collector; c != nil {
+		c.RecordP2P(r.id, dst, nomBytes)
+	}
+	msg := message{data: append([]float64(nil), data...), arrive: depart + delay}
+	mb := r.w.mail[dst]
+	mb.mu.Lock()
+	k := msgKey{src: r.id, tag: tag}
+	mb.q[k] = append(mb.q[k], msg)
+	mb.cond.Broadcast()
+	mb.mu.Unlock()
+}
+
+// Recv blocks (in virtual and host time) until a message with the given
+// source and tag arrives, then returns its payload. The rank's clock
+// advances to the message arrival time plus receive overhead.
+func (r *Rank) Recv(src, tag int) []float64 {
+	r.checkAbort()
+	if src < 0 || src >= r.N() {
+		panic(fmt.Sprintf("simmpi: rank %d receives from invalid rank %d", r.id, src))
+	}
+	mb := r.w.mail[r.id]
+	k := msgKey{src: src, tag: tag}
+	mb.mu.Lock()
+	for len(mb.q[k]) == 0 {
+		if err := r.w.aborted(); err != nil {
+			mb.mu.Unlock()
+			panic(abortedPanic{err})
+		}
+		mb.cond.Wait()
+	}
+	msg := mb.q[k][0]
+	rest := mb.q[k][1:]
+	if len(rest) == 0 {
+		delete(mb.q, k)
+	} else {
+		mb.q[k] = rest
+	}
+	mb.mu.Unlock()
+
+	before := r.clock.Now()
+	r.clock.AdvanceTo(msg.arrive)
+	r.clock.Advance(r.w.net.RecvOverhead())
+	r.commT += r.clock.Now() - before
+	return msg.data
+}
+
+// Sendrecv performs a simultaneous exchange: send to dst, receive from
+// src. Because sends never block, this is deadlock-free in any order.
+func (r *Rank) Sendrecv(dst, sendTag int, data []float64, src, recvTag int) []float64 {
+	r.SendNominal(dst, sendTag, data, float64(len(data)*8))
+	return r.Recv(src, recvTag)
+}
+
+// SendrecvNominal is Sendrecv with an explicit nominal size for both sides.
+func (r *Rank) SendrecvNominal(dst, sendTag int, data []float64, src, recvTag int, nomBytes float64) []float64 {
+	r.SendNominal(dst, sendTag, data, nomBytes)
+	return r.Recv(src, recvTag)
+}
+
+// Stats snapshots the rank's accounting (used by the report builder).
+type rankStats struct {
+	clock vtime.Seconds
+	flops float64
+	compT vtime.Seconds
+	commT vtime.Seconds
+	sent  float64
+	nmsgs int64
+}
+
+func (r *Rank) stats() rankStats {
+	return rankStats{
+		clock: r.clock.Now(),
+		flops: r.flops,
+		compT: r.compT,
+		commT: r.commT,
+		sent:  r.sent,
+		nmsgs: r.nmsgs,
+	}
+}

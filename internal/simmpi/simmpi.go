@@ -1,0 +1,162 @@
+// Package simmpi is a deterministic virtual-time MPI runtime: the
+// substrate that replaces the paper's production MPI installations.
+//
+// Each simulated rank runs as a goroutine with a private virtual clock.
+// Computation advances the clock through the processor performance model
+// (internal/perfmodel); messages carry virtual departure timestamps and
+// arrive after delays computed by the network model (internal/netmodel).
+// Because point-to-point matching is (source, tag, FIFO) with no
+// wildcards, and reductions are applied in rank order, a simulation's
+// virtual-time results are bit-reproducible regardless of how the host
+// schedules the goroutines.
+//
+// The runtime separates nominal from actual payloads: cost models charge
+// the nominal byte counts of the paper-scale problem, while the Go slices
+// actually exchanged can be scaled-down arrays that fit on a laptop.
+package simmpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/netmodel"
+	"repro/internal/topology"
+	"repro/internal/trace"
+	"repro/internal/vtime"
+)
+
+// Config describes one simulated run.
+type Config struct {
+	// Machine is the platform model to run on.
+	Machine machine.Spec
+	// Procs is the number of MPI ranks.
+	Procs int
+	// Mapping optionally overrides the default block rank→node mapping.
+	Mapping topology.Mapping
+	// Collector, if non-nil, records the communication matrix.
+	Collector *trace.Collector
+}
+
+// World holds the shared state of one simulated run.
+type World struct {
+	cfg  Config
+	net  *netmodel.Model
+	mail []*mailbox
+
+	commMu   sync.Mutex
+	commList []*commShared
+	abortMu  sync.Mutex
+	abortErr error
+}
+
+type msgKey struct {
+	src, tag int
+}
+
+type message struct {
+	data   []float64
+	arrive vtime.Seconds
+}
+
+type mailbox struct {
+	mu   sync.Mutex
+	cond *sync.Cond
+	q    map[msgKey][]message
+}
+
+func newMailbox() *mailbox {
+	mb := &mailbox{q: make(map[msgKey][]message)}
+	mb.cond = sync.NewCond(&mb.mu)
+	return mb
+}
+
+// errAborted is the sentinel panic value used to unwind ranks after a
+// failure elsewhere in the world.
+type abortedPanic struct{ err error }
+
+// abort records the first error and wakes every blocked rank so the run
+// can unwind instead of deadlocking.
+func (w *World) abort(err error) {
+	w.abortMu.Lock()
+	if w.abortErr == nil {
+		w.abortErr = err
+	}
+	w.abortMu.Unlock()
+	for _, mb := range w.mail {
+		mb.mu.Lock()
+		mb.cond.Broadcast()
+		mb.mu.Unlock()
+	}
+	w.commMu.Lock()
+	comms := append([]*commShared(nil), w.commList...)
+	w.commMu.Unlock()
+	for _, s := range comms {
+		s.mu.Lock()
+		s.cond.Broadcast()
+		s.mu.Unlock()
+	}
+}
+
+func (w *World) aborted() error {
+	w.abortMu.Lock()
+	defer w.abortMu.Unlock()
+	return w.abortErr
+}
+
+// Net exposes the network model (for reporting).
+func (w *World) Net() *netmodel.Model { return w.net }
+
+// Run executes body on every rank of a fresh world and aggregates the
+// results. It returns an error if the configuration is invalid or any
+// rank panics.
+func Run(cfg Config, body func(*Rank)) (*Report, error) {
+	if cfg.Procs < 1 {
+		return nil, fmt.Errorf("simmpi: nonpositive proc count %d", cfg.Procs)
+	}
+	net, err := netmodel.NewWithMapping(cfg.Machine, cfg.Procs, cfg.Mapping)
+	if err != nil {
+		return nil, err
+	}
+	w := &World{cfg: cfg, net: net}
+	w.mail = make([]*mailbox, cfg.Procs)
+	for i := range w.mail {
+		w.mail[i] = newMailbox()
+	}
+	world := newWorldComm(w)
+
+	ranks := make([]*Rank, cfg.Procs)
+	var wg sync.WaitGroup
+	wg.Add(cfg.Procs)
+	for i := 0; i < cfg.Procs; i++ {
+		r := &Rank{id: i, w: w, world: world, phases: make(map[string]vtime.Seconds)}
+		ranks[i] = r
+		go func() {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					if ap, ok := rec.(abortedPanic); ok {
+						_ = ap // secondary unwind; first error already recorded
+						return
+					}
+					w.abort(fmt.Errorf("simmpi: rank %d panicked: %v", r.id, rec))
+				}
+			}()
+			body(r)
+		}()
+	}
+	wg.Wait()
+	if err := w.aborted(); err != nil {
+		return nil, err
+	}
+	return buildReport(cfg, net, ranks), nil
+}
+
+// MustRun is Run but panics on error; convenient in examples and benches.
+func MustRun(cfg Config, body func(*Rank)) *Report {
+	rep, err := Run(cfg, body)
+	if err != nil {
+		panic(err)
+	}
+	return rep
+}

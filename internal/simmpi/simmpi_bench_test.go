@@ -1,0 +1,57 @@
+package simmpi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// BenchmarkP2PThroughput measures the host-side cost of the virtual-time
+// point-to-point path (the hot loop of every application).
+func BenchmarkP2PThroughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{Machine: machine.Jaguar, Procs: 2}, func(r *Rank) {
+			const msgs = 1000
+			payload := make([]float64, 16)
+			if r.ID() == 0 {
+				for m := 0; m < msgs; m++ {
+					r.Send(1, m, payload)
+				}
+			} else {
+				for m := 0; m < msgs; m++ {
+					r.Recv(0, m)
+				}
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAllreduce256 measures the collective rendezvous machinery.
+func BenchmarkAllreduce256(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{Machine: machine.BGW, Procs: 256}, func(r *Rank) {
+			buf := make([]float64, 64)
+			for it := 0; it < 4; it++ {
+				r.Allreduce(r.World(), buf, OpSum)
+			}
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWorldSpawn4096 measures rank startup/teardown at scale.
+func BenchmarkWorldSpawn4096(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, err := Run(Config{Machine: machine.BGW, Procs: 4096}, func(r *Rank) {
+			r.Elapse(1e-6)
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,251 @@
+package simmpi
+
+import (
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+	"repro/internal/trace"
+)
+
+func testCfg(p int) Config {
+	return Config{Machine: machine.Bassi, Procs: p}
+}
+
+func TestRunValidates(t *testing.T) {
+	if _, err := Run(Config{Machine: machine.Bassi, Procs: 0}, func(*Rank) {}); err == nil {
+		t.Error("accepted zero ranks")
+	}
+	if _, err := Run(Config{Machine: machine.Bassi, Procs: 10000}, func(*Rank) {}); err == nil {
+		t.Error("accepted oversubscription")
+	}
+}
+
+func TestComputeAdvancesClockAndCountsFlops(t *testing.T) {
+	k := perfmodel.Kernel{Name: "k", CPUFrac: 0.5}
+	rep, err := Run(testCfg(4), func(r *Rank) {
+		r.Compute(k, 1e9)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.TotalFlops != 4e9 {
+		t.Errorf("total flops %g, want 4e9", rep.TotalFlops)
+	}
+	if rep.Wall <= 0 {
+		t.Error("wall time not advanced")
+	}
+	want := 1e9 / (machine.Bassi.PeakGFs * 1e9 * 0.5)
+	if diff := rep.Wall - want; diff > 1e-12 || diff < -1e-12 {
+		t.Errorf("wall %g, want %g", rep.Wall, want)
+	}
+}
+
+func TestSendRecvDelivery(t *testing.T) {
+	// Ranks 0 and 8 are on different Bassi nodes (8 procs/node), so the
+	// full inter-node MPI latency applies.
+	rep, err := Run(testCfg(16), func(r *Rank) {
+		switch r.ID() {
+		case 0:
+			r.Send(8, 7, []float64{1, 2, 3})
+		case 8:
+			got := r.Recv(0, 7)
+			if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+				t.Errorf("rank 8 received %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != 1 {
+		t.Errorf("message count %d, want 1", rep.Messages)
+	}
+	if rep.Wall < machine.Bassi.MPILatency {
+		t.Errorf("wall %g below one network latency", rep.Wall)
+	}
+}
+
+func TestSendCopiesPayload(t *testing.T) {
+	_, err := Run(testCfg(2), func(r *Rank) {
+		if r.ID() == 0 {
+			buf := []float64{42}
+			r.Send(1, 0, buf)
+			buf[0] = -1 // sender reuses the buffer
+			r.Send(1, 1, buf)
+		} else {
+			if got := r.Recv(0, 0); got[0] != 42 {
+				t.Errorf("first message corrupted: %v", got)
+			}
+			if got := r.Recv(0, 1); got[0] != -1 {
+				t.Errorf("second message wrong: %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFIFOOrderingPerSourceTag(t *testing.T) {
+	_, err := Run(testCfg(2), func(r *Rank) {
+		const n = 50
+		if r.ID() == 0 {
+			for i := 0; i < n; i++ {
+				r.Send(1, 3, []float64{float64(i)})
+			}
+		} else {
+			for i := 0; i < n; i++ {
+				if got := r.Recv(0, 3); got[0] != float64(i) {
+					t.Fatalf("message %d out of order: got %v", i, got)
+				}
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTagsDoNotCross(t *testing.T) {
+	_, err := Run(testCfg(2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Send(1, 1, []float64{1})
+			r.Send(1, 2, []float64{2})
+		} else {
+			// Receive in reverse tag order.
+			if got := r.Recv(0, 2); got[0] != 2 {
+				t.Errorf("tag 2 delivered %v", got)
+			}
+			if got := r.Recv(0, 1); got[0] != 1 {
+				t.Errorf("tag 1 delivered %v", got)
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVirtualTimeCausality(t *testing.T) {
+	// A receiver that was "in the past" is pulled forward to the message
+	// arrival; a receiver already "in the future" keeps its clock.
+	k := perfmodel.Kernel{Name: "k", CPUFrac: 1.0}
+	_, err := Run(testCfg(2), func(r *Rank) {
+		if r.ID() == 0 {
+			r.Compute(k, 7.6e9) // ~1 virtual second
+			r.Send(1, 0, []float64{1})
+		} else {
+			r.Recv(0, 0)
+			if r.Now() < 1.0 {
+				t.Errorf("receiver clock %g did not advance past sender's send time", r.Now())
+			}
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSendrecvRing(t *testing.T) {
+	const p = 8
+	rep, err := Run(testCfg(p), func(r *Rank) {
+		right := (r.ID() + 1) % p
+		left := (r.ID() + p - 1) % p
+		got := r.Sendrecv(right, 0, []float64{float64(r.ID())}, left, 0)
+		if got[0] != float64(left) {
+			t.Errorf("rank %d got %v from left, want %d", r.ID(), got, left)
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Messages != p {
+		t.Errorf("messages %d, want %d", rep.Messages, p)
+	}
+}
+
+func TestNominalBytesChargedNotActual(t *testing.T) {
+	// Two runs exchanging the same tiny slice, one charging 8 bytes and
+	// one charging 8 MB: the nominal run must take much longer.
+	run := func(nom float64) float64 {
+		rep, err := Run(testCfg(2), func(r *Rank) {
+			if r.ID() == 0 {
+				r.SendNominal(1, 0, []float64{1}, nom)
+			} else {
+				r.Recv(0, 0)
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Wall
+	}
+	small, big := run(8), run(8<<20)
+	if big < small*10 {
+		t.Errorf("nominal charging ineffective: %g vs %g", small, big)
+	}
+}
+
+func TestDeterminismAcrossRuns(t *testing.T) {
+	// The same program must produce bit-identical virtual results no
+	// matter how the host schedules goroutines.
+	prog := func(r *Rank) {
+		k := perfmodel.Kernel{Name: "k", CPUFrac: 0.3, BytesPerFlop: 0.5}
+		w := r.World()
+		r.Compute(k, float64(1000*(r.ID()+1)))
+		r.Allreduce(w, []float64{float64(r.ID()) * 0.1}, OpSum)
+		next := (r.ID() + 1) % r.N()
+		prev := (r.ID() + r.N() - 1) % r.N()
+		r.Sendrecv(next, 0, []float64{float64(r.ID())}, prev, 0)
+		r.Barrier(w)
+	}
+	var walls []float64
+	for i := 0; i < 3; i++ {
+		rep, err := Run(testCfg(16), prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		walls = append(walls, rep.Wall)
+	}
+	if walls[0] != walls[1] || walls[1] != walls[2] {
+		t.Errorf("nondeterministic walls: %v", walls)
+	}
+}
+
+func TestPanicInRankAbortsRun(t *testing.T) {
+	_, err := Run(testCfg(4), func(r *Rank) {
+		if r.ID() == 2 {
+			panic("boom")
+		}
+		// Other ranks block forever without the abort mechanism.
+		r.Recv(3, 99)
+	})
+	if err == nil {
+		t.Fatal("rank panic not reported")
+	}
+}
+
+func TestTraceCollectorRecordsMatrix(t *testing.T) {
+	tc := trace.NewCollector(4)
+	cfg := testCfg(4)
+	cfg.Collector = tc
+	_, err := Run(cfg, func(r *Rank) {
+		next := (r.ID() + 1) % 4
+		r.Send(next, 0, make([]float64, 128))
+		r.Recv((r.ID()+3)%4, 0)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := tc.Matrix()
+	if m == nil {
+		t.Fatal("no matrix recorded")
+	}
+	if m[0][1] != 1024 {
+		t.Errorf("matrix[0][1] = %g, want 1024 bytes", m[0][1])
+	}
+	if m[0][2] != 0 {
+		t.Errorf("matrix[0][2] = %g, want 0", m[0][2])
+	}
+}

@@ -1,0 +1,91 @@
+// Package stream implements the EP-STREAM triad microbenchmark of the HPC
+// Challenge suite, which Table 1 uses to characterise per-processor memory
+// bandwidth "when all processors within a node simultaneously compete for
+// main memory".
+//
+// The benchmark really executes the triad a[i] = b[i] + q*c[i] in Go (so
+// the kernel is genuine), then reports the *modelled* bandwidth of the
+// target machine, which by construction of the machine spec reproduces the
+// Table 1 column.
+package stream
+
+import (
+	"fmt"
+
+	"repro/internal/machine"
+	"repro/internal/perfmodel"
+)
+
+// TriadKernel is the perfmodel descriptor of the STREAM triad: one
+// multiply-add per element, 24 bytes of traffic (two loads, one store),
+// perfectly vectorisable, fully bandwidth bound.
+var TriadKernel = perfmodel.Kernel{
+	Name:         "stream-triad",
+	CPUFrac:      1.0,
+	BytesPerFlop: 12, // 24 bytes / 2 flops
+	VectorFrac:   1.0,
+}
+
+// Triad executes the triad over the given vectors, in place into a.
+// It returns the flop count performed (2 per element).
+func Triad(a, b, c []float64, q float64) float64 {
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	if len(c) < n {
+		n = len(c)
+	}
+	for i := 0; i < n; i++ {
+		a[i] = b[i] + q*c[i]
+	}
+	return float64(2 * n)
+}
+
+// Result holds one machine's modelled EP-STREAM triad measurement.
+type Result struct {
+	Machine string
+	// GBsPerProc is the modelled triad bandwidth per processor with all
+	// processors in a node active.
+	GBsPerProc float64
+	// BytesPerFlopRatio is GBsPerProc divided by peak Gflop/s (Table 1's
+	// "Stream BW B/F" column).
+	BytesPerFlopRatio float64
+}
+
+// Measure runs the triad kernel through the performance model for machine
+// m using n elements per processor and returns the modelled bandwidth.
+func Measure(m machine.Spec, n int) Result {
+	flops := float64(2 * n)
+	t := perfmodel.Time(m, TriadKernel, flops)
+	bytes := float64(24 * n)
+	gbs := bytes / t / 1e9
+	return Result{
+		Machine:           m.Name,
+		GBsPerProc:        gbs,
+		BytesPerFlopRatio: gbs / m.PeakGFs,
+	}
+}
+
+// Verify runs the actual Go triad on small vectors and checks the result,
+// guarding against the executed kernel and the modelled kernel drifting
+// apart.
+func Verify(n int) error {
+	a := make([]float64, n)
+	b := make([]float64, n)
+	c := make([]float64, n)
+	for i := range b {
+		b[i] = float64(i)
+		c[i] = 2
+	}
+	const q = 3
+	if got := Triad(a, b, c, q); got != float64(2*n) {
+		return fmt.Errorf("stream: flop count %g, want %d", got, 2*n)
+	}
+	for i := range a {
+		if want := float64(i) + q*2; a[i] != want {
+			return fmt.Errorf("stream: a[%d] = %g, want %g", i, a[i], want)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,75 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/machine"
+)
+
+func TestTriadComputesCorrectly(t *testing.T) {
+	if err := Verify(1000); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTriadHandlesMismatchedLengths(t *testing.T) {
+	a := make([]float64, 4)
+	b := []float64{1, 2}
+	c := []float64{10, 10, 10}
+	if got := Triad(a, b, c, 1); got != 4 { // 2 flops × min length 2
+		t.Errorf("flops = %g, want 4", got)
+	}
+	if a[0] != 11 || a[1] != 12 || a[2] != 0 {
+		t.Errorf("a = %v", a)
+	}
+}
+
+func TestTriadProperty(t *testing.T) {
+	// Property: triad with q=0 copies b into a.
+	f := func(vals []float64) bool {
+		a := make([]float64, len(vals))
+		c := make([]float64, len(vals))
+		Triad(a, vals, c, 0)
+		for i := range vals {
+			if a[i] != vals[i] && !(math.IsNaN(a[i]) && math.IsNaN(vals[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestMeasureReproducesTable1 checks that the modelled EP-STREAM triad
+// bandwidth matches the published Table 1 column for every machine. This
+// is the Table 1 "Stream BW" reproduction.
+func TestMeasureReproducesTable1(t *testing.T) {
+	want := map[string]float64{
+		"Bassi": 6.8, "Jaguar": 2.5, "Jacquard": 2.3,
+		"BG/L": 0.9, "BGW": 0.9, "Phoenix": 9.7,
+	}
+	for _, m := range machine.All() {
+		res := Measure(m, 1<<20)
+		if w := want[m.Name]; math.Abs(res.GBsPerProc-w)/w > 0.05 {
+			t.Errorf("%s: modelled stream %.2f GB/s, Table 1 says %.1f", m.Name, res.GBsPerProc, w)
+		}
+	}
+}
+
+// TestBytesPerFlopColumn reproduces Table 1's B/F ratios.
+func TestBytesPerFlopColumn(t *testing.T) {
+	want := map[string]float64{
+		"Bassi": 0.85, "Jaguar": 0.48, "Jacquard": 0.51,
+		"BG/L": 0.31, "BGW": 0.31, "Phoenix": 0.54,
+	}
+	for _, m := range machine.All() {
+		res := Measure(m, 1<<18)
+		if w := want[m.Name]; math.Abs(res.BytesPerFlopRatio-w) > 0.06 {
+			t.Errorf("%s: B/F %.3f, Table 1 says %.2f", m.Name, res.BytesPerFlopRatio, w)
+		}
+	}
+}

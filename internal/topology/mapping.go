@@ -1,0 +1,120 @@
+package topology
+
+import "fmt"
+
+// Mapping assigns MPI ranks to nodes. The paper's §3.1 shows that an
+// explicit mapping file aligning GTC's toroidal domains with one dimension
+// of the BG/L torus improves performance ~30% over the default mapping.
+type Mapping interface {
+	// Node returns the node index hosting the given rank.
+	Node(rank int) int
+	// Name identifies the mapping for reports.
+	Name() string
+}
+
+// BlockMapping is the default scheduler placement: rank r lives on node
+// r / ProcsPerNode (consecutive ranks share a node).
+type BlockMapping struct {
+	ProcsPerNode int
+}
+
+// Node implements Mapping.
+func (m BlockMapping) Node(rank int) int {
+	ppn := m.ProcsPerNode
+	if ppn < 1 {
+		ppn = 1
+	}
+	return rank / ppn
+}
+
+// Name implements Mapping.
+func (m BlockMapping) Name() string { return "block" }
+
+// RoundRobinMapping spreads consecutive ranks across nodes (cyclic
+// placement), the usual alternative scheduler policy.
+type RoundRobinMapping struct {
+	Nodes        int
+	ProcsPerNode int
+}
+
+// Node implements Mapping.
+func (m RoundRobinMapping) Node(rank int) int {
+	if m.Nodes < 1 {
+		return 0
+	}
+	return rank % m.Nodes
+}
+
+// Name implements Mapping.
+func (m RoundRobinMapping) Name() string { return "roundrobin" }
+
+// TableMapping is an explicit mapping file: rank r lives on Table[r].
+// This is the mechanism behind the paper's GTC/BG/L mapping optimisation.
+type TableMapping struct {
+	Label string
+	Table []int
+}
+
+// Node implements Mapping.
+func (m TableMapping) Node(rank int) int {
+	if rank < 0 || rank >= len(m.Table) {
+		return 0
+	}
+	return m.Table[rank]
+}
+
+// Name implements Mapping.
+func (m TableMapping) Name() string {
+	if m.Label != "" {
+		return m.Label
+	}
+	return "table"
+}
+
+// AlignRingToTorus constructs the GTC-style mapping: ranks are organised as
+// ndomains toroidal domains × procsPerDomain particle ranks, and the
+// mapping places each toroidal domain along the torus Z dimension so the
+// dominant ring communication (domain d → d+1) moves exactly one hop.
+// Ranks within a domain fill X-Y planes of the torus. procsPerNode ranks
+// share each node.
+//
+// It returns an error when the shape cannot be aligned (the paper notes the
+// optimisation applies because "the number of toroidal domains used in the
+// GTC simulations exactly match one of the dimensions of the BG/L network
+// torus").
+func AlignRingToTorus(t Torus3D, ndomains, procsPerDomain, procsPerNode int) (TableMapping, error) {
+	if procsPerNode < 1 {
+		procsPerNode = 1
+	}
+	nranks := ndomains * procsPerDomain
+	nodesNeeded := (nranks + procsPerNode - 1) / procsPerNode
+	if nodesNeeded > t.Nodes() {
+		return TableMapping{}, fmt.Errorf("topology: %d ranks need %d nodes, torus has %d",
+			nranks, nodesNeeded, t.Nodes())
+	}
+	if ndomains%t.Z != 0 && t.Z%ndomains != 0 {
+		return TableMapping{}, fmt.Errorf("topology: %d domains do not align with torus Z=%d",
+			ndomains, t.Z)
+	}
+	nodesPerDomain := (procsPerDomain + procsPerNode - 1) / procsPerNode
+	planeSize := t.X * t.Y
+	if nodesPerDomain > planeSize*((t.Z+ndomains-1)/ndomains) {
+		return TableMapping{}, fmt.Errorf("topology: domain of %d nodes exceeds plane capacity %d",
+			nodesPerDomain, planeSize)
+	}
+	table := make([]int, nranks)
+	for d := 0; d < ndomains; d++ {
+		// Domain d occupies consecutive Z planes starting at its slot.
+		zBase := d * t.Z / ndomains
+		for p := 0; p < procsPerDomain; p++ {
+			rank := d*procsPerDomain + p
+			nodeInDomain := p / procsPerNode
+			z := zBase + nodeInDomain/planeSize
+			rem := nodeInDomain % planeSize
+			x := rem % t.X
+			y := rem / t.X
+			table[rank] = t.Index(x, y, z%t.Z)
+		}
+	}
+	return TableMapping{Label: "ring-aligned", Table: table}, nil
+}

@@ -1,0 +1,310 @@
+// Package topology models the interconnect topologies of the evaluated
+// platforms: full-bisection fat-trees (Federation, InfiniBand), 3D tori
+// (XT3, BG/L), the X1E's modified hypercube, and an idealised crossbar for
+// tests. It provides hop counts between nodes, bisection link counts for
+// contention modelling, and rank→node mappings (including the explicit
+// mapping-file optimisation the paper applies to GTC on BG/L).
+package topology
+
+import (
+	"fmt"
+	"math"
+)
+
+// Topology exposes the structural properties the network cost model needs.
+type Topology interface {
+	// Name identifies the topology instance for reports.
+	Name() string
+	// Nodes returns the number of nodes in the allocated partition.
+	Nodes() int
+	// Hops returns the number of network links traversed between two
+	// nodes. Hops(a, a) is 0.
+	Hops(a, b int) int
+	// Diameter returns the maximum hop count between any node pair.
+	Diameter() int
+	// AvgHops returns the expected hop count between two distinct
+	// uniformly random nodes.
+	AvgHops() float64
+	// BisectionLinks returns the number of links crossing a minimal
+	// bisection of the partition (counting both directions of
+	// bidirectional links once each way, i.e. unidirectional links).
+	BisectionLinks() int
+}
+
+// Crossbar is an idealised fully connected network: one hop everywhere,
+// full bisection. Used for unit tests and as the limit case.
+type Crossbar struct{ N int }
+
+// Name implements Topology.
+func (c Crossbar) Name() string { return fmt.Sprintf("crossbar(%d)", c.N) }
+
+// Nodes implements Topology.
+func (c Crossbar) Nodes() int { return c.N }
+
+// Hops implements Topology.
+func (c Crossbar) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	return 1
+}
+
+// Diameter implements Topology.
+func (c Crossbar) Diameter() int {
+	if c.N <= 1 {
+		return 0
+	}
+	return 1
+}
+
+// AvgHops implements Topology.
+func (c Crossbar) AvgHops() float64 {
+	if c.N <= 1 {
+		return 0
+	}
+	return 1
+}
+
+// BisectionLinks implements Topology.
+func (c Crossbar) BisectionLinks() int {
+	half := c.N / 2
+	return half * (c.N - half)
+}
+
+// FatTree models a full-bisection multistage network such as IBM's HPS
+// Federation or a non-blocking InfiniBand fabric. Nodes within one leaf
+// switch are 1 hop apart; across leaves the message climbs to a spine and
+// back (3 hops in a two-level tree). Bisection is full: N/2 links.
+type FatTree struct {
+	N         int
+	LeafPorts int // nodes per leaf switch; 0 means a default of 16
+}
+
+func (f FatTree) leaf() int {
+	if f.LeafPorts <= 0 {
+		return 16
+	}
+	return f.LeafPorts
+}
+
+// Name implements Topology.
+func (f FatTree) Name() string { return fmt.Sprintf("fattree(%d)", f.N) }
+
+// Nodes implements Topology.
+func (f FatTree) Nodes() int { return f.N }
+
+// Hops implements Topology.
+func (f FatTree) Hops(a, b int) int {
+	if a == b {
+		return 0
+	}
+	if a/f.leaf() == b/f.leaf() {
+		return 1
+	}
+	return 3
+}
+
+// Diameter implements Topology.
+func (f FatTree) Diameter() int {
+	if f.N <= 1 {
+		return 0
+	}
+	if f.N <= f.leaf() {
+		return 1
+	}
+	return 3
+}
+
+// AvgHops implements Topology.
+func (f FatTree) AvgHops() float64 {
+	if f.N <= 1 {
+		return 0
+	}
+	sameLeaf := float64(f.leaf()-1) / float64(f.N-1)
+	if f.N <= f.leaf() {
+		sameLeaf = 1
+	}
+	return sameLeaf*1 + (1-sameLeaf)*3
+}
+
+// BisectionLinks implements Topology.
+func (f FatTree) BisectionLinks() int {
+	half := f.N / 2
+	if half == 0 {
+		half = 1
+	}
+	return half
+}
+
+// Torus3D models an X×Y×Z 3D torus with wraparound links, as in the Cray
+// XT3 SeaStar network and the BG/L torus.
+type Torus3D struct {
+	X, Y, Z int
+}
+
+// NewTorus3D builds a near-cubic torus holding at least n nodes, the way a
+// scheduler would allocate a compact partition. The factorisation prefers
+// balanced dimensions (powers of two stay powers of two, matching BG/L
+// partition shapes).
+func NewTorus3D(n int) Torus3D {
+	if n < 1 {
+		n = 1
+	}
+	best := Torus3D{1, 1, n}
+	bestScore := math.Inf(1)
+	for x := 1; x*x*x <= n; x++ {
+		if n%x != 0 {
+			continue
+		}
+		m := n / x
+		for y := x; y*y <= m; y++ {
+			if m%y != 0 {
+				continue
+			}
+			z := m / y
+			// Prefer balanced shapes: minimise surface-to-volume.
+			score := float64(x*y+y*z+x*z) / float64(n)
+			if score < bestScore {
+				bestScore = score
+				best = Torus3D{x, y, z}
+			}
+		}
+	}
+	return best
+}
+
+// Name implements Topology.
+func (t Torus3D) Name() string { return fmt.Sprintf("torus(%dx%dx%d)", t.X, t.Y, t.Z) }
+
+// Nodes implements Topology.
+func (t Torus3D) Nodes() int { return t.X * t.Y * t.Z }
+
+// Coords converts a node index to torus coordinates (x fastest).
+func (t Torus3D) Coords(n int) (x, y, z int) {
+	x = n % t.X
+	y = (n / t.X) % t.Y
+	z = n / (t.X * t.Y)
+	return
+}
+
+// Index converts torus coordinates to a node index.
+func (t Torus3D) Index(x, y, z int) int {
+	return x + t.X*(y+t.Y*z)
+}
+
+func ringDist(a, b, n int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if w := n - d; w < d {
+		d = w
+	}
+	return d
+}
+
+// Hops implements Topology: minimal dimension-ordered routing distance.
+func (t Torus3D) Hops(a, b int) int {
+	ax, ay, az := t.Coords(a)
+	bx, by, bz := t.Coords(b)
+	return ringDist(ax, bx, t.X) + ringDist(ay, by, t.Y) + ringDist(az, bz, t.Z)
+}
+
+// Diameter implements Topology.
+func (t Torus3D) Diameter() int { return t.X/2 + t.Y/2 + t.Z/2 }
+
+func ringAvg(n int) float64 {
+	if n <= 1 {
+		return 0
+	}
+	// Average wraparound distance from a fixed node to a uniformly random
+	// node (including itself) is (sum of ring distances)/n; we use the
+	// exact sum for small n.
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += ringDist(0, i, n)
+	}
+	return float64(sum) / float64(n)
+}
+
+// AvgHops implements Topology.
+func (t Torus3D) AvgHops() float64 {
+	return ringAvg(t.X) + ringAvg(t.Y) + ringAvg(t.Z)
+}
+
+// BisectionLinks implements Topology: a minimal bisection cuts the torus
+// across its longest dimension, crossing 2 links (wraparound) per node pair
+// in the cut plane.
+func (t Torus3D) BisectionLinks() int {
+	// Cutting dimension d with size s>1 yields 2 * (product of the other
+	// two dims) links. The minimal cut is across the largest dimension.
+	type cut struct{ size, plane int }
+	cuts := []cut{
+		{t.X, t.Y * t.Z},
+		{t.Y, t.X * t.Z},
+		{t.Z, t.X * t.Y},
+	}
+	best := 0
+	for _, c := range cuts {
+		if c.size <= 1 {
+			continue
+		}
+		links := 2 * c.plane
+		if c.size == 2 {
+			links = c.plane // with size 2 the "wraparound" is the same link
+		}
+		if best == 0 || links < best {
+			best = links
+		}
+	}
+	if best == 0 {
+		best = 1
+	}
+	return best
+}
+
+// Hypercube models the X1E's custom interconnect as a binary hypercube of
+// dimension ceil(log2 n).
+type Hypercube struct {
+	N int
+}
+
+func (h Hypercube) dim() int {
+	d := 0
+	for 1<<d < h.N {
+		d++
+	}
+	return d
+}
+
+// Name implements Topology.
+func (h Hypercube) Name() string { return fmt.Sprintf("hypercube(%d)", h.N) }
+
+// Nodes implements Topology.
+func (h Hypercube) Nodes() int { return h.N }
+
+// Hops implements Topology: Hamming distance.
+func (h Hypercube) Hops(a, b int) int {
+	x := a ^ b
+	c := 0
+	for x != 0 {
+		c += x & 1
+		x >>= 1
+	}
+	return c
+}
+
+// Diameter implements Topology.
+func (h Hypercube) Diameter() int { return h.dim() }
+
+// AvgHops implements Topology: expected Hamming distance = dim/2.
+func (h Hypercube) AvgHops() float64 { return float64(h.dim()) / 2 }
+
+// BisectionLinks implements Topology: n/2 for a full hypercube.
+func (h Hypercube) BisectionLinks() int {
+	half := h.N / 2
+	if half == 0 {
+		half = 1
+	}
+	return half
+}

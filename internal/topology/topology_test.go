@@ -1,0 +1,211 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func topologies() []Topology {
+	return []Topology{
+		Crossbar{N: 16},
+		FatTree{N: 64},
+		FatTree{N: 8},
+		Torus3D{X: 4, Y: 4, Z: 4},
+		Torus3D{X: 2, Y: 3, Z: 5},
+		Hypercube{N: 32},
+	}
+}
+
+// TestMetricProperties checks the distance axioms on every topology.
+func TestMetricProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, topo := range topologies() {
+		n := topo.Nodes()
+		for trial := 0; trial < 200; trial++ {
+			a, b, c := rng.Intn(n), rng.Intn(n), rng.Intn(n)
+			if topo.Hops(a, a) != 0 {
+				t.Errorf("%s: Hops(%d,%d) != 0", topo.Name(), a, a)
+			}
+			if topo.Hops(a, b) != topo.Hops(b, a) {
+				t.Errorf("%s: asymmetric hops %d<->%d", topo.Name(), a, b)
+			}
+			if a != b && topo.Hops(a, b) < 1 {
+				t.Errorf("%s: distinct nodes %d,%d at distance %d", topo.Name(), a, b, topo.Hops(a, b))
+			}
+			if topo.Hops(a, c) > topo.Hops(a, b)+topo.Hops(b, c) {
+				t.Errorf("%s: triangle inequality violated %d,%d,%d", topo.Name(), a, b, c)
+			}
+			if d := topo.Hops(a, b); d > topo.Diameter() {
+				t.Errorf("%s: hops %d exceeds diameter %d", topo.Name(), d, topo.Diameter())
+			}
+		}
+	}
+}
+
+func TestAvgHopsWithinDiameter(t *testing.T) {
+	for _, topo := range topologies() {
+		avg := topo.AvgHops()
+		if avg < 0 || avg > float64(topo.Diameter()) {
+			t.Errorf("%s: avg hops %g outside [0, %d]", topo.Name(), avg, topo.Diameter())
+		}
+	}
+}
+
+func TestTorusCoordsRoundTrip(t *testing.T) {
+	f := func(xi, yi, zi uint8) bool {
+		tor := Torus3D{X: 5, Y: 7, Z: 3}
+		n := int(xi)%tor.X + tor.X*(int(yi)%tor.Y+tor.Y*(int(zi)%tor.Z))
+		x, y, z := tor.Coords(n)
+		return tor.Index(x, y, z) == n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTorusHopsKnownValues(t *testing.T) {
+	tor := Torus3D{X: 8, Y: 8, Z: 8}
+	a := tor.Index(0, 0, 0)
+	cases := []struct {
+		x, y, z int
+		want    int
+	}{
+		{1, 0, 0, 1},
+		{7, 0, 0, 1}, // wraparound
+		{4, 0, 0, 4}, // half way
+		{4, 4, 4, 12},
+		{1, 1, 1, 3},
+	}
+	for _, c := range cases {
+		if got := tor.Hops(a, tor.Index(c.x, c.y, c.z)); got != c.want {
+			t.Errorf("hops to (%d,%d,%d) = %d, want %d", c.x, c.y, c.z, got, c.want)
+		}
+	}
+}
+
+func TestNewTorus3DShapes(t *testing.T) {
+	cases := []struct {
+		n    int
+		want int // product must equal n
+	}{
+		{512, 512}, {1024, 1024}, {64, 64}, {1, 1}, {5200, 5200}, {20480, 20480},
+	}
+	for _, c := range cases {
+		tor := NewTorus3D(c.n)
+		if tor.Nodes() != c.want {
+			t.Errorf("NewTorus3D(%d) has %d nodes", c.n, tor.Nodes())
+		}
+		// Near-cubic: max dim should not exceed n (degenerate chain) for
+		// composite sizes with cubic-ish factorisations.
+		if c.n == 512 && (tor.X != 8 || tor.Y != 8 || tor.Z != 8) {
+			t.Errorf("NewTorus3D(512) = %v, want 8x8x8", tor)
+		}
+	}
+}
+
+func TestTorusBisection(t *testing.T) {
+	tor := Torus3D{X: 8, Y: 8, Z: 8}
+	if got := tor.BisectionLinks(); got != 128 {
+		t.Errorf("8x8x8 bisection = %d links, want 128 (2*8*8)", got)
+	}
+	// Doubling Z does not increase the min-cut: the PARATEC 512→1024 story.
+	big := Torus3D{X: 8, Y: 8, Z: 16}
+	if got := big.BisectionLinks(); got != 128 {
+		t.Errorf("8x8x16 bisection = %d links, want 128", got)
+	}
+}
+
+func TestHypercubeHops(t *testing.T) {
+	h := Hypercube{N: 16}
+	if got := h.Hops(0b0000, 0b1111); got != 4 {
+		t.Errorf("Hamming(0,15) = %d, want 4", got)
+	}
+	if h.Diameter() != 4 {
+		t.Errorf("diameter %d, want 4", h.Diameter())
+	}
+	if h.AvgHops() != 2 {
+		t.Errorf("avg hops %g, want 2", h.AvgHops())
+	}
+}
+
+func TestFatTreeHops(t *testing.T) {
+	f := FatTree{N: 64, LeafPorts: 16}
+	if got := f.Hops(0, 1); got != 1 {
+		t.Errorf("same-leaf hops %d, want 1", got)
+	}
+	if got := f.Hops(0, 63); got != 3 {
+		t.Errorf("cross-leaf hops %d, want 3", got)
+	}
+	if got := f.BisectionLinks(); got != 32 {
+		t.Errorf("fat-tree bisection %d, want full 32", got)
+	}
+}
+
+func TestBlockMapping(t *testing.T) {
+	m := BlockMapping{ProcsPerNode: 4}
+	for rank, want := range map[int]int{0: 0, 3: 0, 4: 1, 11: 2} {
+		if got := m.Node(rank); got != want {
+			t.Errorf("block node(%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestRoundRobinMapping(t *testing.T) {
+	m := RoundRobinMapping{Nodes: 4, ProcsPerNode: 2}
+	for rank, want := range map[int]int{0: 0, 1: 1, 4: 0, 7: 3} {
+		if got := m.Node(rank); got != want {
+			t.Errorf("rr node(%d) = %d, want %d", rank, got, want)
+		}
+	}
+}
+
+func TestAlignRingToTorus(t *testing.T) {
+	tor := Torus3D{X: 8, Y: 8, Z: 16}
+	const domains, perDomain, ppn = 16, 64, 1
+	m, err := AlignRingToTorus(tor, domains, perDomain, ppn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Table) != domains*perDomain {
+		t.Fatalf("table size %d, want %d", len(m.Table), domains*perDomain)
+	}
+	// The dominant GTC communication is rank (d,p) → (d+1,p). Under the
+	// aligned mapping this must be exactly one Z hop.
+	for d := 0; d < domains; d++ {
+		for p := 0; p < perDomain; p += 17 {
+			r1 := d*perDomain + p
+			r2 := ((d+1)%domains)*perDomain + p
+			if h := tor.Hops(m.Node(r1), m.Node(r2)); h != 1 {
+				t.Errorf("ring neighbour d=%d p=%d at %d hops, want 1", d, p, h)
+			}
+		}
+	}
+}
+
+func TestAlignRingToTorusErrors(t *testing.T) {
+	tor := Torus3D{X: 4, Y: 4, Z: 4}
+	if _, err := AlignRingToTorus(tor, 3, 4, 1); err == nil {
+		t.Error("misaligned domain count accepted")
+	}
+	if _, err := AlignRingToTorus(tor, 4, 1000, 1); err == nil {
+		t.Error("oversubscribed torus accepted")
+	}
+}
+
+func TestTableMapping(t *testing.T) {
+	m := TableMapping{Table: []int{5, 6, 7}}
+	if m.Node(1) != 6 {
+		t.Errorf("table node(1) = %d, want 6", m.Node(1))
+	}
+	if m.Node(99) != 0 {
+		t.Errorf("out-of-range rank should map to node 0")
+	}
+	if m.Name() != "table" {
+		t.Errorf("default name %q", m.Name())
+	}
+	m.Label = "ring-aligned"
+	if m.Name() != "ring-aligned" {
+		t.Errorf("label not used: %q", m.Name())
+	}
+}

@@ -1,0 +1,70 @@
+// Package vtime provides virtual-time primitives for the discrete-event
+// simulation layer. All simulated durations are expressed in seconds as
+// float64; this package centralises the conversions and the deterministic
+// clock type used by simulated MPI ranks.
+package vtime
+
+import "fmt"
+
+// Seconds is a virtual duration or instant, in seconds.
+type Seconds = float64
+
+// Conversion helpers. The paper reports latencies in microseconds and
+// per-hop costs in nanoseconds; keeping the constructors explicit avoids
+// unit mistakes when transcribing Table 1.
+const (
+	Nanosecond  Seconds = 1e-9
+	Microsecond Seconds = 1e-6
+	Millisecond Seconds = 1e-3
+)
+
+// Micro converts a value expressed in microseconds to Seconds.
+func Micro(us float64) Seconds { return us * Microsecond }
+
+// Nano converts a value expressed in nanoseconds to Seconds.
+func Nano(ns float64) Seconds { return ns * Nanosecond }
+
+// Clock is a monotonically advancing virtual clock. The zero value is a
+// clock at time zero, ready to use.
+type Clock struct {
+	now Seconds
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() Seconds { return c.now }
+
+// Advance moves the clock forward by d. Negative advances are a programming
+// error in the cost models and panic loudly rather than corrupting the
+// simulation's causality.
+func (c *Clock) Advance(d Seconds) {
+	if d < 0 {
+		panic(fmt.Sprintf("vtime: negative advance %g", d))
+	}
+	c.now += d
+}
+
+// AdvanceTo moves the clock to instant t if t is later than now; a clock
+// never moves backwards. It returns the amount of waiting that occurred
+// (zero if t was already in the past).
+func (c *Clock) AdvanceTo(t Seconds) Seconds {
+	if t <= c.now {
+		return 0
+	}
+	wait := t - c.now
+	c.now = t
+	return wait
+}
+
+// Format renders a virtual instant with an adaptive unit, for logs.
+func Format(t Seconds) string {
+	switch {
+	case t >= 1:
+		return fmt.Sprintf("%.3fs", t)
+	case t >= 1e-3:
+		return fmt.Sprintf("%.3fms", t*1e3)
+	case t >= 1e-6:
+		return fmt.Sprintf("%.3fµs", t*1e6)
+	default:
+		return fmt.Sprintf("%.1fns", t*1e9)
+	}
+}

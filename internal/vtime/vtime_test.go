@@ -1,0 +1,96 @@
+package vtime
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConversions(t *testing.T) {
+	if got := Micro(4.7); got != 4.7e-6 {
+		t.Errorf("Micro(4.7) = %g, want 4.7e-6", got)
+	}
+	if got := Nano(50); got < 49.99e-9 || got > 50.01e-9 {
+		t.Errorf("Nano(50) = %g, want 5e-8", got)
+	}
+}
+
+func TestClockAdvance(t *testing.T) {
+	var c Clock
+	if c.Now() != 0 {
+		t.Fatalf("zero clock at %g, want 0", c.Now())
+	}
+	c.Advance(1.5)
+	c.Advance(0.5)
+	if c.Now() != 2.0 {
+		t.Errorf("clock at %g, want 2.0", c.Now())
+	}
+}
+
+func TestClockAdvanceToNeverBackwards(t *testing.T) {
+	var c Clock
+	c.Advance(10)
+	if wait := c.AdvanceTo(5); wait != 0 {
+		t.Errorf("AdvanceTo(5) waited %g, want 0", wait)
+	}
+	if c.Now() != 10 {
+		t.Errorf("clock moved backwards to %g", c.Now())
+	}
+	if wait := c.AdvanceTo(12); wait != 2 {
+		t.Errorf("AdvanceTo(12) waited %g, want 2", wait)
+	}
+}
+
+func TestClockNegativeAdvancePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("negative advance did not panic")
+		}
+	}()
+	var c Clock
+	c.Advance(-1)
+}
+
+func TestClockMonotonicProperty(t *testing.T) {
+	// Property: for any sequence of non-negative advances and arbitrary
+	// AdvanceTo targets, the clock never decreases.
+	f := func(steps []float64) bool {
+		var c Clock
+		prev := c.Now()
+		for _, s := range steps {
+			if s < 0 {
+				s = -s
+			}
+			if int(s)%2 == 0 {
+				c.Advance(s)
+			} else {
+				c.AdvanceTo(s)
+			}
+			if c.Now() < prev {
+				return false
+			}
+			prev = c.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestFormatUnits(t *testing.T) {
+	cases := []struct {
+		t    Seconds
+		want string
+	}{
+		{2.5, "s"},
+		{3e-3, "ms"},
+		{4e-6, "µs"},
+		{7e-9, "ns"},
+	}
+	for _, c := range cases {
+		if got := Format(c.t); !strings.HasSuffix(got, c.want) {
+			t.Errorf("Format(%g) = %q, want suffix %q", c.t, got, c.want)
+		}
+	}
+}
