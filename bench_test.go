@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/apps/beambeam3d"
@@ -19,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/pingpong"
+	"repro/internal/runner"
 	"repro/internal/simmpi"
 	"repro/internal/stream"
 )
@@ -146,6 +148,48 @@ func BenchmarkFig8Summary(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.Fig8Summary(opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// benchAllFigures regenerates Figures 2–7 at reduced concurrency
+// through a pool of the given width — the scheduling seam the full
+// cmd/petasim cross-product runs through.
+func benchAllFigures(b *testing.B, workers int) {
+	opts := experiments.Options{Quick: true, MaxProcs: 64,
+		Runner: &runner.Pool{Workers: workers}}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if figs, err := experiments.AllFigures(opts); err != nil || len(figs) != 6 {
+			b.Fatalf("figs=%d err=%v", len(figs), err)
+		}
+	}
+}
+
+// BenchmarkAllFiguresSerial is the one-worker baseline for the figure
+// cross-product.
+func BenchmarkAllFiguresSerial(b *testing.B) { benchAllFigures(b, 1) }
+
+// BenchmarkAllFiguresParallel fans the same cross-product across the
+// host's processors.
+func BenchmarkAllFiguresParallel(b *testing.B) { benchAllFigures(b, runtime.GOMAXPROCS(0)) }
+
+// BenchmarkAllFiguresCached measures a fully warm cache: every point is
+// served from disk, so this bounds the per-point cache overhead.
+func BenchmarkAllFiguresCached(b *testing.B) {
+	cache, err := runner.OpenCache(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := experiments.Options{Quick: true, MaxProcs: 64,
+		Runner: &runner.Pool{Workers: runtime.GOMAXPROCS(0), Cache: cache}}
+	if _, err := experiments.AllFigures(opts); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.AllFigures(opts); err != nil {
 			b.Fatal(err)
 		}
 	}

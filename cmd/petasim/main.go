@@ -29,31 +29,41 @@
 //
 //	-quick        cap concurrencies for a fast smoke run
 //	-max N        cap every series at N processors
+//	-jobs N       worker goroutines for the experiment point cross-product
+//	-cache DIR    persist simulated points; repeated runs skip them
 //	-csv DIR      also write each figure's points as CSV into DIR
+//	-json DIR     also write each figure's points as JSON into DIR
 //	-commtopo-p N concurrency for fig1 (default 64)
+//
+// Every independent (experiment, machine, concurrency) point is fanned
+// out across -jobs workers through internal/runner; point results are
+// assembled in deterministic order, so the output is byte-identical for
+// any worker count. With -cache, points carry a content key (experiment
+// × machine spec × concurrency), and a second run serves them from disk
+// without re-simulating; the run summary on stderr reports the split.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
-	"repro/internal/apexmap"
 	"repro/internal/experiments"
 	"repro/internal/machine"
+	"repro/internal/runner"
 )
-
-// experimentsApexSweep adapts the Apex-MAP sweep for the CLI.
-func experimentsApexSweep(spec machine.Spec, procs int, alphas []float64, ls []int) ([]apexmap.Result, error) {
-	return apexmap.Sweep(spec, procs, alphas, ls)
-}
 
 func main() {
 	quick := flag.Bool("quick", false, "cap concurrencies for a fast smoke run")
 	maxProcs := flag.Int("max", 0, "cap every series at this many processors")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for experiment points")
+	cacheDir := flag.String("cache", "", "cache simulated points in this directory")
 	csvDir := flag.String("csv", "", "write figure CSVs into this directory")
+	jsonDir := flag.String("json", "", "write figure JSON records into this directory")
 	commP := flag.Int("commtopo-p", 64, "concurrency for the fig1 topology capture")
 	flag.Parse()
 
@@ -61,15 +71,28 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
-	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs}
+	pool := &runner.Pool{Workers: *jobs}
+	if *cacheDir != "" {
+		cache, err := runner.OpenCache(*cacheDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+			os.Exit(1)
+		}
+		pool.Cache = cache
+	}
+	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Runner: pool}
 	cmd := strings.ToLower(flag.Arg(0))
-	if err := run(cmd, opts, *csvDir, *commP); err != nil {
+	err := run(cmd, opts, *csvDir, *jsonDir, *commP)
+	if s := pool.Stats(); s.Points > 0 {
+		fmt.Fprintf(os.Stderr, "petasim: %s across %d workers\n", s, pool.Workers)
+	}
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
+func run(cmd string, opts experiments.Options, csvDir, jsonDir string, commP int) error {
 	out := os.Stdout
 	figure := func(f func(experiments.Options) (*experiments.Figure, error)) error {
 		fig, err := f(opts)
@@ -82,12 +105,12 @@ func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
 		if err := fig.RenderChart(out, "gflops"); err != nil {
 			return err
 		}
-		return writeCSV(csvDir, fig)
+		return writeArtifacts(csvDir, jsonDir, fig)
 	}
 
 	switch cmd {
 	case "table1":
-		rows, err := experiments.Table1()
+		rows, err := experiments.Table1(opts)
 		if err != nil {
 			return err
 		}
@@ -95,14 +118,12 @@ func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
 	case "table2":
 		experiments.RenderTable2(out)
 	case "fig1", "commtopo":
-		topos, err := experiments.Fig1CommTopos(commP)
+		topos, err := experiments.Fig1Rendered(opts, commP, 48)
 		if err != nil {
 			return err
 		}
 		for _, t := range topos {
-			if err := t.Render(out, 48); err != nil {
-				return err
-			}
+			fmt.Fprint(out, t.Output)
 		}
 	case "fig2":
 		return figure(experiments.Fig2GTC)
@@ -125,7 +146,7 @@ func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
 			if err := fig.Render(out); err != nil {
 				return err
 			}
-			if err := writeCSV(csvDir, fig); err != nil {
+			if err := writeArtifacts(csvDir, jsonDir, fig); err != nil {
 				return err
 			}
 		}
@@ -154,23 +175,13 @@ func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
 		}
 		experiments.RenderOptResults(out, "GTC BG/L virtual-node-mode study (§3.1)", rows)
 	case "apexmap":
-		alphas := []float64{0.02, 0.1, 0.5, 1.0}
-		ls := []int{1, 8, 64}
+		results, err := experiments.ApexMapStudy(opts)
+		if err != nil {
+			return err
+		}
 		fmt.Fprintln(out, "Apex-MAP locality sweep (global accesses per µs, higher is better)")
-		for _, spec := range machine.All() {
-			procs := 64
-			if procs > spec.TotalProcs {
-				procs = spec.TotalProcs
-			}
-			res, err := experimentsApexSweep(spec, procs, alphas, ls)
-			if err != nil {
-				return err
-			}
-			fmt.Fprintf(out, "%-9s", spec.Name)
-			for _, r := range res {
-				fmt.Fprintf(out, "  a=%.2f/L=%-3d %8.2f", r.Alpha, r.L, r.AccessPerUs)
-			}
-			fmt.Fprintln(out)
+		for _, r := range results {
+			fmt.Fprintln(out, r.Output)
 		}
 	case "machines":
 		for _, m := range machine.All() {
@@ -178,7 +189,7 @@ func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
 		}
 	case "all":
 		for _, c := range []string{"table1", "table2", "fig1", "figures", "fig8", "gtcopt", "amropt", "vnode", "apexmap"} {
-			if err := run(c, opts, csvDir, commP); err != nil {
+			if err := run(c, opts, csvDir, jsonDir, commP); err != nil {
 				return err
 			}
 		}
@@ -188,7 +199,16 @@ func run(cmd string, opts experiments.Options, csvDir string, commP int) error {
 	return nil
 }
 
-func writeCSV(dir string, fig *experiments.Figure) error {
+// writeArtifacts emits the figure's structured points in the requested
+// formats.
+func writeArtifacts(csvDir, jsonDir string, fig *experiments.Figure) error {
+	if err := writeFile(csvDir, fig, ".csv", fig.CSV); err != nil {
+		return err
+	}
+	return writeFile(jsonDir, fig, ".json", fig.JSON)
+}
+
+func writeFile(dir string, fig *experiments.Figure, ext string, write func(io.Writer) error) error {
 	if dir == "" {
 		return nil
 	}
@@ -196,10 +216,10 @@ func writeCSV(dir string, fig *experiments.Figure) error {
 		return err
 	}
 	name := strings.ToLower(strings.ReplaceAll(fig.ID, " ", ""))
-	f, err := os.Create(filepath.Join(dir, name+".csv"))
+	f, err := os.Create(filepath.Join(dir, name+ext))
 	if err != nil {
 		return err
 	}
 	defer f.Close()
-	return fig.CSV(f)
+	return write(f)
 }

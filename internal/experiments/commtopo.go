@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"bytes"
 	"fmt"
 	"io"
 
@@ -11,6 +12,7 @@ import (
 	"repro/internal/apps/hyperclaw"
 	"repro/internal/apps/paratec"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/simmpi"
 	"repro/internal/trace"
 )
@@ -23,19 +25,16 @@ type CommTopo struct {
 	Collector *trace.Collector
 }
 
-// Fig1CommTopos runs every application at a modest concurrency with a
-// communication collector attached and returns the six topologies.
-func Fig1CommTopos(procs int) ([]CommTopo, error) {
-	if procs <= 0 {
-		procs = 64
-	}
-	spec := machine.Jaguar
+// fig1Def is one application's entry in the Figure 1 capture.
+type fig1Def struct {
+	name string
+	run  func(sim simmpi.Config) error
+}
 
-	type def struct {
-		name string
-		run  func(sim simmpi.Config) error
-	}
-	defs := []def{
+// fig1Defs lists the six applications with the configurations used for
+// the topology capture on the given platform model.
+func fig1Defs(spec machine.Spec) []fig1Def {
+	return []fig1Def{
 		{"GTC", func(sim simmpi.Config) error {
 			cfg := gtc.DefaultConfig(spec, sim.Procs)
 			cfg.ActualParticlesPerRank = 400
@@ -79,9 +78,17 @@ func Fig1CommTopos(procs int) ([]CommTopo, error) {
 			return err
 		}},
 	}
+}
 
+// Fig1CommTopos runs every application at a modest concurrency with a
+// communication collector attached and returns the six topologies.
+func Fig1CommTopos(procs int) ([]CommTopo, error) {
+	if procs <= 0 {
+		procs = 64
+	}
+	spec := machine.Jaguar
 	var out []CommTopo
-	for _, d := range defs {
+	for _, d := range fig1Defs(spec) {
 		col := trace.NewCollector(procs)
 		sim := simmpi.Config{Machine: spec, Procs: procs, Collector: col}
 		if err := d.run(sim); err != nil {
@@ -90,6 +97,40 @@ func Fig1CommTopos(procs int) ([]CommTopo, error) {
 		out = append(out, CommTopo{App: d.name, Procs: procs, Collector: col})
 	}
 	return out, nil
+}
+
+// Fig1Rendered captures the six topologies as schedulable (and
+// cacheable) jobs, each result carrying the heatmap prerendered at the
+// given size exactly as CommTopo.Render writes it.
+func Fig1Rendered(opts Options, procs, size int) ([]runner.Result, error) {
+	if procs <= 0 {
+		procs = 64
+	}
+	spec := machine.Jaguar
+	defs := fig1Defs(spec)
+	jobs := make([]runner.Job, len(defs))
+	for i, d := range defs {
+		jobs[i] = runner.Job{
+			Key: runner.Key("Figure 1", d.name, spec, procs, size),
+			Run: func() (runner.Result, error) {
+				col := trace.NewCollector(procs)
+				sim := simmpi.Config{Machine: spec, Procs: procs, Collector: col}
+				if err := d.run(sim); err != nil {
+					return runner.Result{}, fmt.Errorf("commtopo %s: %w", d.name, err)
+				}
+				var buf bytes.Buffer
+				ct := CommTopo{App: d.name, Procs: procs, Collector: col}
+				if err := ct.Render(&buf, size); err != nil {
+					return runner.Result{}, fmt.Errorf("commtopo %s: %w", d.name, err)
+				}
+				return runner.Result{
+					Experiment: "Figure 1", App: d.name, Machine: spec.Name, Procs: procs,
+					Output: buf.String(),
+				}, nil
+			},
+		}
+	}
+	return opts.pool().Run(jobs)
 }
 
 // Render writes the six topology heatmaps with partner statistics, the

@@ -4,6 +4,13 @@
 // 2–7 (per-application scaling studies in Gflop/s per processor and
 // percentage of peak), Figure 8 (cross-application summary), and the
 // §3.1/§8.1 optimisation studies.
+//
+// Each experiment is a cross-product of independent simulation points
+// (experiment × machine × concurrency). Rather than looping over the
+// points, every experiment expands them into internal/runner jobs and
+// assembles its output from the results in deterministic job order, so
+// a parallel run through Options.Runner renders byte-identically to a
+// serial one — and cached points are reused across invocations.
 package experiments
 
 import (
@@ -14,17 +21,32 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/machine"
+	"repro/internal/runner"
 )
 
-// Options control experiment scale. The full paper concurrencies take a
-// while under simulation on one host; Quick caps the processor counts.
+// Options control experiment scale and scheduling. The full paper
+// concurrencies take a while under simulation on one host; Quick caps
+// the processor counts, and Runner fans the independent points of each
+// experiment out across a worker pool.
 type Options struct {
 	// Quick caps concurrency for smoke runs and benchmarks.
 	Quick bool
 	// MaxProcs, if nonzero, caps every series' processor count.
 	MaxProcs int
-	// Verbose notes are appended to figure output.
-	Verbose bool
+	// Runner, if non-nil, schedules experiment points across its
+	// worker pool and serves repeats from its result cache. A nil
+	// Runner falls back to a serial, uncached pool; results are
+	// identical either way, because every experiment assembles its
+	// output from results in deterministic job order.
+	Runner *runner.Pool
+}
+
+// pool returns the scheduling pool, defaulting to a serial one.
+func (o Options) pool() *runner.Pool {
+	if o.Runner != nil {
+		return o.Runner
+	}
+	return &runner.Pool{}
 }
 
 func (o Options) capProcs(p int) bool {
@@ -53,6 +75,9 @@ type Figure struct {
 	Scaling string
 	Series  []Series
 	Notes   []string
+	// Results holds the structured point records the figure was
+	// assembled from, in job order, for JSON export.
+	Results []runner.Result
 }
 
 // procsUnion returns the sorted union of processor counts across series.
@@ -133,6 +158,12 @@ func (f *Figure) CSV(w io.Writer) error {
 		}
 	}
 	return nil
+}
+
+// JSON emits the figure's structured point records for archival and
+// external tooling.
+func (f *Figure) JSON(w io.Writer) error {
+	return runner.WriteJSON(w, f.Results)
 }
 
 // powersOfTwo returns doubling concurrencies from lo to hi inclusive.

@@ -11,7 +11,7 @@ import (
 func quick() Options { return Options{Quick: true, MaxProcs: 64} }
 
 func TestTable1ReproducesPublishedColumns(t *testing.T) {
-	rows, err := Table1()
+	rows, err := Table1(Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps/hyperclaw"
 	"repro/internal/apps/paratec"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/simmpi"
 )
 
@@ -23,34 +24,81 @@ type seriesSpec struct {
 // appRunner runs one application instance on (machine, P).
 type appRunner func(spec machine.Spec, procs int) (*simmpi.Report, error)
 
-// buildFigure runs every (machine, P) point through the runner.
-func buildFigure(id, title, scaling, appName string, opts Options,
-	series []seriesSpec, run appRunner) (*Figure, error) {
+// figureSpec declares a figure's cross-product — which machines at
+// which concurrencies, and how to simulate one point — without running
+// anything. jobs expands it into independently schedulable work;
+// assemble folds the results back into a Figure.
+type figureSpec struct {
+	id, title, scaling, app string
+	series                  []seriesSpec
+	notes                   []string
+	run                     appRunner
+}
 
-	fig := &Figure{ID: id, Title: title, Scaling: scaling}
-	for _, ss := range series {
-		s := Series{Machine: ss.spec.Name, Peak: ss.spec.PeakGFs}
+// jobs expands the (machine × concurrency) cross-product into runner
+// jobs, honouring the option caps. Job order is series-major,
+// concurrency-minor — the exact order the serial loops used to run.
+func (fs *figureSpec) jobs(opts Options) []runner.Job {
+	var jobs []runner.Job
+	for _, ss := range fs.series {
 		for _, p := range ss.procs {
 			if opts.capProcs(p) || p > ss.spec.TotalProcs {
 				continue
 			}
-			rep, err := run(ss.spec, p)
-			if err != nil {
-				return nil, fmt.Errorf("%s %s P=%d: %w", id, ss.spec.Name, p, err)
-			}
-			s.Points = append(s.Points, apps.Point{
-				App: appName, Machine: ss.spec.Name, Procs: p,
-				Gflops:   rep.GflopsPerProc(),
-				PctPeak:  rep.PercentOfPeak(ss.spec.PeakGFs),
-				CommFrac: rep.CommFrac,
-				WallSec:  rep.Wall,
+			spec, procs := ss.spec, p
+			jobs = append(jobs, runner.Job{
+				Key: runner.Key(fs.id, fs.app, spec, procs),
+				Run: func() (runner.Result, error) {
+					rep, err := fs.run(spec, procs)
+					if err != nil {
+						return runner.Result{}, fmt.Errorf("%s %s P=%d: %w", fs.id, spec.Name, procs, err)
+					}
+					return runner.Result{
+						Experiment: fs.id, App: fs.app, Machine: spec.Name, Procs: procs,
+						Gflops:   rep.GflopsPerProc(),
+						PctPeak:  rep.PercentOfPeak(spec.PeakGFs),
+						CommFrac: rep.CommFrac,
+						WallSec:  rep.Wall,
+					}, nil
+				},
 			})
 		}
-		if len(s.Points) > 0 {
-			fig.Series = append(fig.Series, s)
-		}
 	}
-	return fig, nil
+	return jobs
+}
+
+// assemble groups point results back into the figure's series. Results
+// arrive in job order, so grouping by first-seen machine reproduces the
+// serial construction exactly, whatever pool ran the jobs.
+func (fs *figureSpec) assemble(results []runner.Result) *Figure {
+	fig := &Figure{ID: fs.id, Title: fs.title, Scaling: fs.scaling, Notes: fs.notes, Results: results}
+	peaks := make(map[string]float64, len(fs.series))
+	for _, ss := range fs.series {
+		peaks[ss.spec.Name] = ss.spec.PeakGFs
+	}
+	index := map[string]int{}
+	for _, r := range results {
+		i, ok := index[r.Machine]
+		if !ok {
+			i = len(fig.Series)
+			index[r.Machine] = i
+			fig.Series = append(fig.Series, Series{Machine: r.Machine, Peak: peaks[r.Machine]})
+		}
+		fig.Series[i].Points = append(fig.Series[i].Points, apps.Point{
+			App: r.App, Machine: r.Machine, Procs: r.Procs,
+			Gflops: r.Gflops, PctPeak: r.PctPeak, CommFrac: r.CommFrac, WallSec: r.WallSec,
+		})
+	}
+	return fig
+}
+
+// build schedules the figure's jobs on the options' pool.
+func (fs *figureSpec) build(opts Options) (*Figure, error) {
+	results, err := opts.pool().Run(fs.jobs(opts))
+	if err != nil {
+		return nil, err
+	}
+	return fs.assemble(results), nil
 }
 
 // gtcActualParticles bounds the computed-on particle count so host time
@@ -66,24 +114,28 @@ func gtcActualParticles(p int) int {
 	return n
 }
 
-// Fig2GTC regenerates Figure 2: GTC weak scaling, 100 particles per cell
+// fig2Spec declares Figure 2: GTC weak scaling, 100 particles per cell
 // per processor (10 on BG/L), BG/L data on the BGW system in virtual
 // node mode.
-func Fig2GTC(opts Options) (*Figure, error) {
+func fig2Spec(opts Options) *figureSpec {
 	bgw := machine.BGW.WithMode(machine.VirtualNode)
 	maxBGW := 32768
 	if opts.Quick {
 		maxBGW = 256
 	}
-	series := []seriesSpec{
-		{machine.Bassi, powersOfTwo(64, 512)},
-		{machine.Jacquard, powersOfTwo(64, 512)},
-		{machine.Jaguar, powersOfTwo(64, 4096)},
-		{bgw, powersOfTwo(64, maxBGW)},
-		{machine.Phoenix, powersOfTwo(64, 512)},
-	}
-	fig, err := buildFigure("Figure 2", "GTC weak-scaling performance", "weak", "GTC", opts, series,
-		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+	return &figureSpec{
+		id: "Figure 2", title: "GTC weak-scaling performance", scaling: "weak", app: "GTC",
+		series: []seriesSpec{
+			{machine.Bassi, powersOfTwo(64, 512)},
+			{machine.Jacquard, powersOfTwo(64, 512)},
+			{machine.Jaguar, powersOfTwo(64, 4096)},
+			{bgw, powersOfTwo(64, maxBGW)},
+			{machine.Phoenix, powersOfTwo(64, 512)},
+		},
+		notes: []string{
+			"100 particles/cell/proc (10 on BG/L); all BG/L data collected on BGW (virtual node mode)",
+		},
+		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
 			cfg := gtc.DefaultConfig(spec, p)
 			cfg.ActualParticlesPerRank = gtcActualParticles(p)
 			sim := simmpi.Config{Machine: spec, Procs: p}
@@ -95,37 +147,37 @@ func Fig2GTC(opts Options) (*Figure, error) {
 				}
 			}
 			return gtc.Run(sim, cfg)
-		})
-	if err != nil {
-		return nil, err
+		},
 	}
-	fig.Notes = append(fig.Notes,
-		"100 particles/cell/proc (10 on BG/L); all BG/L data collected on BGW (virtual node mode)")
-	return fig, nil
 }
 
-// Fig3ELBM3D regenerates Figure 3: ELBM3D strong scaling on a 512³ grid.
-func Fig3ELBM3D(opts Options) (*Figure, error) {
-	series := []seriesSpec{
-		{machine.Bassi, powersOfTwo(64, 512)},
-		{machine.Jacquard, powersOfTwo(64, 512)},
-		{machine.Jaguar, powersOfTwo(64, 1024)},
-		{machine.BGL, powersOfTwo(256, 1024)}, // memory floor per §4.1
-		{machine.Phoenix, powersOfTwo(64, 512)},
-	}
-	fig, err := buildFigure("Figure 3", "ELBM3D strong-scaling performance (512³ grid)", "strong", "ELBM3D", opts, series,
-		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+// Fig2GTC regenerates Figure 2.
+func Fig2GTC(opts Options) (*Figure, error) { return fig2Spec(opts).build(opts) }
+
+// fig3Spec declares Figure 3: ELBM3D strong scaling on a 512³ grid.
+func fig3Spec(Options) *figureSpec {
+	return &figureSpec{
+		id: "Figure 3", title: "ELBM3D strong-scaling performance (512³ grid)", scaling: "strong", app: "ELBM3D",
+		series: []seriesSpec{
+			{machine.Bassi, powersOfTwo(64, 512)},
+			{machine.Jacquard, powersOfTwo(64, 512)},
+			{machine.Jaguar, powersOfTwo(64, 1024)},
+			{machine.BGL, powersOfTwo(256, 1024)}, // memory floor per §4.1
+			{machine.Phoenix, powersOfTwo(64, 512)},
+		},
+		notes: []string{
+			"BG/L data in coprocessor mode; cannot run below 256 processors for this problem size",
+		},
+		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
 			cfg := elbm3d.DefaultConfig(p)
 			cfg.Steps = 3
 			return elbm3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		})
-	if err != nil {
-		return nil, err
+		},
 	}
-	fig.Notes = append(fig.Notes,
-		"BG/L data in coprocessor mode; cannot run below 256 processors for this problem size")
-	return fig, nil
 }
+
+// Fig3ELBM3D regenerates Figure 3.
+func Fig3ELBM3D(opts Options) (*Figure, error) { return fig3Spec(opts).build(opts) }
 
 // cactusActualPerProc bounds the per-rank computed grid.
 func cactusActualPerProc(p int) int {
@@ -139,61 +191,65 @@ func cactusActualPerProc(p int) int {
 	}
 }
 
-// Fig4Cactus regenerates Figure 4: Cactus weak scaling, 60³ points per
+// fig4Spec declares Figure 4: Cactus weak scaling, 60³ points per
 // processor; Phoenix data on the Cray X1.
-func Fig4Cactus(opts Options) (*Figure, error) {
+func fig4Spec(opts Options) *figureSpec {
 	maxBGW := 16384
 	if opts.Quick {
 		maxBGW = 256
 	}
-	series := []seriesSpec{
-		{machine.Bassi, powersOfTwo(16, 512)},
-		{machine.Jacquard, powersOfTwo(16, 512)},
-		{machine.BGW, powersOfTwo(16, maxBGW)},
-		{machine.PhoenixX1, powersOfTwo(16, 256)},
-	}
-	fig, err := buildFigure("Figure 4", "Cactus weak-scaling performance (60³ per processor)", "weak", "Cactus", opts, series,
-		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+	return &figureSpec{
+		id: "Figure 4", title: "Cactus weak-scaling performance (60³ per processor)", scaling: "weak", app: "Cactus",
+		series: []seriesSpec{
+			{machine.Bassi, powersOfTwo(16, 512)},
+			{machine.Jacquard, powersOfTwo(16, 512)},
+			{machine.BGW, powersOfTwo(16, maxBGW)},
+			{machine.PhoenixX1, powersOfTwo(16, 256)},
+		},
+		notes: []string{
+			"Phoenix data shown on the Cray X1 platform; BG/L data run on BGW",
+		},
+		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
 			cfg := cactus.DefaultConfig(p)
 			cfg.ActualPerProc = cactusActualPerProc(p)
 			cfg.Steps = 3
 			return cactus.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		})
-	if err != nil {
-		return nil, err
+		},
 	}
-	fig.Notes = append(fig.Notes,
-		"Phoenix data shown on the Cray X1 platform; BG/L data run on BGW")
-	return fig, nil
 }
 
-// Fig5BeamBeam3D regenerates Figure 5: BeamBeam3D strong scaling on a
-// 256×256×32 grid with 5 million particles.
-func Fig5BeamBeam3D(opts Options) (*Figure, error) {
+// Fig4Cactus regenerates Figure 4.
+func Fig4Cactus(opts Options) (*Figure, error) { return fig4Spec(opts).build(opts) }
+
+// fig5Spec declares Figure 5: BeamBeam3D strong scaling on a 256×256×32
+// grid with 5 million particles.
+func fig5Spec(opts Options) *figureSpec {
 	maxBGW := 2048
 	if opts.Quick {
 		maxBGW = 256
 	}
-	series := []seriesSpec{
-		{machine.Bassi, powersOfTwo(64, 512)},
-		{machine.Jacquard, powersOfTwo(64, 512)},
-		{machine.Jaguar, powersOfTwo(64, 2048)},
-		{machine.BGW, powersOfTwo(64, maxBGW)},
-		{machine.Phoenix, powersOfTwo(64, 512)},
-	}
-	fig, err := buildFigure("Figure 5", "BeamBeam3D strong-scaling performance (256²×32 grid, 5M particles)", "strong", "BeamBeam3D", opts, series,
-		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+	return &figureSpec{
+		id: "Figure 5", title: "BeamBeam3D strong-scaling performance (256²×32 grid, 5M particles)", scaling: "strong", app: "BeamBeam3D",
+		series: []seriesSpec{
+			{machine.Bassi, powersOfTwo(64, 512)},
+			{machine.Jacquard, powersOfTwo(64, 512)},
+			{machine.Jaguar, powersOfTwo(64, 2048)},
+			{machine.BGW, powersOfTwo(64, maxBGW)},
+			{machine.Phoenix, powersOfTwo(64, 512)},
+		},
+		notes: []string{
+			"ANL BG/L for P≤512, BGW for P=1024,2048; 2048-way is the highest-concurrency BB3D run to date",
+		},
+		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
 			cfg := beambeam3d.DefaultConfig(p)
 			cfg.ParticlesPerRank = bb3dActualParticles(p)
 			return beambeam3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		})
-	if err != nil {
-		return nil, err
+		},
 	}
-	fig.Notes = append(fig.Notes,
-		"ANL BG/L for P≤512, BGW for P=1024,2048; 2048-way is the highest-concurrency BB3D run to date")
-	return fig, nil
 }
+
+// Fig5BeamBeam3D regenerates Figure 5.
+func Fig5BeamBeam3D(opts Options) (*Figure, error) { return fig5Spec(opts).build(opts) }
 
 func bb3dActualParticles(p int) int {
 	n := 600_000 / p
@@ -206,73 +262,94 @@ func bb3dActualParticles(p int) int {
 	return n
 }
 
-// Fig6PARATEC regenerates Figure 6: PARATEC strong scaling on the
-// 488-atom CdSe quantum dot (432-atom Si on BG/L).
-func Fig6PARATEC(opts Options) (*Figure, error) {
+// fig6Spec declares Figure 6: PARATEC strong scaling on the 488-atom
+// CdSe quantum dot (432-atom Si on BG/L).
+func fig6Spec(opts Options) *figureSpec {
 	maxBGW := 1024
 	if opts.Quick {
 		maxBGW = 256
 	}
-	series := []seriesSpec{
-		{machine.Bassi, powersOfTwo(64, 512)},
-		{machine.Jacquard, powersOfTwo(64, 256)}, // memory-bound below 128 in the paper
-		{machine.Jaguar, powersOfTwo(64, 2048)},
-		{machine.BGW, powersOfTwo(64, maxBGW)},
-		{machine.Phoenix, powersOfTwo(64, 512)},
-	}
-	fig, err := buildFigure("Figure 6", "PARATEC strong-scaling performance (488-atom CdSe quantum dot)", "strong", "PARATEC", opts, series,
-		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+	return &figureSpec{
+		id: "Figure 6", title: "PARATEC strong-scaling performance (488-atom CdSe quantum dot)", scaling: "strong", app: "PARATEC",
+		series: []seriesSpec{
+			{machine.Bassi, powersOfTwo(64, 512)},
+			{machine.Jacquard, powersOfTwo(64, 256)}, // memory-bound below 128 in the paper
+			{machine.Jaguar, powersOfTwo(64, 2048)},
+			{machine.BGW, powersOfTwo(64, maxBGW)},
+			{machine.Phoenix, powersOfTwo(64, 512)},
+		},
+		notes: []string{
+			"BG/L runs the 432-atom bulk-silicon system (memory constraints); Phoenix ran an X1 binary",
+		},
+		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
 			cfg := paratec.DefaultConfig(spec.IsBGL())
 			return paratec.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		})
-	if err != nil {
-		return nil, err
+		},
 	}
-	fig.Notes = append(fig.Notes,
-		"BG/L runs the 432-atom bulk-silicon system (memory constraints); Phoenix ran an X1 binary")
-	return fig, nil
 }
 
-// Fig7HyperCLaw regenerates Figure 7: HyperCLaw weak scaling on a
-// 512×64×32 base grid refined by 2 then 4.
-func Fig7HyperCLaw(opts Options) (*Figure, error) {
+// Fig6PARATEC regenerates Figure 6.
+func Fig6PARATEC(opts Options) (*Figure, error) { return fig6Spec(opts).build(opts) }
+
+// fig7Spec declares Figure 7: HyperCLaw weak scaling on a 512×64×32
+// base grid refined by 2 then 4.
+func fig7Spec(opts Options) *figureSpec {
 	maxBGL := 512
 	if opts.Quick {
 		maxBGL = 128
 	}
-	series := []seriesSpec{
-		{machine.Bassi, powersOfTwo(16, 256)},
-		{machine.Jacquard, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
-		{machine.Jaguar, powersOfTwo(16, 256)},
-		{machine.BGL, powersOfTwo(16, maxBGL)},
-		{machine.Phoenix, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
-	}
-	fig, err := buildFigure("Figure 7", "HyperCLaw weak-scaling performance (512×64×32 base grid)", "weak", "HyperCLaw", opts, series,
-		func(spec machine.Spec, p int) (*simmpi.Report, error) {
+	return &figureSpec{
+		id: "Figure 7", title: "HyperCLaw weak-scaling performance (512×64×32 base grid)", scaling: "weak", app: "HyperCLaw",
+		series: []seriesSpec{
+			{machine.Bassi, powersOfTwo(16, 256)},
+			{machine.Jacquard, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
+			{machine.Jaguar, powersOfTwo(16, 256)},
+			{machine.BGL, powersOfTwo(16, maxBGL)},
+			{machine.Phoenix, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
+		},
+		notes: []string{
+			"base grid refined by 2 then 4 (effective 4096×512×256)",
+			"Phoenix and Jacquard experiments crash at P≥256 in the paper; those points are omitted",
+		},
+		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
 			cfg := hyperclaw.DefaultConfig(p)
 			return hyperclaw.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		})
+		},
+	}
+}
+
+// Fig7HyperCLaw regenerates Figure 7.
+func Fig7HyperCLaw(opts Options) (*Figure, error) { return fig7Spec(opts).build(opts) }
+
+// figureSpecs declares Figures 2–7 in order.
+func figureSpecs(opts Options) []*figureSpec {
+	return []*figureSpec{
+		fig2Spec(opts), fig3Spec(opts), fig4Spec(opts),
+		fig5Spec(opts), fig6Spec(opts), fig7Spec(opts),
+	}
+}
+
+// AllFigures runs Figures 2–7, fanning the full (figure × machine ×
+// concurrency) cross-product through one pool so the independent points
+// of different figures overlap.
+func AllFigures(opts Options) ([]*Figure, error) {
+	specs := figureSpecs(opts)
+	var jobs []runner.Job
+	counts := make([]int, len(specs))
+	for i, fs := range specs {
+		js := fs.jobs(opts)
+		counts[i] = len(js)
+		jobs = append(jobs, js...)
+	}
+	results, err := opts.pool().Run(jobs)
 	if err != nil {
 		return nil, err
 	}
-	fig.Notes = append(fig.Notes,
-		"base grid refined by 2 then 4 (effective 4096×512×256)",
-		"Phoenix and Jacquard experiments crash at P≥256 in the paper; those points are omitted")
-	return fig, nil
-}
-
-// AllFigures runs Figures 2–7 in order.
-func AllFigures(opts Options) ([]*Figure, error) {
-	funcs := []func(Options) (*Figure, error){
-		Fig2GTC, Fig3ELBM3D, Fig4Cactus, Fig5BeamBeam3D, Fig6PARATEC, Fig7HyperCLaw,
+	figs := make([]*Figure, len(specs))
+	off := 0
+	for i, fs := range specs {
+		figs[i] = fs.assemble(results[off : off+counts[i]])
+		off += counts[i]
 	}
-	var out []*Figure
-	for _, f := range funcs {
-		fig, err := f(opts)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, fig)
-	}
-	return out, nil
+	return figs, nil
 }

@@ -7,6 +7,7 @@ import (
 	"repro/internal/apps/gtc"
 	"repro/internal/apps/hyperclaw"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/simmpi"
 )
 
@@ -36,6 +37,38 @@ func finishSpeedups(rows []OptResult) []OptResult {
 		}
 	}
 	return rows
+}
+
+// optStudy schedules one job per study variant and folds the walls back
+// into labelled rows with speedups over the first (baseline) variant.
+func optStudy(opts Options, study string, spec machine.Spec, procs int,
+	labels []string, run func(i int) (float64, error)) ([]OptResult, error) {
+
+	jobs := make([]runner.Job, len(labels))
+	for i, label := range labels {
+		i, label := i, label
+		jobs[i] = runner.Job{
+			Key: runner.Key(study, label, spec, procs),
+			Run: func() (runner.Result, error) {
+				wall, err := run(i)
+				if err != nil {
+					return runner.Result{}, fmt.Errorf("%s %q: %w", study, label, err)
+				}
+				return runner.Result{
+					Experiment: study, Machine: spec.Name, Procs: procs, WallSec: wall,
+				}, nil
+			},
+		}
+	}
+	results, err := opts.pool().Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]OptResult, len(labels))
+	for i, label := range labels {
+		rows[i] = OptResult{Label: label, Wall: results[i].WallSec}
+	}
+	return finishSpeedups(rows), nil
 }
 
 // GTCOptStudy reproduces the §3.1 BG/L optimisation ladder: stock GNU
@@ -84,15 +117,13 @@ func GTCOptStudy(opts Options) ([]OptResult, error) {
 		{"+ loop unrolling, real(int(x))", machine.VendorVector, true, false},
 		{"+ torus-aligned processor mapping", machine.VendorVector, true, true},
 	}
-	var rows []OptResult
-	for _, v := range variants {
-		wall, err := run(v.lib, v.loops, v.aligned)
-		if err != nil {
-			return nil, fmt.Errorf("gtc opt %q: %w", v.label, err)
-		}
-		rows = append(rows, OptResult{Label: v.label, Wall: wall})
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.label
 	}
-	return finishSpeedups(rows), nil
+	return optStudy(opts, "gtcopt", machine.BGW, procs, labels, func(i int) (float64, error) {
+		return run(variants[i].lib, variants[i].loops, variants[i].aligned)
+	})
 }
 
 // AMROptStudy reproduces the §8.1 HyperCLaw optimisations on the X1E: the
@@ -129,15 +160,13 @@ func AMROptStudy(opts Options) ([]OptResult, error) {
 		{"+ pointer-swap knapsack", true, false},
 		{"+ hashed O(N log N) intersection", false, false},
 	}
-	var rows []OptResult
-	for _, v := range variants {
-		wall, err := run(v.naive, v.copying)
-		if err != nil {
-			return nil, fmt.Errorf("amr opt %q: %w", v.label, err)
-		}
-		rows = append(rows, OptResult{Label: v.label, Wall: wall})
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.label
 	}
-	return finishSpeedups(rows), nil
+	return optStudy(opts, "amropt", machine.Phoenix, procs, labels, func(i int) (float64, error) {
+		return run(variants[i].naive, variants[i].copying)
+	})
 }
 
 // VirtualNodeStudy reproduces the §3.1 observation that GTC keeps >95%
@@ -149,17 +178,16 @@ func VirtualNodeStudy(opts Options) ([]OptResult, error) {
 	}
 	cfg := gtc.DefaultConfig(machine.BGL, procs)
 	cfg.ActualParticlesPerRank = 500
-	co, err := gtc.Run(simmpi.Config{Machine: machine.BGL, Procs: procs}, cfg)
-	if err != nil {
-		return nil, err
+	specs := []machine.Spec{machine.BGL, machine.BGL.WithMode(machine.VirtualNode)}
+	labels := []string{
+		"coprocessor mode (1 compute core/node)",
+		"virtual node mode (2 compute cores/node)",
 	}
-	vn, err := gtc.Run(simmpi.Config{Machine: machine.BGL.WithMode(machine.VirtualNode), Procs: procs}, cfg)
-	if err != nil {
-		return nil, err
-	}
-	rows := []OptResult{
-		{Label: "coprocessor mode (1 compute core/node)", Wall: co.Wall},
-		{Label: "virtual node mode (2 compute cores/node)", Wall: vn.Wall},
-	}
-	return finishSpeedups(rows), nil
+	return optStudy(opts, "vnode", machine.BGL, procs, labels, func(i int) (float64, error) {
+		rep, err := gtc.Run(simmpi.Config{Machine: specs[i], Procs: procs}, cfg)
+		if err != nil {
+			return 0, err
+		}
+		return rep.Wall, nil
+	})
 }

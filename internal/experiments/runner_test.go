@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// renderFig builds a figure through the given pool and renders it.
+func renderFig(t *testing.T, f func(Options) (*Figure, error), pool *runner.Pool) string {
+	t.Helper()
+	opts := Options{Quick: true, MaxProcs: 128, Runner: pool}
+	fig, err := f(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := fig.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestFig2ParallelMatchesSerial is the determinism contract: fanning
+// the point cross-product across workers must render byte-identically
+// to the serial path.
+func TestFig2ParallelMatchesSerial(t *testing.T) {
+	serial := renderFig(t, Fig2GTC, &runner.Pool{Workers: 1})
+	parallel := renderFig(t, Fig2GTC, &runner.Pool{Workers: 8})
+	if serial != parallel {
+		t.Fatalf("parallel Figure 2 diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+func TestTable1ParallelMatchesSerial(t *testing.T) {
+	serial, err := Table1(Options{Runner: &runner.Pool{Workers: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	parallel, err := Table1(Options{Runner: &runner.Pool{Workers: 6}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, parallel) {
+		t.Fatalf("parallel Table 1 diverged:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+}
+
+// TestAllFiguresPooledMatchesPerFigure checks that pooling the whole
+// figure cross-product through one Run yields the same figures as
+// building each one alone.
+func TestAllFiguresPooledMatchesPerFigure(t *testing.T) {
+	opts := Options{Quick: true, MaxProcs: 64, Runner: &runner.Pool{Workers: 8}}
+	pooled, err := AllFigures(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	singles := []func(Options) (*Figure, error){
+		Fig2GTC, Fig3ELBM3D, Fig4Cactus, Fig5BeamBeam3D, Fig6PARATEC, Fig7HyperCLaw,
+	}
+	if len(pooled) != len(singles) {
+		t.Fatalf("%d pooled figures, want %d", len(pooled), len(singles))
+	}
+	for i, f := range singles {
+		alone, err := f(Options{Quick: true, MaxProcs: 64})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var want, got bytes.Buffer
+		if err := alone.Render(&want); err != nil {
+			t.Fatal(err)
+		}
+		if err := pooled[i].Render(&got); err != nil {
+			t.Fatal(err)
+		}
+		if want.String() != got.String() {
+			t.Errorf("%s diverged between pooled and standalone builds", alone.ID)
+		}
+	}
+}
+
+// TestFigureCacheSkipsResimulation runs Figure 3 twice against one
+// cache directory; the second pool must serve every point from disk and
+// render identically.
+func TestFigureCacheSkipsResimulation(t *testing.T) {
+	cache, err := runner.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := &runner.Pool{Workers: 4, Cache: cache}
+	first := renderFig(t, Fig3ELBM3D, cold)
+	if s := cold.Stats(); s.Hits != 0 || s.Simulated == 0 {
+		t.Fatalf("cold stats %+v, want all points simulated", s)
+	}
+	warm := &runner.Pool{Workers: 4, Cache: cache}
+	second := renderFig(t, Fig3ELBM3D, warm)
+	if s := warm.Stats(); s.Simulated != 0 || s.Hits == 0 {
+		t.Fatalf("warm stats %+v, want zero re-simulated points", s)
+	}
+	if first != second {
+		t.Fatal("cached render diverged from simulated render")
+	}
+}
+
+// TestFigureArtifacts checks the structured exports: every assembled
+// point appears in the CSV and JSON forms.
+func TestFigureArtifacts(t *testing.T) {
+	opts := Options{Quick: true, MaxProcs: 64}
+	fig, err := Fig3ELBM3D(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, s := range fig.Series {
+		n += len(s.Points)
+	}
+	if len(fig.Results) != n {
+		t.Fatalf("%d structured results for %d points", len(fig.Results), n)
+	}
+	var csv, js bytes.Buffer
+	if err := fig.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	if err := fig.JSON(&js); err != nil {
+		t.Fatal(err)
+	}
+	if lines := bytes.Count(csv.Bytes(), []byte("\n")); lines != n+1 {
+		t.Errorf("CSV has %d lines, want %d points + header", lines, n)
+	}
+	if !bytes.Contains(js.Bytes(), []byte(`"experiment": "Figure 3"`)) {
+		t.Error("JSON export lacks the experiment field")
+	}
+}

@@ -11,6 +11,7 @@ import (
 	"repro/internal/apps/hyperclaw"
 	"repro/internal/apps/paratec"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/simmpi"
 )
 
@@ -91,24 +92,48 @@ func Fig8Summary(opts Options) (*Summary, error) {
 		}},
 	}
 
+	// One job per (application, machine) cell, app-major so the results
+	// slice indexes as defs × machines.
+	var jobs []runner.Job
 	for _, def := range defs {
-		var cells []SummaryCell
-		best := 0.0
 		for _, spec := range machines {
+			def, spec := def, spec
 			p := fig8Procs(def.name, spec, opts)
-			rep, err := def.run(spec, p)
-			if err != nil {
-				return nil, fmt.Errorf("fig8 %s on %s: %w", def.name, spec.Name, err)
+			jobs = append(jobs, runner.Job{
+				Key: runner.Key("Figure 8", def.name, spec, p),
+				Run: func() (runner.Result, error) {
+					rep, err := def.run(spec, p)
+					if err != nil {
+						return runner.Result{}, fmt.Errorf("fig8 %s on %s: %w", def.name, spec.Name, err)
+					}
+					return runner.Result{
+						Experiment: "Figure 8", App: def.name, Machine: spec.Name, Procs: p,
+						Gflops:   rep.GflopsPerProc(),
+						PctPeak:  rep.PercentOfPeak(spec.PeakGFs),
+						CommFrac: rep.CommFrac,
+						WallSec:  rep.Wall,
+					}, nil
+				},
+			})
+		}
+	}
+	results, err := opts.pool().Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	for di := range defs {
+		cells := make([]SummaryCell, len(machines))
+		best := 0.0
+		for mi := range machines {
+			r := results[di*len(machines)+mi]
+			cells[mi] = SummaryCell{
+				App: r.App, Machine: r.Machine, Procs: r.Procs,
+				Gflops:  r.Gflops,
+				PctPeak: r.PctPeak,
 			}
-			c := SummaryCell{
-				App: def.name, Machine: spec.Name, Procs: p,
-				Gflops:  rep.GflopsPerProc(),
-				PctPeak: rep.PercentOfPeak(spec.PeakGFs),
+			if r.Gflops > best {
+				best = r.Gflops
 			}
-			if c.Gflops > best {
-				best = c.Gflops
-			}
-			cells = append(cells, c)
 		}
 		for i := range cells {
 			if best > 0 {

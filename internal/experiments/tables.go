@@ -13,6 +13,7 @@ import (
 	"repro/internal/apps/paratec"
 	"repro/internal/machine"
 	"repro/internal/pingpong"
+	"repro/internal/runner"
 	"repro/internal/stream"
 )
 
@@ -33,16 +34,39 @@ type Table1Row struct {
 }
 
 // Table1 regenerates the architectural-highlights table by running the
-// microbenchmarks on every platform model.
-func Table1() ([]Table1Row, error) {
-	var rows []Table1Row
-	for _, spec := range machine.All() {
-		st := stream.Measure(spec, 1<<20)
-		pp, err := pingpong.Measure(spec)
-		if err != nil {
-			return nil, fmt.Errorf("table1 %s: %w", spec.Name, err)
+// microbenchmarks on every platform model, one schedulable job per
+// machine.
+func Table1(opts Options) ([]Table1Row, error) {
+	specs := machine.All()
+	jobs := make([]runner.Job, len(specs))
+	for i, spec := range specs {
+		jobs[i] = runner.Job{
+			Key: runner.Key("Table 1", spec),
+			Run: func() (runner.Result, error) {
+				st := stream.Measure(spec, 1<<20)
+				pp, err := pingpong.Measure(spec)
+				if err != nil {
+					return runner.Result{}, fmt.Errorf("table1 %s: %w", spec.Name, err)
+				}
+				return runner.Result{
+					Experiment: "Table 1", Machine: spec.Name,
+					Extra: map[string]float64{
+						"stream_gbs":     st.GBsPerProc,
+						"stream_bf":      st.BytesPerFlopRatio,
+						"mpi_latency_us": pp.LatencyUs,
+						"mpi_bw_gbs":     pp.BandwidthGBs,
+					},
+				}, nil
+			},
 		}
-		rows = append(rows, Table1Row{
+	}
+	results, err := opts.pool().Run(jobs)
+	if err != nil {
+		return nil, err
+	}
+	rows := make([]Table1Row, len(specs))
+	for i, spec := range specs {
+		rows[i] = Table1Row{
 			Name:         spec.Name,
 			Network:      spec.Network,
 			Topology:     string(spec.Topology),
@@ -50,11 +74,11 @@ func Table1() ([]Table1Row, error) {
 			ProcsPerNode: spec.ProcsPerNode,
 			ClockGHz:     spec.ClockGHz,
 			PeakGFs:      spec.PeakGFs,
-			StreamGBs:    st.GBsPerProc,
-			StreamBF:     st.BytesPerFlopRatio,
-			MPILatencyUs: pp.LatencyUs,
-			MPIBWGBs:     pp.BandwidthGBs,
-		})
+			StreamGBs:    results[i].Extra["stream_gbs"],
+			StreamBF:     results[i].Extra["stream_bf"],
+			MPILatencyUs: results[i].Extra["mpi_latency_us"],
+			MPIBWGBs:     results[i].Extra["mpi_bw_gbs"],
+		}
 	}
 	return rows, nil
 }

@@ -1,0 +1,124 @@
+package runner
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func testCache(t *testing.T) *Cache {
+	t.Helper()
+	c, err := OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestCacheRoundTrip(t *testing.T) {
+	c := testCache(t)
+	key := Key("Figure 2", "GTC", 64)
+	want := Result{
+		Experiment: "Figure 2", App: "GTC", Machine: "Bassi", Procs: 64,
+		Gflops: 1.19, PctPeak: 15.7, CommFrac: 0.08, WallSec: 12.5,
+		Extra:  map[string]float64{"stream_gbs": 6.8},
+		Output: "rendered text",
+	}
+	if err := c.Put(key, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := c.Get(key)
+	if !ok {
+		t.Fatal("cache miss after Put")
+	}
+	if got.App != want.App || got.Gflops != want.Gflops ||
+		got.Extra["stream_gbs"] != want.Extra["stream_gbs"] || got.Output != want.Output {
+		t.Fatalf("round trip mangled the record: %+v", got)
+	}
+	if c.Len() != 1 {
+		t.Fatalf("cache holds %d entries, want 1", c.Len())
+	}
+}
+
+func TestCacheMiss(t *testing.T) {
+	c := testCache(t)
+	if _, ok := c.Get(Key("never stored")); ok {
+		t.Fatal("hit on a key that was never stored")
+	}
+}
+
+func TestCorruptEntryIsAMiss(t *testing.T) {
+	c := testCache(t)
+	key := Key("Figure 2", "GTC", 64)
+	if err := os.WriteFile(filepath.Join(c.Dir(), key+".json"), []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("corrupt entry served as a hit")
+	}
+}
+
+// TestPoolServesSecondRunFromCache is the cache contract end to end:
+// the first run simulates every point, the second serves every point
+// from disk without invoking a single Run function.
+func TestPoolServesSecondRunFromCache(t *testing.T) {
+	cache := testCache(t)
+	newJobs := func(mustRun bool) []Job {
+		jobs := make([]Job, 8)
+		for i := range jobs {
+			jobs[i] = Job{
+				Key: Key("exp", i),
+				Run: func() (Result, error) {
+					if !mustRun {
+						t.Errorf("job %d re-simulated despite a warm cache", i)
+					}
+					return Result{Experiment: "exp", Procs: i, Gflops: float64(i)}, nil
+				},
+			}
+		}
+		return jobs
+	}
+
+	cold := &Pool{Workers: 4, Cache: cache}
+	first, err := cold.Run(newJobs(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := cold.Stats(); s.Simulated != 8 || s.Hits != 0 {
+		t.Fatalf("cold run stats %+v, want 8 simulated, 0 hits", s)
+	}
+
+	warm := &Pool{Workers: 4, Cache: cache}
+	second, err := warm.Run(newJobs(false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := warm.Stats(); s.Simulated != 0 || s.Hits != 8 {
+		t.Fatalf("warm run stats %+v, want 0 simulated, 8 hits", s)
+	}
+	for i := range first {
+		if first[i].Gflops != second[i].Gflops || first[i].Procs != second[i].Procs {
+			t.Fatalf("point %d changed across runs: %+v vs %+v", i, first[i], second[i])
+		}
+		if !second[i].Cached {
+			t.Fatalf("point %d not marked Cached on the warm run", i)
+		}
+	}
+}
+
+func TestEmptyKeyDisablesCaching(t *testing.T) {
+	cache := testCache(t)
+	p := &Pool{Workers: 2, Cache: cache}
+	jobs := []Job{{Run: func() (Result, error) { return Result{}, nil }}}
+	for i := 0; i < 2; i++ {
+		if _, err := p.Run(jobs); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := p.Stats(); s.Simulated != 2 || s.Hits != 0 {
+		t.Fatalf("stats %+v, want both runs simulated", s)
+	}
+	if cache.Len() != 0 {
+		t.Fatalf("uncacheable job left %d entries behind", cache.Len())
+	}
+}

@@ -1,0 +1,30 @@
+// Package runner schedules experiment points across a worker pool and
+// serves repeated points from a content-keyed result cache.
+//
+// The paper's evaluation is a large cross-product — six applications ×
+// five platform models × many concurrencies — and every point is an
+// independent simulation. The runner is the seam between that
+// cross-product and the host machine:
+//
+//   - A [Job] is one independently schedulable point: a content [Key]
+//     identifying what is being simulated plus a Run function that
+//     produces a structured [Result].
+//   - A [Pool] fans jobs out across a fixed number of worker
+//     goroutines. Results always come back in job order, so output
+//     assembled from them is byte-identical to a serial run regardless
+//     of worker count or host scheduling.
+//   - A [Cache] persists results as one JSON file per point under a
+//     directory, keyed by the SHA-256 of the experiment identifier and
+//     every value that determines the point's outcome (machine spec,
+//     concurrency, config knobs). A second run of the same experiment
+//     set completes without re-simulating anything; [Pool.Stats]
+//     reports the hit/simulated split.
+//
+// [Result] records serialize to JSON ([WriteJSON]) and CSV
+// ([WriteCSV]) for external plotting and archival.
+//
+// The package is deliberately ignorant of the experiments themselves:
+// internal/experiments expands figures, tables and optimisation
+// studies into jobs, and cmd/petasim owns the pool's size (-jobs) and
+// the cache location (-cache).
+package runner

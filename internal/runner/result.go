@@ -1,0 +1,71 @@
+package runner
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// Result is the structured record of one simulated experiment point.
+// Figure points fill the scalar metric fields; experiments whose points
+// are not scaling-curve points use Extra (named scalar columns, e.g.
+// Table 1 microbenchmarks) or Output (prerendered text artifacts, e.g.
+// the Figure 1 topology captures).
+type Result struct {
+	// Experiment identifies the table or figure the point belongs to.
+	Experiment string `json:"experiment"`
+	// App is the application name, when the point runs one.
+	App string `json:"app,omitempty"`
+	// Machine is the platform model's name.
+	Machine string `json:"machine,omitempty"`
+	// Procs is the simulated concurrency.
+	Procs int `json:"procs,omitempty"`
+
+	// Gflops is sustained Gflop/s per processor.
+	Gflops float64 `json:"gflops_per_proc,omitempty"`
+	// PctPeak is the sustained percentage of the platform's peak.
+	PctPeak float64 `json:"pct_peak,omitempty"`
+	// CommFrac is the mean fraction of wall time spent communicating.
+	CommFrac float64 `json:"comm_frac,omitempty"`
+	// WallSec is the simulated wall-clock time in seconds.
+	WallSec float64 `json:"wall_sec,omitempty"`
+
+	// Extra holds named scalars for points that are not figure points.
+	Extra map[string]float64 `json:"extra,omitempty"`
+	// Output holds prerendered text for artifacts consumed as text.
+	Output string `json:"output,omitempty"`
+
+	// Cached reports whether this result was served from the cache.
+	// It describes the serving run, not the point, and is therefore
+	// excluded from the cached payload.
+	Cached bool `json:"-"`
+}
+
+// WriteJSON writes results as an indented JSON array.
+func WriteJSON(w io.Writer, results []Result) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(results)
+}
+
+// CSVHeader is the column row matching Result.CSVRow.
+const CSVHeader = "experiment,app,machine,procs,gflops_per_proc,pct_peak,comm_frac,wall_sec"
+
+// CSVRow renders the figure-point columns of the record.
+func (r Result) CSVRow() string {
+	return fmt.Sprintf("%s,%s,%s,%d,%g,%g,%g,%g",
+		r.Experiment, r.App, r.Machine, r.Procs, r.Gflops, r.PctPeak, r.CommFrac, r.WallSec)
+}
+
+// WriteCSV writes the results' figure-point columns in CSV form.
+func WriteCSV(w io.Writer, results []Result) error {
+	if _, err := fmt.Fprintln(w, CSVHeader); err != nil {
+		return err
+	}
+	for _, r := range results {
+		if _, err := fmt.Fprintln(w, r.CSVRow()); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package runner
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io"
+	"sync"
+	"sync/atomic"
+)
+
+// cacheVersion salts every content key. Bump it when a change to the
+// performance models or experiment configurations invalidates points
+// simulated by earlier builds.
+const cacheVersion = "petasim-cache-v1"
+
+// Key builds the content key for one schedulable point from the
+// experiment identifier and the values that determine the point's
+// outcome: the machine spec, the concurrency, and any config knobs that
+// vary between points of the same experiment. Components are rendered
+// with %+v, so plain structs, slices and scalars hash deterministically;
+// callers must not pass values containing pointers.
+func Key(experiment string, parts ...any) string {
+	h := sha256.New()
+	// Length-prefix every component so differently-split lists can never
+	// collide (Key("x", "a|b") vs Key("x", "a", "b")).
+	writePart := func(s string) {
+		fmt.Fprintf(h, "%d:", len(s))
+		io.WriteString(h, s)
+	}
+	writePart(cacheVersion)
+	writePart(experiment)
+	for _, p := range parts {
+		writePart(fmt.Sprintf("%+v", p))
+	}
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// Job is one independently schedulable simulation point.
+type Job struct {
+	// Key is the content key used for result caching; empty disables
+	// caching for this job.
+	Key string
+	// Run simulates the point. Jobs run concurrently, so Run must not
+	// share mutable state with other jobs.
+	Run func() (Result, error)
+}
+
+// Stats counts what a pool did across its lifetime.
+type Stats struct {
+	// Points is the number of jobs dispatched (simulated or served).
+	Points int64
+	// Simulated is the number of jobs whose Run function executed.
+	Simulated int64
+	// Hits is the number of jobs served from the cache.
+	Hits int64
+}
+
+func (s Stats) String() string {
+	return fmt.Sprintf("%d points (%d simulated, %d cache hits)",
+		s.Points, s.Simulated, s.Hits)
+}
+
+// Pool fans jobs out across a fixed set of worker goroutines, serving
+// repeated points from an optional result cache. The zero value is a
+// serial, uncached pool ready to use. A pool may be shared by many Run
+// calls — cmd/petasim uses one pool for an entire invocation so the
+// final stats cover every experiment.
+type Pool struct {
+	// Workers is the number of concurrent workers. Values below 1 run
+	// serially; values above the job count are clamped.
+	Workers int
+	// Cache, if non-nil, is consulted before running a job and updated
+	// after a simulated point completes.
+	Cache *Cache
+
+	points, simulated, hits atomic.Int64
+}
+
+// Stats returns the totals accumulated across every Run call so far.
+func (p *Pool) Stats() Stats {
+	return Stats{
+		Points:    p.points.Load(),
+		Simulated: p.simulated.Load(),
+		Hits:      p.hits.Load(),
+	}
+}
+
+// Run executes the jobs and returns their results in job order,
+// regardless of worker count or host scheduling — output assembled from
+// the slice is byte-identical to a serial run. If any jobs fail, Run
+// stops starting new jobs, waits for the in-flight ones, and returns
+// the lowest-indexed recorded failure; results are discarded. (Which
+// later jobs were skipped after a failure can vary with scheduling;
+// the successful path is what must be deterministic.)
+func (p *Pool) Run(jobs []Job) ([]Result, error) {
+	workers := p.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				results[i], errs[i] = p.runJob(jobs[i])
+				if errs[i] != nil {
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := range jobs {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}
+
+// runJob serves one job from the cache or simulates it.
+func (p *Pool) runJob(j Job) (Result, error) {
+	p.points.Add(1)
+	if p.Cache != nil && j.Key != "" {
+		if r, ok := p.Cache.Get(j.Key); ok {
+			p.hits.Add(1)
+			r.Cached = true
+			return r, nil
+		}
+	}
+	r, err := j.Run()
+	if err != nil {
+		return Result{}, err
+	}
+	p.simulated.Add(1)
+	if p.Cache != nil && j.Key != "" {
+		if err := p.Cache.Put(j.Key, r); err != nil {
+			return Result{}, err
+		}
+	}
+	return r, nil
+}

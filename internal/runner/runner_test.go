@@ -1,0 +1,203 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stampJobs returns jobs whose results record their own index, with the
+// earliest jobs sleeping longest so a racy pool would return them out
+// of order.
+func stampJobs(n int) []Job {
+	jobs := make([]Job, n)
+	for i := range jobs {
+		jobs[i] = Job{Run: func() (Result, error) {
+			time.Sleep(time.Duration(n-i) * time.Millisecond)
+			return Result{Experiment: "stamp", Procs: i}, nil
+		}}
+	}
+	return jobs
+}
+
+func TestRunPreservesJobOrder(t *testing.T) {
+	p := &Pool{Workers: 8}
+	results, err := p.Run(stampJobs(32))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 32 {
+		t.Fatalf("%d results, want 32", len(results))
+	}
+	for i, r := range results {
+		if r.Procs != i {
+			t.Fatalf("result %d carries stamp %d; order not preserved", i, r.Procs)
+		}
+	}
+}
+
+func TestSerialPoolRunsOneJobAtATime(t *testing.T) {
+	// Workers below 1 clamp to a serial pool; concurrent Run calls
+	// would trip the inFlight counter.
+	for _, workers := range []int{-1, 0, 1} {
+		var inFlight, maxInFlight atomic.Int64
+		jobs := make([]Job, 16)
+		for i := range jobs {
+			jobs[i] = Job{Run: func() (Result, error) {
+				n := inFlight.Add(1)
+				defer inFlight.Add(-1)
+				for {
+					m := maxInFlight.Load()
+					if n <= m || maxInFlight.CompareAndSwap(m, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				return Result{}, nil
+			}}
+		}
+		p := &Pool{Workers: workers}
+		if _, err := p.Run(jobs); err != nil {
+			t.Fatal(err)
+		}
+		if got := maxInFlight.Load(); got != 1 {
+			t.Errorf("Workers=%d: %d jobs in flight at once, want 1", workers, got)
+		}
+	}
+}
+
+func TestMoreWorkersThanJobs(t *testing.T) {
+	p := &Pool{Workers: 64}
+	results, err := p.Run(stampJobs(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 {
+		t.Fatalf("%d results, want 3", len(results))
+	}
+	for i, r := range results {
+		if r.Procs != i {
+			t.Fatalf("result %d carries stamp %d", i, r.Procs)
+		}
+	}
+}
+
+func TestRunEmptyAndNil(t *testing.T) {
+	p := &Pool{Workers: 4}
+	for _, jobs := range [][]Job{nil, {}} {
+		results, err := p.Run(jobs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(results) != 0 {
+			t.Fatalf("%d results from empty job set", len(results))
+		}
+	}
+}
+
+func TestLowestIndexedRecordedErrorWins(t *testing.T) {
+	// Both failing jobs are in flight before either fails (the barrier
+	// guarantees it), so both errors are recorded; the lower-indexed
+	// one must be returned even if the other finishes first.
+	var both sync.WaitGroup
+	both.Add(2)
+	errEarly := errors.New("early failure")
+	barrier := func(err error) (Result, error) {
+		both.Done()
+		both.Wait()
+		return Result{}, err
+	}
+	jobs := []Job{
+		{Run: func() (Result, error) { return barrier(errEarly) }},
+		{Run: func() (Result, error) { return barrier(errors.New("late failure")) }},
+	}
+	p := &Pool{Workers: 2}
+	_, err := p.Run(jobs)
+	if !errors.Is(err, errEarly) {
+		t.Fatalf("got %v, want the lowest-indexed recorded failure", err)
+	}
+}
+
+func TestFailureStopsDispatchingNewJobs(t *testing.T) {
+	// Serial pool: job 0 fails, so none of the expensive jobs behind it
+	// may start.
+	var started atomic.Int64
+	jobs := []Job{{Run: func() (Result, error) {
+		return Result{}, errors.New("boom")
+	}}}
+	for i := 0; i < 64; i++ {
+		jobs = append(jobs, Job{Run: func() (Result, error) {
+			started.Add(1)
+			return Result{}, nil
+		}})
+	}
+	p := &Pool{Workers: 1}
+	if _, err := p.Run(jobs); err == nil {
+		t.Fatal("failing job set returned nil error")
+	}
+	if n := started.Load(); n != 0 {
+		t.Fatalf("%d jobs simulated after the failure; dispatch not cancelled", n)
+	}
+}
+
+func TestKeyComponentSplitDoesNotCollide(t *testing.T) {
+	if Key("x", "a|b") == Key("x", "a", "b") {
+		t.Fatal("differently split components hashed identically")
+	}
+}
+
+func TestStatsAccumulateAcrossRuns(t *testing.T) {
+	p := &Pool{Workers: 2}
+	for run := 0; run < 3; run++ {
+		if _, err := p.Run(stampJobs(4)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := p.Stats()
+	if s.Points != 12 || s.Simulated != 12 || s.Hits != 0 {
+		t.Fatalf("stats %+v, want 12 points, 12 simulated, 0 hits", s)
+	}
+	if got := s.String(); got != "12 points (12 simulated, 0 cache hits)" {
+		t.Fatalf("stats string %q", got)
+	}
+}
+
+func TestKeyDiscriminatesAndIsStable(t *testing.T) {
+	type spec struct {
+		Name  string
+		Procs int
+	}
+	base := Key("Figure 2", spec{"Bassi", 8}, 64)
+	if again := Key("Figure 2", spec{"Bassi", 8}, 64); again != base {
+		t.Fatal("identical inputs hashed differently")
+	}
+	for i, other := range []string{
+		Key("Figure 3", spec{"Bassi", 8}, 64),
+		Key("Figure 2", spec{"Jaguar", 8}, 64),
+		Key("Figure 2", spec{"Bassi", 8}, 128),
+		Key("Figure 2", spec{"Bassi", 8}),
+	} {
+		if other == base {
+			t.Fatalf("variant %d collided with the base key", i)
+		}
+	}
+}
+
+func BenchmarkPoolOverhead(b *testing.B) {
+	jobs := make([]Job, 256)
+	for i := range jobs {
+		jobs[i] = Job{Run: func() (Result, error) {
+			return Result{Experiment: fmt.Sprint(i)}, nil
+		}}
+	}
+	p := &Pool{Workers: 8}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Run(jobs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
