@@ -1,6 +1,7 @@
 // Command petasim regenerates the tables and figures of "Scientific
 // Application Performance on Candidate PetaScale Platforms" (Oliker et
-// al., IPDPS 2007) on the simulated platform models.
+// al., IPDPS 2007) on the simulated platform models, and sweeps any
+// workload × platform × concurrency cross-product beyond them.
 //
 // Usage:
 //
@@ -10,7 +11,7 @@
 //
 //	table1    architectural highlights (STREAM, MPI microbenchmarks)
 //	table2    application overview
-//	fig1      communication topologies of the six applications
+//	fig1      communication topologies of the registered workloads
 //	fig2      GTC weak scaling
 //	fig3      ELBM3D strong scaling
 //	fig4      Cactus weak scaling
@@ -19,11 +20,13 @@
 //	fig7      HyperCLaw weak scaling
 //	fig8      cross-application summary
 //	figures   figures 2–7 in sequence
+//	sweep     generic -app × -machine × -procs cross-product
 //	gtcopt    §3.1 GTC BG/L optimisation ladder
 //	amropt    §8.1 HyperCLaw X1E knapsack/regrid optimisations
 //	vnode     §3.1 BG/L virtual-node-mode efficiency
 //	machines  list the modelled platforms
-//	all       everything above
+//	workloads list the registered workloads (Table 2 metadata)
+//	all       everything above except sweep
 //
 // Flags:
 //
@@ -31,9 +34,17 @@
 //	-max N        cap every series at N processors
 //	-jobs N       worker goroutines for the experiment point cross-product
 //	-cache DIR    persist simulated points; repeated runs skip them
-//	-csv DIR      also write each figure's points as CSV into DIR
-//	-json DIR     also write each figure's points as JSON into DIR
+//	-csv DIR      also write each experiment's points as CSV into DIR
+//	-json DIR     also write each experiment's points as JSON into DIR
 //	-commtopo-p N concurrency for fig1 (default 64)
+//	-app LIST     sweep: comma-separated workloads (default: all registered)
+//	-machine LIST sweep: comma-separated platforms (default: the full testbed)
+//	-procs LIST   sweep: comma-separated concurrencies (default: 64..1024)
+//
+// Every application is a workload registered in internal/apps; the
+// figures, the summary, the topology captures, and the sweep all
+// dispatch through that registry, so a seventh workload becomes
+// sweepable (and appears in fig1/fig8/table2) just by registering.
 //
 // Every independent (experiment, machine, concurrency) point is fanned
 // out across -jobs workers through internal/runner; point results are
@@ -50,8 +61,11 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"strings"
 
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/runner"
@@ -62,9 +76,12 @@ func main() {
 	maxProcs := flag.Int("max", 0, "cap every series at this many processors")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for experiment points")
 	cacheDir := flag.String("cache", "", "cache simulated points in this directory")
-	csvDir := flag.String("csv", "", "write figure CSVs into this directory")
-	jsonDir := flag.String("json", "", "write figure JSON records into this directory")
+	csvDir := flag.String("csv", "", "write experiment CSVs into this directory")
+	jsonDir := flag.String("json", "", "write experiment JSON records into this directory")
 	commP := flag.Int("commtopo-p", 64, "concurrency for the fig1 topology capture")
+	appList := flag.String("app", "", "sweep: comma-separated workload names")
+	machineList := flag.String("machine", "", "sweep: comma-separated machine names")
+	procsList := flag.String("procs", "", "sweep: comma-separated processor counts")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -81,8 +98,16 @@ func main() {
 		pool.Cache = cache
 	}
 	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Runner: pool}
-	cmd := strings.ToLower(flag.Arg(0))
-	err := run(cmd, opts, *csvDir, *jsonDir, *commP)
+	cli := cliConfig{
+		csvDir: *csvDir, jsonDir: *jsonDir, commP: *commP,
+		apps:     splitList(*appList),
+		machines: splitList(*machineList),
+	}
+	var err error
+	cli.procs, err = parseProcs(*procsList)
+	if err == nil {
+		err = run(strings.ToLower(flag.Arg(0)), opts, cli)
+	}
 	if s := pool.Stats(); s.Points > 0 {
 		fmt.Fprintf(os.Stderr, "petasim: %s across %d workers\n", s, pool.Workers)
 	}
@@ -92,20 +117,50 @@ func main() {
 	}
 }
 
-func run(cmd string, opts experiments.Options, csvDir, jsonDir string, commP int) error {
+// cliConfig carries the artifact directories and the sweep selectors.
+type cliConfig struct {
+	csvDir, jsonDir string
+	commP           int
+	apps, machines  []string
+	procs           []int
+}
+
+func run(cmd string, opts experiments.Options, cli cliConfig) error {
 	out := os.Stdout
-	figure := func(f func(experiments.Options) (*experiments.Figure, error)) error {
-		fig, err := f(opts)
-		if err != nil {
-			return err
-		}
+	// renderFigure is the single render+artifact path every figure-shaped
+	// experiment goes through: the two table panels, the Gflop/s chart,
+	// and the -csv/-json artifacts.
+	renderFigure := func(fig *experiments.Figure) error {
 		if err := fig.Render(out); err != nil {
 			return err
 		}
 		if err := fig.RenderChart(out, "gflops"); err != nil {
 			return err
 		}
-		return writeArtifacts(csvDir, jsonDir, fig)
+		return writeArtifacts(cli, fig.ID, fig.CSV, fig.JSON)
+	}
+	figure := func(f func(experiments.Options) (*experiments.Figure, error)) error {
+		fig, err := f(opts)
+		if err != nil {
+			return err
+		}
+		return renderFigure(fig)
+	}
+	figureSet := func(figs []*experiments.Figure) error {
+		for _, fig := range figs {
+			if err := renderFigure(fig); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	study := func(id string) error {
+		study, rows, err := experiments.RunStudyByID(opts, id)
+		if err != nil {
+			return err
+		}
+		experiments.RenderOptResults(out, study.Title, rows)
+		return nil
 	}
 
 	switch cmd {
@@ -118,13 +173,17 @@ func run(cmd string, opts experiments.Options, csvDir, jsonDir string, commP int
 	case "table2":
 		experiments.RenderTable2(out)
 	case "fig1", "commtopo":
-		topos, err := experiments.Fig1Rendered(opts, commP, 48)
+		results, err := experiments.Fig1Rendered(opts, cli.commP, 48)
 		if err != nil {
 			return err
 		}
-		for _, t := range topos {
-			fmt.Fprint(out, t.Output)
+		for _, r := range results {
+			fmt.Fprint(out, r.Output)
 		}
+		// Topology captures are text artifacts with no scalar metrics, so
+		// only the JSON form (which carries the rendered output) is written.
+		return writeArtifacts(cli, "Figure 1", nil,
+			func(w io.Writer) error { return runner.WriteJSON(w, results) })
 	case "fig2":
 		return figure(experiments.Fig2GTC)
 	case "fig3":
@@ -142,38 +201,26 @@ func run(cmd string, opts experiments.Options, csvDir, jsonDir string, commP int
 		if err != nil {
 			return err
 		}
-		for _, fig := range figs {
-			if err := fig.Render(out); err != nil {
-				return err
-			}
-			if err := writeArtifacts(csvDir, jsonDir, fig); err != nil {
-				return err
-			}
+		return figureSet(figs)
+	case "sweep":
+		figs, err := experiments.Sweep(opts, cli.apps, cli.machines, cli.procs)
+		if err != nil {
+			return err
 		}
+		return figureSet(figs)
 	case "fig8":
 		sum, err := experiments.Fig8Summary(opts)
 		if err != nil {
 			return err
 		}
 		sum.Render(out)
+		return writeArtifacts(cli, "Figure 8", sum.CSV, sum.JSON)
 	case "gtcopt":
-		rows, err := experiments.GTCOptStudy(opts)
-		if err != nil {
-			return err
-		}
-		experiments.RenderOptResults(out, "GTC optimisations on BG/L (§3.1)", rows)
+		return study("gtcopt")
 	case "amropt":
-		rows, err := experiments.AMROptStudy(opts)
-		if err != nil {
-			return err
-		}
-		experiments.RenderOptResults(out, "HyperCLaw knapsack/regrid optimisations on the X1E (§8.1)", rows)
+		return study("amropt")
 	case "vnode":
-		rows, err := experiments.VirtualNodeStudy(opts)
-		if err != nil {
-			return err
-		}
-		experiments.RenderOptResults(out, "GTC BG/L virtual-node-mode study (§3.1)", rows)
+		return study("vnode")
 	case "apexmap":
 		results, err := experiments.ApexMapStudy(opts)
 		if err != nil {
@@ -187,36 +234,65 @@ func run(cmd string, opts experiments.Options, csvDir, jsonDir string, commP int
 		for _, m := range machine.All() {
 			fmt.Fprintln(out, m.String())
 		}
+	case "workloads":
+		for _, w := range apps.Workloads() {
+			fmt.Fprintln(out, w.Meta().Row())
+		}
 	case "all":
 		for _, c := range []string{"table1", "table2", "fig1", "figures", "fig8", "gtcopt", "amropt", "vnode", "apexmap"} {
-			if err := run(c, opts, csvDir, jsonDir, commP); err != nil {
+			if err := run(c, opts, cli); err != nil {
 				return err
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures gtcopt amropt vnode machines all)", cmd)
+		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep gtcopt amropt vnode machines workloads all)", cmd)
 	}
 	return nil
 }
 
-// writeArtifacts emits the figure's structured points in the requested
-// formats.
-func writeArtifacts(csvDir, jsonDir string, fig *experiments.Figure) error {
-	if err := writeFile(csvDir, fig, ".csv", fig.CSV); err != nil {
-		return err
+// splitList parses a comma-separated selector, trimming blanks.
+func splitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
 	}
-	return writeFile(jsonDir, fig, ".json", fig.JSON)
+	return out
 }
 
-func writeFile(dir string, fig *experiments.Figure, ext string, write func(io.Writer) error) error {
-	if dir == "" {
+// parseProcs parses the -procs selector.
+func parseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range splitList(s) {
+		p, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad -procs entry %q: %w", part, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// writeArtifacts emits an experiment's structured points in the requested
+// formats, named after the experiment ID ("Figure 3" → figure3.csv). A
+// nil writer skips that format.
+func writeArtifacts(cli cliConfig, id string, csv, json func(io.Writer) error) error {
+	name := strings.ToLower(strings.ReplaceAll(id, " ", ""))
+	if err := writeFile(cli.csvDir, name+".csv", csv); err != nil {
+		return err
+	}
+	return writeFile(cli.jsonDir, name+".json", json)
+}
+
+func writeFile(dir, name string, write func(io.Writer) error) error {
+	if dir == "" || write == nil {
 		return nil
 	}
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
-	name := strings.ToLower(strings.ReplaceAll(fig.ID, " ", ""))
-	f, err := os.Create(filepath.Join(dir, name+ext))
+	f, err := os.Create(filepath.Join(dir, name))
 	if err != nil {
 		return err
 	}

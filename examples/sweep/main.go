@@ -1,0 +1,42 @@
+// Sweep: every application is a first-class workload in the registry, so
+// any workload × platform × concurrency scenario outside the paper's
+// figures is a few lines — here, the full registry on two platforms at
+// two concurrencies, through the same deterministic parallel runner and
+// cache the paper figures use.
+//
+// Run with:
+//
+//	go run ./examples/sweep
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/experiments"
+	"repro/internal/runner"
+)
+
+func main() {
+	fmt.Println("registered workloads (Table 2):")
+	for _, w := range apps.Workloads() {
+		fmt.Println("  " + w.Meta().Row())
+	}
+	fmt.Println()
+
+	// A cross-product the paper never ran: every application on Jaguar
+	// and Bassi at 64 and 256 processors.
+	opts := experiments.Options{Runner: &runner.Pool{Workers: 8}}
+	figs, err := experiments.Sweep(opts, nil, []string{"jaguar", "bassi"}, []int{64, 256})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fig := range figs {
+		if err := fig.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,19 @@
+// Package all populates the workload registry with the six applications
+// of the paper's study. Import it blank wherever registry dispatch is
+// used without naming an application:
+//
+//	import _ "repro/internal/apps/all"
+//
+// This is the database/sql driver idiom: the app packages register
+// themselves in their init functions, and this package exists only to
+// pull all six in without any caller importing an app directly.
+package all
+
+import (
+	_ "repro/internal/apps/beambeam3d"
+	_ "repro/internal/apps/cactus"
+	_ "repro/internal/apps/elbm3d"
+	_ "repro/internal/apps/gtc"
+	_ "repro/internal/apps/hyperclaw"
+	_ "repro/internal/apps/paratec"
+)

@@ -1,0 +1,50 @@
+package beambeam3d
+
+import (
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// workload adapts BeamBeam3D to the apps.Workload registry.
+type workload struct{}
+
+func init() { apps.Register(workload{}) }
+
+func (workload) Name() string    { return "BeamBeam3D" }
+func (workload) Meta() apps.Meta { return Meta }
+
+// DefaultConfig is the paper's Figure 5 strong-scaling point: the
+// 256²×32 grid with the per-rank particle count bounded by
+// ScaledParticles.
+func (workload) DefaultConfig(spec machine.Spec, procs int) any {
+	cfg := DefaultConfig(procs)
+	cfg.ParticlesPerRank = ScaledParticles(procs)
+	return cfg
+}
+
+func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(sim, cfg.(Config))
+}
+
+// TopoConfig implements apps.TopoConfigurer: a light particle load over
+// two collision steps exposes the Figure 1d transpose pattern.
+func (w workload) TopoConfig(spec machine.Spec, procs int) any {
+	cfg := w.DefaultConfig(spec, procs).(Config)
+	cfg.ParticlesPerRank = 200
+	cfg.Steps = 2
+	return cfg
+}
+
+// ScaledParticles bounds the computed-on per-rank particle count so host
+// time stays sane at extreme concurrency.
+func ScaledParticles(procs int) int {
+	n := 600_000 / procs
+	if n > 600 {
+		n = 600
+	}
+	if n < 50 {
+		n = 50
+	}
+	return n
+}

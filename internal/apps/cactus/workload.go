@@ -1,0 +1,59 @@
+package cactus
+
+import (
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// workload adapts Cactus to the apps.Workload registry.
+type workload struct{}
+
+func init() { apps.Register(workload{}) }
+
+func (workload) Name() string    { return "Cactus" }
+func (workload) Meta() apps.Meta { return Meta }
+
+// DefaultConfig is the paper's Figure 4 weak-scaling point: 60³ nominal
+// points per processor, with the computed-on cube bounded by ScaledPerProc.
+func (workload) DefaultConfig(spec machine.Spec, procs int) any {
+	cfg := DefaultConfig(procs)
+	cfg.ActualPerProc = ScaledPerProc(procs)
+	cfg.Steps = 3
+	return cfg
+}
+
+func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(sim, cfg.(Config))
+}
+
+// PrepareSpec implements apps.SpecPreparer: the paper's Phoenix results
+// for Cactus are from the Cray X1 system, not the X1E (§5.1).
+func (workload) PrepareSpec(spec machine.Spec) machine.Spec {
+	if spec.Name == machine.Phoenix.Name {
+		return machine.PhoenixX1
+	}
+	return spec
+}
+
+// TopoConfig implements apps.TopoConfigurer: a small cube over two steps
+// exposes the Figure 1c six-face ghost exchanges.
+func (w workload) TopoConfig(spec machine.Spec, procs int) any {
+	cfg := w.DefaultConfig(spec, procs).(Config)
+	cfg.ActualPerProc = 6
+	cfg.Steps = 2
+	return cfg
+}
+
+// ScaledPerProc bounds the computed-on per-processor cube edge so host
+// time stays sane at extreme concurrency.
+func ScaledPerProc(procs int) int {
+	switch {
+	case procs <= 512:
+		return 8
+	case procs <= 4096:
+		return 5
+	default:
+		return 3
+	}
+}

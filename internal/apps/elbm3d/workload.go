@@ -1,0 +1,35 @@
+package elbm3d
+
+import (
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// workload adapts ELBM3D to the apps.Workload registry.
+type workload struct{}
+
+func init() { apps.Register(workload{}) }
+
+func (workload) Name() string    { return "ELBM3D" }
+func (workload) Meta() apps.Meta { return Meta }
+
+// DefaultConfig is the paper's Figure 3 strong-scaling point: the 512³
+// nominal lattice at three steps.
+func (workload) DefaultConfig(spec machine.Spec, procs int) any {
+	cfg := DefaultConfig(procs)
+	cfg.Steps = 3
+	return cfg
+}
+
+func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(sim, cfg.(Config))
+}
+
+// TopoConfig implements apps.TopoConfigurer: two steps suffice to expose
+// the Figure 1b stencil exchanges.
+func (w workload) TopoConfig(spec machine.Spec, procs int) any {
+	cfg := w.DefaultConfig(spec, procs).(Config)
+	cfg.Steps = 2
+	return cfg
+}

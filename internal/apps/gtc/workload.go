@@ -1,0 +1,159 @@
+package gtc
+
+import (
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/topology"
+)
+
+// workload adapts GTC to the apps.Workload registry.
+type workload struct{}
+
+func init() { apps.Register(workload{}) }
+
+func (workload) Name() string    { return "GTC" }
+func (workload) Meta() apps.Meta { return Meta }
+
+// DefaultConfig is the paper's Figure 2 weak-scaling point: the
+// per-machine defaults (10 particles/cell on BG/L, 100 elsewhere) with
+// the computed-on particle count bounded by ScaledParticles.
+func (workload) DefaultConfig(spec machine.Spec, procs int) any {
+	cfg := DefaultConfig(spec, procs)
+	cfg.ActualParticlesPerRank = ScaledParticles(procs)
+	return cfg
+}
+
+func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(sim, cfg.(Config))
+}
+
+// PreferredMapping implements apps.Mapper: on BG/L-family machines GTC
+// runs under the §3.1 explicit mapping file that aligns the toroidal
+// ring with the torus network.
+func (workload) PreferredMapping(spec machine.Spec, procs int, cfg any) (topology.Mapping, bool) {
+	if !spec.IsBGL() {
+		return nil, false
+	}
+	m, err := AlignedBGLMapping(spec, procs, cfg.(Config).Domains)
+	if err != nil {
+		return nil, false
+	}
+	return m, true
+}
+
+// TopoConfig implements apps.TopoConfigurer: two short steps with a small
+// particle load expose the Figure 1a ring without a long run.
+func (w workload) TopoConfig(spec machine.Spec, procs int) any {
+	cfg := w.DefaultConfig(spec, procs).(Config)
+	cfg.ActualParticlesPerRank = 400
+	cfg.Steps = 2
+	return cfg
+}
+
+// ScaledParticles bounds the computed-on particle count so host time
+// stays sane at extreme concurrency.
+func ScaledParticles(procs int) int {
+	n := 3_000_000 / procs
+	if n > 1500 {
+		n = 1500
+	}
+	if n < 200 {
+		n = 200
+	}
+	return n
+}
+
+// Studies implements apps.Studier with the paper's two GTC ablations:
+// the §3.1 BG/L optimisation ladder and the virtual-node-mode study.
+func (workload) Studies(quick bool) []apps.Study {
+	return []apps.Study{optLadderStudy(quick), virtualNodeStudy(quick)}
+}
+
+// optLadderStudy reproduces the §3.1 BG/L optimisation ladder: stock GNU
+// libm with the original loops, MASS/MASSV math libraries (~30%), the
+// combined library+loop optimisations (~60%), and the explicit
+// torus-aligned processor mapping (~30% on top, at scale).
+func optLadderStudy(quick bool) apps.Study {
+	procs := 512
+	if quick {
+		procs = 128
+	}
+	const domains = 16
+	cfg := DefaultConfig(machine.BGW, procs)
+	cfg.Domains = domains
+	cfg.ActualParticlesPerRank = 500
+	cfg.Steps = 2
+
+	type variant struct {
+		label   string
+		lib     machine.MathLib
+		loops   bool
+		aligned bool
+	}
+	variants := []variant{
+		{"original (GNU libm, aint(), default map)", machine.LibmDefault, false, false},
+		{"+ MASS/MASSV math libraries", machine.VendorVector, false, false},
+		{"+ loop unrolling, real(int(x))", machine.VendorVector, true, false},
+		{"+ torus-aligned processor mapping", machine.VendorVector, true, true},
+	}
+	labels := make([]string, len(variants))
+	for i, v := range variants {
+		labels[i] = v.label
+	}
+	return apps.Study{
+		ID:      "gtcopt",
+		Title:   "GTC optimisations on BG/L (§3.1)",
+		Machine: machine.BGW,
+		Procs:   procs,
+		Labels:  labels,
+		Wall: func(i int) (float64, error) {
+			v := variants[i]
+			c := cfg
+			c.MathLib = v.lib
+			c.OptimizedLoops = v.loops
+			sim := simmpi.Config{Machine: machine.BGW, Procs: procs}
+			if v.aligned {
+				m, err := AlignedBGLMapping(machine.BGW, procs, domains)
+				if err != nil {
+					return 0, err
+				}
+				sim.Mapping = m
+			}
+			rep, err := Run(sim, c)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Wall, nil
+		},
+	}
+}
+
+// virtualNodeStudy reproduces the §3.1 observation that GTC keeps >95%
+// per-core efficiency in virtual node mode.
+func virtualNodeStudy(quick bool) apps.Study {
+	procs := 256
+	if quick {
+		procs = 64
+	}
+	cfg := DefaultConfig(machine.BGL, procs)
+	cfg.ActualParticlesPerRank = 500
+	specs := []machine.Spec{machine.BGL, machine.BGL.WithMode(machine.VirtualNode)}
+	return apps.Study{
+		ID:      "vnode",
+		Title:   "GTC BG/L virtual-node-mode study (§3.1)",
+		Machine: machine.BGL,
+		Procs:   procs,
+		Labels: []string{
+			"coprocessor mode (1 compute core/node)",
+			"virtual node mode (2 compute cores/node)",
+		},
+		Wall: func(i int) (float64, error) {
+			rep, err := Run(simmpi.Config{Machine: specs[i], Procs: procs}, cfg)
+			if err != nil {
+				return 0, err
+			}
+			return rep.Wall, nil
+		},
+	}
+}

@@ -1,0 +1,34 @@
+package paratec
+
+import (
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// workload adapts PARATEC to the apps.Workload registry.
+type workload struct{}
+
+func init() { apps.Register(workload{}) }
+
+func (workload) Name() string    { return "PARATEC" }
+func (workload) Meta() apps.Meta { return Meta }
+
+// DefaultConfig is the paper's Figure 6 strong-scaling point: the
+// 488-atom CdSe quantum dot, or the 432-atom bulk-silicon system on
+// BG/L, which lacked the memory for the dot.
+func (workload) DefaultConfig(spec machine.Spec, procs int) any {
+	return DefaultConfig(spec.IsBGL())
+}
+
+func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(sim, cfg.(Config))
+}
+
+// TopoConfig implements apps.TopoConfigurer: one all-band iteration
+// exposes the Figure 1e all-to-all transpose structure.
+func (w workload) TopoConfig(spec machine.Spec, procs int) any {
+	cfg := w.DefaultConfig(spec, procs).(Config)
+	cfg.Iters = 1
+	return cfg
+}

@@ -1,0 +1,104 @@
+package apps_test
+
+import (
+	"bytes"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/apps"
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/experiments"
+	"repro/internal/machine"
+)
+
+// TestRegistryComplete checks the registry holds exactly the paper's six
+// applications and that each workload's Meta is one of the Table 2 rows
+// rendered by RenderTable2.
+func TestRegistryComplete(t *testing.T) {
+	workloads := apps.Workloads()
+	if len(workloads) != 6 {
+		t.Fatalf("%d workloads registered, want 6", len(workloads))
+	}
+	want := []string{"BeamBeam3D", "Cactus", "ELBM3D", "GTC", "HyperCLaw", "PARATEC"}
+	for i, w := range workloads {
+		if w.Name() != want[i] {
+			t.Errorf("workload %d is %q, want %q", i, w.Name(), want[i])
+		}
+	}
+	var buf bytes.Buffer
+	experiments.RenderTable2(&buf)
+	table2 := buf.String()
+	for _, w := range workloads {
+		if row := w.Meta().Row(); !strings.Contains(table2, row) {
+			t.Errorf("%s: Meta row not rendered by RenderTable2:\n%s", w.Name(), row)
+		}
+	}
+}
+
+// TestRegistryOrderDeterministic checks that registry iteration order is
+// deterministic: sorted by name, identical across calls.
+func TestRegistryOrderDeterministic(t *testing.T) {
+	first := apps.Names()
+	if !sort.StringsAreSorted(first) {
+		t.Errorf("registry names not sorted: %v", first)
+	}
+	for i := 0; i < 5; i++ {
+		again := apps.Names()
+		if len(again) != len(first) {
+			t.Fatalf("registry size changed between calls: %v vs %v", first, again)
+		}
+		for j := range first {
+			if again[j] != first[j] {
+				t.Fatalf("registry order changed between calls: %v vs %v", first, again)
+			}
+		}
+	}
+}
+
+// TestLookupForgiving checks the CLI-facing name resolution.
+func TestLookupForgiving(t *testing.T) {
+	for _, name := range []string{"gtc", "GTC", "cactus", "CACTUS", "beam-beam3d", "HYPERCLAW", "elbm3d", "paratec"} {
+		if _, err := apps.Lookup(name); err != nil {
+			t.Errorf("Lookup(%q): %v", name, err)
+		}
+	}
+	if _, err := apps.Lookup("nosuchapp"); err == nil {
+		t.Error("Lookup of unknown workload succeeded")
+	}
+}
+
+// TestDefaultConfigsRunnable checks every workload's canonical point runs
+// on every standard platform at a modest concurrency.
+func TestDefaultConfigsRunnable(t *testing.T) {
+	for _, w := range apps.Workloads() {
+		for _, spec := range []machine.Spec{machine.Bassi, machine.BGL} {
+			rep, err := apps.RunPoint(w, spec, 16)
+			if err != nil {
+				t.Errorf("%s on %s: %v", w.Name(), spec.Name, err)
+				continue
+			}
+			if rep.Wall <= 0 {
+				t.Errorf("%s on %s: nonpositive wall time", w.Name(), spec.Name)
+			}
+		}
+	}
+}
+
+// TestStudiesRegistered checks the paper's three optimisation studies are
+// reachable through the registry.
+func TestStudiesRegistered(t *testing.T) {
+	for _, id := range []string{"gtcopt", "amropt", "vnode"} {
+		s, err := apps.StudyByID(id, true)
+		if err != nil {
+			t.Errorf("StudyByID(%q): %v", id, err)
+			continue
+		}
+		if len(s.Labels) < 2 || s.Title == "" || s.Procs < 1 {
+			t.Errorf("study %q underspecified: %+v", id, s)
+		}
+	}
+	if _, err := apps.StudyByID("nosuchstudy", true); err == nil {
+		t.Error("StudyByID of unknown study succeeded")
+	}
+}

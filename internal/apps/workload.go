@@ -1,0 +1,191 @@
+package apps
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+	"repro/internal/topology"
+)
+
+// Workload is one of the paper's applications as a first-class, sweepable
+// scenario: everything an experiment driver needs to run the app at an
+// arbitrary (machine, concurrency) point without knowing its config type.
+// The six applications register themselves at init time; importing
+// repro/internal/apps/all (blank) populates the registry.
+type Workload interface {
+	// Name is the registry key and the display name used in figures
+	// ("GTC", "Cactus", ...). It may differ from Meta().Name, which
+	// follows Table 2's typography.
+	Name() string
+	// Meta is the application's Table 2 row.
+	Meta() Meta
+	// DefaultConfig returns the paper's canonical scaling-study
+	// configuration for one (machine, concurrency) point, with the
+	// computed-on (actual) problem sizes bounded so host time stays sane
+	// at extreme concurrency. The result is the app's own Config type;
+	// callers that tweak knobs type-assert it, everyone else passes it
+	// straight back to Run.
+	DefaultConfig(spec machine.Spec, procs int) any
+	// Run executes one point under sim with cfg, a value obtained from
+	// DefaultConfig (possibly modified).
+	Run(sim simmpi.Config, cfg any) (*simmpi.Report, error)
+}
+
+// Mapper is the optional preferred-mapping hook: a workload that benefits
+// from an explicit rank placement on some platform (GTC's §3.1
+// torus-aligned BG/L mapping) returns it here.
+type Mapper interface {
+	PreferredMapping(spec machine.Spec, procs int, cfg any) (topology.Mapping, bool)
+}
+
+// SpecPreparer is the optional platform-variant hook: a workload whose
+// published results came from a different installation of a platform
+// substitutes it here (Cactus's Phoenix data are from the Cray X1).
+type SpecPreparer interface {
+	PrepareSpec(spec machine.Spec) machine.Spec
+}
+
+// TopoConfigurer is the optional hook for the Figure 1 communication-
+// topology capture: a downsized configuration that still exercises the
+// app's full communication pattern.
+type TopoConfigurer interface {
+	TopoConfig(spec machine.Spec, procs int) any
+}
+
+// Study is one optimisation-ablation experiment (§3.1, §8.1): a ladder of
+// configurations run at a single (machine, concurrency) point, reported
+// as speedups over the first (baseline) variant.
+type Study struct {
+	// ID is the stable experiment identifier ("gtcopt", "amropt",
+	// "vnode") used for CLI dispatch and result-cache keys.
+	ID string
+	// Title is the rendered table heading.
+	Title string
+	// Machine and Procs locate the study's single simulation point.
+	Machine machine.Spec
+	Procs   int
+	// Labels name the variants, baseline first.
+	Labels []string
+	// Wall simulates variant i and returns its wall-clock seconds.
+	Wall func(i int) (float64, error)
+}
+
+// Studier is the optional interface for workloads that define
+// optimisation studies.
+type Studier interface {
+	Studies(quick bool) []Study
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Workload{}
+)
+
+// Register adds a workload to the registry, panicking on duplicates —
+// registration happens at init time, so a duplicate is a programming
+// error, not a runtime condition.
+func Register(w Workload) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	key := normalize(w.Name())
+	if _, dup := registry[key]; dup {
+		panic(fmt.Sprintf("apps: workload %q registered twice", w.Name()))
+	}
+	registry[key] = w
+}
+
+// Workloads returns every registered workload sorted by Name, so registry
+// iteration order is deterministic across processes and registration
+// orders.
+func Workloads() []Workload {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]Workload, 0, len(registry))
+	for _, w := range registry {
+		out = append(out, w)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
+
+// Names returns the sorted display names of the registered workloads.
+func Names() []string {
+	ws := Workloads()
+	names := make([]string, len(ws))
+	for i, w := range ws {
+		names[i] = w.Name()
+	}
+	return names
+}
+
+// Lookup finds a workload by forgiving name: case-insensitive, ignoring
+// punctuation ("gtc", "GTC", "beam-beam3d" all resolve).
+func Lookup(name string) (Workload, error) {
+	regMu.RLock()
+	w, ok := registry[normalize(name)]
+	regMu.RUnlock()
+	if ok {
+		return w, nil
+	}
+	return nil, fmt.Errorf("apps: unknown workload %q (registered: %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// normalize folds a name into a registry key, with the same forgiving
+// rule the machine selectors use.
+func normalize(name string) string { return machine.FoldName(name) }
+
+// RunPoint runs one (workload, machine, concurrency) point through the
+// workload's canonical path: the default configuration for the point, the
+// platform-variant substitution, and the preferred mapping. The report is
+// from the substituted platform; callers that normalise against peak
+// should use the spec they asked for, as the paper's figures do.
+func RunPoint(w Workload, spec machine.Spec, procs int) (*simmpi.Report, error) {
+	cfg := w.DefaultConfig(spec, procs)
+	run := spec
+	if p, ok := w.(SpecPreparer); ok {
+		run = p.PrepareSpec(spec)
+	}
+	sim := simmpi.Config{Machine: run, Procs: procs}
+	if m, ok := w.(Mapper); ok {
+		if mp, ok := m.PreferredMapping(run, procs, cfg); ok {
+			sim.Mapping = mp
+		}
+	}
+	return w.Run(sim, cfg)
+}
+
+// TopoConfig returns the workload's Figure 1 capture configuration,
+// falling back to the canonical default.
+func TopoConfig(w Workload, spec machine.Spec, procs int) any {
+	if tc, ok := w.(TopoConfigurer); ok {
+		return tc.TopoConfig(spec, procs)
+	}
+	return w.DefaultConfig(spec, procs)
+}
+
+// Studies collects the optimisation studies of every registered workload
+// in registry order.
+func Studies(quick bool) []Study {
+	var out []Study
+	for _, w := range Workloads() {
+		if s, ok := w.(Studier); ok {
+			out = append(out, s.Studies(quick)...)
+		}
+	}
+	return out
+}
+
+// StudyByID finds one optimisation study across the registry.
+func StudyByID(id string, quick bool) (Study, error) {
+	for _, s := range Studies(quick) {
+		if s.ID == id {
+			return s, nil
+		}
+	}
+	return Study{}, fmt.Errorf("apps: unknown study %q", id)
+}

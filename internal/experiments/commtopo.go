@@ -5,12 +5,7 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/apps/beambeam3d"
-	"repro/internal/apps/cactus"
-	"repro/internal/apps/elbm3d"
-	"repro/internal/apps/gtc"
-	"repro/internal/apps/hyperclaw"
-	"repro/internal/apps/paratec"
+	"repro/internal/apps"
 	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/simmpi"
@@ -25,106 +20,62 @@ type CommTopo struct {
 	Collector *trace.Collector
 }
 
-// fig1Def is one application's entry in the Figure 1 capture.
-type fig1Def struct {
-	name string
-	run  func(sim simmpi.Config) error
-}
-
-// fig1Defs lists the six applications with the configurations used for
-// the topology capture on the given platform model.
-func fig1Defs(spec machine.Spec) []fig1Def {
-	return []fig1Def{
-		{"GTC", func(sim simmpi.Config) error {
-			cfg := gtc.DefaultConfig(spec, sim.Procs)
-			cfg.ActualParticlesPerRank = 400
-			cfg.Steps = 2
-			_, err := gtc.Run(sim, cfg)
-			return err
-		}},
-		{"ELBM3D", func(sim simmpi.Config) error {
-			cfg := elbm3d.DefaultConfig(sim.Procs)
-			cfg.Steps = 2
-			_, err := elbm3d.Run(sim, cfg)
-			return err
-		}},
-		{"Cactus", func(sim simmpi.Config) error {
-			cfg := cactus.DefaultConfig(sim.Procs)
-			cfg.ActualPerProc = 6
-			cfg.Steps = 2
-			_, err := cactus.Run(sim, cfg)
-			return err
-		}},
-		{"BeamBeam3D", func(sim simmpi.Config) error {
-			cfg := beambeam3d.DefaultConfig(sim.Procs)
-			cfg.ParticlesPerRank = 200
-			cfg.Steps = 2
-			_, err := beambeam3d.Run(sim, cfg)
-			return err
-		}},
-		{"PARATEC", func(sim simmpi.Config) error {
-			cfg := paratec.DefaultConfig(false)
-			cfg.Iters = 1
-			_, err := paratec.Run(sim, cfg)
-			return err
-		}},
-		{"HyperCLaw", func(sim simmpi.Config) error {
-			cfg := hyperclaw.DefaultConfig(sim.Procs)
-			cfg.Steps = 2
-			// Small boxes so the dynamic hierarchy exposes the
-			// many-to-many pattern of Figure 1f.
-			cfg.MaxBoxCells = 64
-			_, err := hyperclaw.Run(sim, cfg)
-			return err
-		}},
+// captureTopo runs one workload with a communication collector attached,
+// using the workload's downsized Figure 1 capture configuration.
+func captureTopo(w apps.Workload, spec machine.Spec, procs int) (*trace.Collector, error) {
+	col := trace.NewCollector(procs)
+	sim := simmpi.Config{Machine: spec, Procs: procs, Collector: col}
+	if _, err := w.Run(sim, apps.TopoConfig(w, spec, procs)); err != nil {
+		return nil, fmt.Errorf("commtopo %s: %w", w.Name(), err)
 	}
+	return col, nil
 }
 
-// Fig1CommTopos runs every application at a modest concurrency with a
-// communication collector attached and returns the six topologies.
+// Fig1CommTopos runs every registered workload at a modest concurrency
+// with a communication collector attached and returns the topologies in
+// registry order.
 func Fig1CommTopos(procs int) ([]CommTopo, error) {
 	if procs <= 0 {
 		procs = 64
 	}
 	spec := machine.Jaguar
 	var out []CommTopo
-	for _, d := range fig1Defs(spec) {
-		col := trace.NewCollector(procs)
-		sim := simmpi.Config{Machine: spec, Procs: procs, Collector: col}
-		if err := d.run(sim); err != nil {
-			return nil, fmt.Errorf("commtopo %s: %w", d.name, err)
+	for _, w := range apps.Workloads() {
+		col, err := captureTopo(w, spec, procs)
+		if err != nil {
+			return nil, err
 		}
-		out = append(out, CommTopo{App: d.name, Procs: procs, Collector: col})
+		out = append(out, CommTopo{App: w.Name(), Procs: procs, Collector: col})
 	}
 	return out, nil
 }
 
-// Fig1Rendered captures the six topologies as schedulable (and
-// cacheable) jobs, each result carrying the heatmap prerendered at the
-// given size exactly as CommTopo.Render writes it.
+// Fig1Rendered captures the registered workloads' topologies as
+// schedulable (and cacheable) jobs, each result carrying the heatmap
+// prerendered at the given size exactly as CommTopo.Render writes it.
 func Fig1Rendered(opts Options, procs, size int) ([]runner.Result, error) {
 	if procs <= 0 {
 		procs = 64
 	}
 	spec := machine.Jaguar
-	defs := fig1Defs(spec)
-	jobs := make([]runner.Job, len(defs))
-	for i, d := range defs {
+	workloads := apps.Workloads()
+	jobs := make([]runner.Job, len(workloads))
+	for i, w := range workloads {
+		w := w
 		jobs[i] = runner.Job{
-			Key: runner.Key("Figure 1", d.name, spec, procs, size),
+			Key: runner.Key("Figure 1", w.Name(), spec, procs, size),
 			Run: func() (runner.Result, error) {
-				col := trace.NewCollector(procs)
-				sim := simmpi.Config{Machine: spec, Procs: procs, Collector: col}
-				if err := d.run(sim); err != nil {
-					return runner.Result{}, fmt.Errorf("commtopo %s: %w", d.name, err)
+				col, err := captureTopo(w, spec, procs)
+				if err != nil {
+					return runner.Result{}, err
 				}
 				var buf bytes.Buffer
-				ct := CommTopo{App: d.name, Procs: procs, Collector: col}
+				ct := CommTopo{App: w.Name(), Procs: procs, Collector: col}
 				if err := ct.Render(&buf, size); err != nil {
-					return runner.Result{}, fmt.Errorf("commtopo %s: %w", d.name, err)
+					return runner.Result{}, fmt.Errorf("commtopo %s: %w", w.Name(), err)
 				}
 				return runner.Result{
-					Experiment: "Figure 1", App: d.name, Machine: spec.Name, Procs: procs,
+					Experiment: "Figure 1", App: w.Name(), Machine: spec.Name, Procs: procs,
 					Output: buf.String(),
 				}, nil
 			},
@@ -133,8 +84,8 @@ func Fig1Rendered(opts Options, procs, size int) ([]runner.Result, error) {
 	return opts.pool().Run(jobs)
 }
 
-// Render writes the six topology heatmaps with partner statistics, the
-// textual equivalent of Figure 1's bottom row.
+// Render writes the topology heatmap with partner statistics, the
+// textual equivalent of one panel of Figure 1's bottom row.
 func (c CommTopo) Render(w io.Writer, size int) error {
 	fmt.Fprintf(w, "--- %s (P=%d): point-to-point communication topology ---\n", c.App, c.Procs)
 	fmt.Fprintf(w, "messages=%d, p2p bytes=%.3g, avg partners/rank=%.1f\n",

@@ -207,6 +207,13 @@ func TestFig8SummaryQuick(t *testing.T) {
 	if len(sum.Apps()) != 6 || len(sum.Machines()) != 5 {
 		t.Fatalf("summary shape %dx%d, want 6x5", len(sum.Apps()), len(sum.Machines()))
 	}
+	// The application rows derive from the registry in its deterministic
+	// (sorted) order, not from a hard-coded list.
+	for i, name := range apps.Names() {
+		if got := sum.Apps()[i]; got != name {
+			t.Errorf("summary app %d is %q, registry says %q", i, got, name)
+		}
+	}
 	// Every app has a winner with relative 1.0.
 	for _, app := range sum.Apps() {
 		best := 0.0

@@ -4,12 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/apps"
-	"repro/internal/apps/beambeam3d"
-	"repro/internal/apps/cactus"
-	"repro/internal/apps/elbm3d"
-	"repro/internal/apps/gtc"
-	"repro/internal/apps/hyperclaw"
-	"repro/internal/apps/paratec"
+	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/simmpi"
@@ -101,239 +96,214 @@ func (fs *figureSpec) build(opts Options) (*Figure, error) {
 	return fs.assemble(results), nil
 }
 
-// gtcActualParticles bounds the computed-on particle count so host time
-// stays sane at extreme concurrency.
-func gtcActualParticles(p int) int {
-	n := 3_000_000 / p
-	if n > 1500 {
-		n = 1500
-	}
-	if n < 200 {
-		n = 200
-	}
-	return n
+// scalingFigure declares one of the paper's per-application scaling
+// studies as pure data: the workload's registry name, the title and
+// footnotes, and the (machine × concurrency) cross-product. How a point
+// is configured, mapped, and run all comes from the workload registry,
+// so the six figure builders of the paper collapse into one generic
+// generator.
+type scalingFigure struct {
+	id, title string
+	app       string // registry name of the workload
+	series    func(opts Options) []seriesSpec
+	notes     []string
 }
 
-// fig2Spec declares Figure 2: GTC weak scaling, 100 particles per cell
-// per processor (10 on BG/L), BG/L data on the BGW system in virtual
-// node mode.
-func fig2Spec(opts Options) *figureSpec {
-	bgw := machine.BGW.WithMode(machine.VirtualNode)
-	maxBGW := 32768
-	if opts.Quick {
-		maxBGW = 256
+// spec resolves the declaration against the registry into a schedulable
+// figureSpec: the scaling direction comes from the workload's Table 2
+// row, and every point runs through apps.RunPoint.
+func (sf scalingFigure) spec(opts Options) (*figureSpec, error) {
+	w, err := apps.Lookup(sf.app)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", sf.id, err)
 	}
 	return &figureSpec{
-		id: "Figure 2", title: "GTC weak-scaling performance", scaling: "weak", app: "GTC",
-		series: []seriesSpec{
-			{machine.Bassi, powersOfTwo(64, 512)},
-			{machine.Jacquard, powersOfTwo(64, 512)},
-			{machine.Jaguar, powersOfTwo(64, 4096)},
-			{bgw, powersOfTwo(64, maxBGW)},
-			{machine.Phoenix, powersOfTwo(64, 512)},
+		id: sf.id, title: sf.title, scaling: w.Meta().Scaling, app: w.Name(),
+		series: sf.series(opts),
+		notes:  sf.notes,
+		run: func(spec machine.Spec, procs int) (*simmpi.Report, error) {
+			return apps.RunPoint(w, spec, procs)
+		},
+	}, nil
+}
+
+// build resolves and schedules the figure.
+func (sf scalingFigure) build(opts Options) (*Figure, error) {
+	fs, err := sf.spec(opts)
+	if err != nil {
+		return nil, err
+	}
+	return fs.build(opts)
+}
+
+// capped returns full, or quick when the -quick cap is in effect.
+func capped(opts Options, full, quick int) int {
+	if opts.Quick {
+		return quick
+	}
+	return full
+}
+
+// paperFigures declares Figures 2–7 in order. Each entry is only data:
+// the registry does the dispatching.
+var paperFigures = []scalingFigure{
+	{
+		id: "Figure 2", title: "GTC weak-scaling performance", app: "GTC",
+		series: func(opts Options) []seriesSpec {
+			bgw := machine.BGW.WithMode(machine.VirtualNode)
+			return []seriesSpec{
+				{machine.Bassi, powersOfTwo(64, 512)},
+				{machine.Jacquard, powersOfTwo(64, 512)},
+				{machine.Jaguar, powersOfTwo(64, 4096)},
+				{bgw, powersOfTwo(64, capped(opts, 32768, 256))},
+				{machine.Phoenix, powersOfTwo(64, 512)},
+			}
 		},
 		notes: []string{
 			"100 particles/cell/proc (10 on BG/L); all BG/L data collected on BGW (virtual node mode)",
 		},
-		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := gtc.DefaultConfig(spec, p)
-			cfg.ActualParticlesPerRank = gtcActualParticles(p)
-			sim := simmpi.Config{Machine: spec, Procs: p}
-			if spec.IsBGL() {
-				// §3.1: the BG/L runs use the explicit mapping file that
-				// aligns the toroidal ring with the torus network.
-				if m, err := gtc.AlignedBGLMapping(spec, p, cfg.Domains); err == nil {
-					sim.Mapping = m
-				}
+	},
+	{
+		id: "Figure 3", title: "ELBM3D strong-scaling performance (512³ grid)", app: "ELBM3D",
+		series: func(Options) []seriesSpec {
+			return []seriesSpec{
+				{machine.Bassi, powersOfTwo(64, 512)},
+				{machine.Jacquard, powersOfTwo(64, 512)},
+				{machine.Jaguar, powersOfTwo(64, 1024)},
+				{machine.BGL, powersOfTwo(256, 1024)}, // memory floor per §4.1
+				{machine.Phoenix, powersOfTwo(64, 512)},
 			}
-			return gtc.Run(sim, cfg)
-		},
-	}
-}
-
-// Fig2GTC regenerates Figure 2.
-func Fig2GTC(opts Options) (*Figure, error) { return fig2Spec(opts).build(opts) }
-
-// fig3Spec declares Figure 3: ELBM3D strong scaling on a 512³ grid.
-func fig3Spec(Options) *figureSpec {
-	return &figureSpec{
-		id: "Figure 3", title: "ELBM3D strong-scaling performance (512³ grid)", scaling: "strong", app: "ELBM3D",
-		series: []seriesSpec{
-			{machine.Bassi, powersOfTwo(64, 512)},
-			{machine.Jacquard, powersOfTwo(64, 512)},
-			{machine.Jaguar, powersOfTwo(64, 1024)},
-			{machine.BGL, powersOfTwo(256, 1024)}, // memory floor per §4.1
-			{machine.Phoenix, powersOfTwo(64, 512)},
 		},
 		notes: []string{
 			"BG/L data in coprocessor mode; cannot run below 256 processors for this problem size",
 		},
-		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := elbm3d.DefaultConfig(p)
-			cfg.Steps = 3
-			return elbm3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		},
-	}
-}
-
-// Fig3ELBM3D regenerates Figure 3.
-func Fig3ELBM3D(opts Options) (*Figure, error) { return fig3Spec(opts).build(opts) }
-
-// cactusActualPerProc bounds the per-rank computed grid.
-func cactusActualPerProc(p int) int {
-	switch {
-	case p <= 512:
-		return 8
-	case p <= 4096:
-		return 5
-	default:
-		return 3
-	}
-}
-
-// fig4Spec declares Figure 4: Cactus weak scaling, 60³ points per
-// processor; Phoenix data on the Cray X1.
-func fig4Spec(opts Options) *figureSpec {
-	maxBGW := 16384
-	if opts.Quick {
-		maxBGW = 256
-	}
-	return &figureSpec{
-		id: "Figure 4", title: "Cactus weak-scaling performance (60³ per processor)", scaling: "weak", app: "Cactus",
-		series: []seriesSpec{
-			{machine.Bassi, powersOfTwo(16, 512)},
-			{machine.Jacquard, powersOfTwo(16, 512)},
-			{machine.BGW, powersOfTwo(16, maxBGW)},
-			{machine.PhoenixX1, powersOfTwo(16, 256)},
+	},
+	{
+		id: "Figure 4", title: "Cactus weak-scaling performance (60³ per processor)", app: "Cactus",
+		series: func(opts Options) []seriesSpec {
+			return []seriesSpec{
+				{machine.Bassi, powersOfTwo(16, 512)},
+				{machine.Jacquard, powersOfTwo(16, 512)},
+				{machine.BGW, powersOfTwo(16, capped(opts, 16384, 256))},
+				{machine.PhoenixX1, powersOfTwo(16, 256)},
+			}
 		},
 		notes: []string{
 			"Phoenix data shown on the Cray X1 platform; BG/L data run on BGW",
 		},
-		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := cactus.DefaultConfig(p)
-			cfg.ActualPerProc = cactusActualPerProc(p)
-			cfg.Steps = 3
-			return cactus.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		},
-	}
-}
-
-// Fig4Cactus regenerates Figure 4.
-func Fig4Cactus(opts Options) (*Figure, error) { return fig4Spec(opts).build(opts) }
-
-// fig5Spec declares Figure 5: BeamBeam3D strong scaling on a 256×256×32
-// grid with 5 million particles.
-func fig5Spec(opts Options) *figureSpec {
-	maxBGW := 2048
-	if opts.Quick {
-		maxBGW = 256
-	}
-	return &figureSpec{
-		id: "Figure 5", title: "BeamBeam3D strong-scaling performance (256²×32 grid, 5M particles)", scaling: "strong", app: "BeamBeam3D",
-		series: []seriesSpec{
-			{machine.Bassi, powersOfTwo(64, 512)},
-			{machine.Jacquard, powersOfTwo(64, 512)},
-			{machine.Jaguar, powersOfTwo(64, 2048)},
-			{machine.BGW, powersOfTwo(64, maxBGW)},
-			{machine.Phoenix, powersOfTwo(64, 512)},
+	},
+	{
+		id: "Figure 5", title: "BeamBeam3D strong-scaling performance (256²×32 grid, 5M particles)", app: "BeamBeam3D",
+		series: func(opts Options) []seriesSpec {
+			return []seriesSpec{
+				{machine.Bassi, powersOfTwo(64, 512)},
+				{machine.Jacquard, powersOfTwo(64, 512)},
+				{machine.Jaguar, powersOfTwo(64, 2048)},
+				{machine.BGW, powersOfTwo(64, capped(opts, 2048, 256))},
+				{machine.Phoenix, powersOfTwo(64, 512)},
+			}
 		},
 		notes: []string{
 			"ANL BG/L for P≤512, BGW for P=1024,2048; 2048-way is the highest-concurrency BB3D run to date",
 		},
-		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := beambeam3d.DefaultConfig(p)
-			cfg.ParticlesPerRank = bb3dActualParticles(p)
-			return beambeam3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		},
-	}
-}
-
-// Fig5BeamBeam3D regenerates Figure 5.
-func Fig5BeamBeam3D(opts Options) (*Figure, error) { return fig5Spec(opts).build(opts) }
-
-func bb3dActualParticles(p int) int {
-	n := 600_000 / p
-	if n > 600 {
-		n = 600
-	}
-	if n < 50 {
-		n = 50
-	}
-	return n
-}
-
-// fig6Spec declares Figure 6: PARATEC strong scaling on the 488-atom
-// CdSe quantum dot (432-atom Si on BG/L).
-func fig6Spec(opts Options) *figureSpec {
-	maxBGW := 1024
-	if opts.Quick {
-		maxBGW = 256
-	}
-	return &figureSpec{
-		id: "Figure 6", title: "PARATEC strong-scaling performance (488-atom CdSe quantum dot)", scaling: "strong", app: "PARATEC",
-		series: []seriesSpec{
-			{machine.Bassi, powersOfTwo(64, 512)},
-			{machine.Jacquard, powersOfTwo(64, 256)}, // memory-bound below 128 in the paper
-			{machine.Jaguar, powersOfTwo(64, 2048)},
-			{machine.BGW, powersOfTwo(64, maxBGW)},
-			{machine.Phoenix, powersOfTwo(64, 512)},
+	},
+	{
+		id: "Figure 6", title: "PARATEC strong-scaling performance (488-atom CdSe quantum dot)", app: "PARATEC",
+		series: func(opts Options) []seriesSpec {
+			return []seriesSpec{
+				{machine.Bassi, powersOfTwo(64, 512)},
+				{machine.Jacquard, powersOfTwo(64, 256)}, // memory-bound below 128 in the paper
+				{machine.Jaguar, powersOfTwo(64, 2048)},
+				{machine.BGW, powersOfTwo(64, capped(opts, 1024, 256))},
+				{machine.Phoenix, powersOfTwo(64, 512)},
+			}
 		},
 		notes: []string{
 			"BG/L runs the 432-atom bulk-silicon system (memory constraints); Phoenix ran an X1 binary",
 		},
-		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := paratec.DefaultConfig(spec.IsBGL())
-			return paratec.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		},
-	}
-}
-
-// Fig6PARATEC regenerates Figure 6.
-func Fig6PARATEC(opts Options) (*Figure, error) { return fig6Spec(opts).build(opts) }
-
-// fig7Spec declares Figure 7: HyperCLaw weak scaling on a 512×64×32
-// base grid refined by 2 then 4.
-func fig7Spec(opts Options) *figureSpec {
-	maxBGL := 512
-	if opts.Quick {
-		maxBGL = 128
-	}
-	return &figureSpec{
-		id: "Figure 7", title: "HyperCLaw weak-scaling performance (512×64×32 base grid)", scaling: "weak", app: "HyperCLaw",
-		series: []seriesSpec{
-			{machine.Bassi, powersOfTwo(16, 256)},
-			{machine.Jacquard, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
-			{machine.Jaguar, powersOfTwo(16, 256)},
-			{machine.BGL, powersOfTwo(16, maxBGL)},
-			{machine.Phoenix, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
+	},
+	{
+		id: "Figure 7", title: "HyperCLaw weak-scaling performance (512×64×32 base grid)", app: "HyperCLaw",
+		series: func(opts Options) []seriesSpec {
+			return []seriesSpec{
+				{machine.Bassi, powersOfTwo(16, 256)},
+				{machine.Jacquard, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
+				{machine.Jaguar, powersOfTwo(16, 256)},
+				{machine.BGL, powersOfTwo(16, capped(opts, 512, 128))},
+				{machine.Phoenix, powersOfTwo(16, 128)}, // crashes at P≥256 in the paper
+			}
 		},
 		notes: []string{
 			"base grid refined by 2 then 4 (effective 4096×512×256)",
 			"Phoenix and Jacquard experiments crash at P≥256 in the paper; those points are omitted",
 		},
-		run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := hyperclaw.DefaultConfig(p)
-			return hyperclaw.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		},
-	}
+	},
 }
 
-// Fig7HyperCLaw regenerates Figure 7.
-func Fig7HyperCLaw(opts Options) (*Figure, error) { return fig7Spec(opts).build(opts) }
-
-// figureSpecs declares Figures 2–7 in order.
-func figureSpecs(opts Options) []*figureSpec {
-	return []*figureSpec{
-		fig2Spec(opts), fig3Spec(opts), fig4Spec(opts),
-		fig5Spec(opts), fig6Spec(opts), fig7Spec(opts),
+// paperFigure finds a declaration by figure ID.
+func paperFigure(id string) (scalingFigure, error) {
+	for _, sf := range paperFigures {
+		if sf.id == id {
+			return sf, nil
+		}
 	}
+	return scalingFigure{}, fmt.Errorf("experiments: unknown figure %q", id)
+}
+
+// buildPaperFigure regenerates one of Figures 2–7 by ID.
+func buildPaperFigure(opts Options, id string) (*Figure, error) {
+	sf, err := paperFigure(id)
+	if err != nil {
+		return nil, err
+	}
+	return sf.build(opts)
+}
+
+// Fig2GTC regenerates Figure 2.
+func Fig2GTC(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 2") }
+
+// Fig3ELBM3D regenerates Figure 3.
+func Fig3ELBM3D(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 3") }
+
+// Fig4Cactus regenerates Figure 4.
+func Fig4Cactus(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 4") }
+
+// Fig5BeamBeam3D regenerates Figure 5.
+func Fig5BeamBeam3D(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 5") }
+
+// Fig6PARATEC regenerates Figure 6.
+func Fig6PARATEC(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 6") }
+
+// Fig7HyperCLaw regenerates Figure 7.
+func Fig7HyperCLaw(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 7") }
+
+// figureSpecs resolves Figures 2–7 in order.
+func figureSpecs(opts Options) ([]*figureSpec, error) {
+	specs := make([]*figureSpec, len(paperFigures))
+	for i, sf := range paperFigures {
+		fs, err := sf.spec(opts)
+		if err != nil {
+			return nil, err
+		}
+		specs[i] = fs
+	}
+	return specs, nil
 }
 
 // AllFigures runs Figures 2–7, fanning the full (figure × machine ×
 // concurrency) cross-product through one pool so the independent points
 // of different figures overlap.
 func AllFigures(opts Options) ([]*Figure, error) {
-	specs := figureSpecs(opts)
+	specs, err := figureSpecs(opts)
+	if err != nil {
+		return nil, err
+	}
+	return buildFigureSpecs(opts, specs)
+}
+
+// buildFigureSpecs pools the specs' jobs through one Run and assembles
+// each figure from its slice of the deterministic result order.
+func buildFigureSpecs(opts Options, specs []*figureSpec) ([]*Figure, error) {
 	var jobs []runner.Job
 	counts := make([]int, len(specs))
 	for i, fs := range specs {

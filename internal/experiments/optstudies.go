@@ -4,11 +4,8 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/apps/gtc"
-	"repro/internal/apps/hyperclaw"
-	"repro/internal/machine"
+	"repro/internal/apps"
 	"repro/internal/runner"
-	"repro/internal/simmpi"
 )
 
 // OptResult is one row of an optimisation study: a configuration and its
@@ -39,23 +36,21 @@ func finishSpeedups(rows []OptResult) []OptResult {
 	return rows
 }
 
-// optStudy schedules one job per study variant and folds the walls back
+// runStudy schedules one job per study variant and folds the walls back
 // into labelled rows with speedups over the first (baseline) variant.
-func optStudy(opts Options, study string, spec machine.Spec, procs int,
-	labels []string, run func(i int) (float64, error)) ([]OptResult, error) {
-
-	jobs := make([]runner.Job, len(labels))
-	for i, label := range labels {
+func runStudy(opts Options, study apps.Study) ([]OptResult, error) {
+	jobs := make([]runner.Job, len(study.Labels))
+	for i, label := range study.Labels {
 		i, label := i, label
 		jobs[i] = runner.Job{
-			Key: runner.Key(study, label, spec, procs),
+			Key: runner.Key(study.ID, label, study.Machine, study.Procs),
 			Run: func() (runner.Result, error) {
-				wall, err := run(i)
+				wall, err := study.Wall(i)
 				if err != nil {
-					return runner.Result{}, fmt.Errorf("%s %q: %w", study, label, err)
+					return runner.Result{}, fmt.Errorf("%s %q: %w", study.ID, label, err)
 				}
 				return runner.Result{
-					Experiment: study, Machine: spec.Name, Procs: procs, WallSec: wall,
+					Experiment: study.ID, Machine: study.Machine.Name, Procs: study.Procs, WallSec: wall,
 				}, nil
 			},
 		}
@@ -64,130 +59,38 @@ func optStudy(opts Options, study string, spec machine.Spec, procs int,
 	if err != nil {
 		return nil, err
 	}
-	rows := make([]OptResult, len(labels))
-	for i, label := range labels {
+	rows := make([]OptResult, len(study.Labels))
+	for i, label := range study.Labels {
 		rows[i] = OptResult{Label: label, Wall: results[i].WallSec}
 	}
 	return finishSpeedups(rows), nil
 }
 
-// GTCOptStudy reproduces the §3.1 BG/L optimisation ladder: stock GNU
-// libm with the original loops, MASS/MASSV math libraries (~30%), the
-// combined library+loop optimisations (~60%), and the explicit
-// torus-aligned processor mapping (~30% on top, at scale).
-func GTCOptStudy(opts Options) ([]OptResult, error) {
-	procs := 512
-	if opts.Quick {
-		procs = 128
+// RunStudyByID runs one optimisation study by its stable identifier
+// ("gtcopt", "amropt", "vnode") and returns the study (for its title)
+// with the finished rows.
+func RunStudyByID(opts Options, id string) (apps.Study, []OptResult, error) {
+	study, err := apps.StudyByID(id, opts.Quick)
+	if err != nil {
+		return apps.Study{}, nil, err
 	}
-	const domains = 16
-	cfg := gtc.DefaultConfig(machine.BGW, procs)
-	cfg.Domains = domains
-	cfg.ActualParticlesPerRank = 500
-	cfg.Steps = 2
-
-	run := func(lib machine.MathLib, loops bool, aligned bool) (float64, error) {
-		c := cfg
-		c.MathLib = lib
-		c.OptimizedLoops = loops
-		sim := simmpi.Config{Machine: machine.BGW, Procs: procs}
-		if aligned {
-			m, err := gtc.AlignedBGLMapping(machine.BGW, procs, domains)
-			if err != nil {
-				return 0, err
-			}
-			sim.Mapping = m
-		}
-		rep, err := gtc.Run(sim, c)
-		if err != nil {
-			return 0, err
-		}
-		return rep.Wall, nil
-	}
-
-	type variant struct {
-		label   string
-		lib     machine.MathLib
-		loops   bool
-		aligned bool
-	}
-	variants := []variant{
-		{"original (GNU libm, aint(), default map)", machine.LibmDefault, false, false},
-		{"+ MASS/MASSV math libraries", machine.VendorVector, false, false},
-		{"+ loop unrolling, real(int(x))", machine.VendorVector, true, false},
-		{"+ torus-aligned processor mapping", machine.VendorVector, true, true},
-	}
-	labels := make([]string, len(variants))
-	for i, v := range variants {
-		labels[i] = v.label
-	}
-	return optStudy(opts, "gtcopt", machine.BGW, procs, labels, func(i int) (float64, error) {
-		return run(variants[i].lib, variants[i].loops, variants[i].aligned)
-	})
+	rows, err := runStudy(opts, study)
+	return study, rows, err
 }
 
-// AMROptStudy reproduces the §8.1 HyperCLaw optimisations on the X1E: the
-// original O(N²) box intersection and list-copying knapsack against the
-// hashed O(N log N) intersection and pointer-swap knapsack.
-func AMROptStudy(opts Options) ([]OptResult, error) {
-	procs := 64
-	if opts.Quick {
-		procs = 16
-	}
-	cfg := hyperclaw.DefaultConfig(procs)
-	// A large nominal hierarchy exercises the regrid machinery the way
-	// the paper's "hundreds of thousands of boxes" stress it; the §8.1
-	// measurements put knapsack+regrid near 60% of large runs.
-	cfg.NomBase = [3]int{512 * 8, 64, 32}
-	cfg.NomMaxBoxCells = 16 * 16 * 16
-
-	run := func(naive, copying bool) (float64, error) {
-		c := cfg
-		c.NaiveIntersect = naive
-		c.CopyingKnapsack = copying
-		rep, err := hyperclaw.Run(simmpi.Config{Machine: machine.Phoenix, Procs: procs}, c)
-		if err != nil {
-			return 0, err
-		}
-		return rep.Wall, nil
-	}
-	type variant struct {
-		label          string
-		naive, copying bool
-	}
-	variants := []variant{
-		{"original (O(N²) intersect, copying knapsack)", true, true},
-		{"+ pointer-swap knapsack", true, false},
-		{"+ hashed O(N log N) intersection", false, false},
-	}
-	labels := make([]string, len(variants))
-	for i, v := range variants {
-		labels[i] = v.label
-	}
-	return optStudy(opts, "amropt", machine.Phoenix, procs, labels, func(i int) (float64, error) {
-		return run(variants[i].naive, variants[i].copying)
-	})
+func studyRows(opts Options, id string) ([]OptResult, error) {
+	_, rows, err := RunStudyByID(opts, id)
+	return rows, err
 }
 
-// VirtualNodeStudy reproduces the §3.1 observation that GTC keeps >95%
-// per-core efficiency in virtual node mode.
-func VirtualNodeStudy(opts Options) ([]OptResult, error) {
-	procs := 256
-	if opts.Quick {
-		procs = 64
-	}
-	cfg := gtc.DefaultConfig(machine.BGL, procs)
-	cfg.ActualParticlesPerRank = 500
-	specs := []machine.Spec{machine.BGL, machine.BGL.WithMode(machine.VirtualNode)}
-	labels := []string{
-		"coprocessor mode (1 compute core/node)",
-		"virtual node mode (2 compute cores/node)",
-	}
-	return optStudy(opts, "vnode", machine.BGL, procs, labels, func(i int) (float64, error) {
-		rep, err := gtc.Run(simmpi.Config{Machine: specs[i], Procs: procs}, cfg)
-		if err != nil {
-			return 0, err
-		}
-		return rep.Wall, nil
-	})
-}
+// GTCOptStudy reproduces the §3.1 BG/L optimisation ladder (defined by
+// the GTC workload).
+func GTCOptStudy(opts Options) ([]OptResult, error) { return studyRows(opts, "gtcopt") }
+
+// AMROptStudy reproduces the §8.1 HyperCLaw X1E knapsack/regrid
+// optimisations (defined by the HyperCLaw workload).
+func AMROptStudy(opts Options) ([]OptResult, error) { return studyRows(opts, "amropt") }
+
+// VirtualNodeStudy reproduces the §3.1 BG/L virtual-node-mode efficiency
+// observation (defined by the GTC workload).
+func VirtualNodeStudy(opts Options) ([]OptResult, error) { return studyRows(opts, "vnode") }

@@ -4,15 +4,9 @@ import (
 	"fmt"
 	"io"
 
-	"repro/internal/apps/beambeam3d"
-	"repro/internal/apps/cactus"
-	"repro/internal/apps/elbm3d"
-	"repro/internal/apps/gtc"
-	"repro/internal/apps/hyperclaw"
-	"repro/internal/apps/paratec"
+	"repro/internal/apps"
 	"repro/internal/machine"
 	"repro/internal/runner"
-	"repro/internal/simmpi"
 )
 
 // SummaryCell is one (application, machine) entry of Figure 8.
@@ -31,16 +25,25 @@ type SummaryCell struct {
 type Summary struct {
 	Cells []SummaryCell
 	Notes []string
+	// Results holds the structured point records the summary was
+	// assembled from, in job order, for CSV/JSON export.
+	Results []runner.Result
 }
 
-// fig8Procs returns the paper's "largest comparable concurrency" for an
-// app on a machine, honouring the BG/L exceptions (P=1024 for Cactus and
-// GTC on BG/L).
-func fig8Procs(app string, spec machine.Spec, opts Options) int {
-	base := map[string]int{
-		"HyperCLaw": 128, "BeamBeam3D": 512, "Cactus": 256,
-		"GTC": 512, "ELBM3D": 512, "PARATEC": 512,
-	}[app]
+// fig8Procs is the paper's "largest comparable concurrency" per
+// application, keyed by registry name.
+var fig8Procs = map[string]int{
+	"HyperCLaw": 128, "BeamBeam3D": 512, "Cactus": 256,
+	"GTC": 512, "ELBM3D": 512, "PARATEC": 512,
+}
+
+// fig8ProcsFor returns the concurrency for an app on a machine, honouring
+// the BG/L exceptions (P=1024 for Cactus and GTC on BG/L).
+func fig8ProcsFor(app string, spec machine.Spec, opts Options) int {
+	base := fig8Procs[app]
+	if base == 0 {
+		base = 256 // workloads added after the paper default to a mid series
+	}
 	if spec.IsBGL() && (app == "Cactus" || app == "GTC") {
 		base = 1024
 	}
@@ -50,64 +53,34 @@ func fig8Procs(app string, spec machine.Spec, opts Options) int {
 	return maxPartition(spec, base)
 }
 
-// Fig8Summary regenerates the paper's Figure 8.
+// Fig8Summary regenerates the paper's Figure 8. The application rows come
+// from the workload registry in its deterministic (sorted) order; each
+// cell runs the workload's canonical configuration at the paper's largest
+// comparable concurrency.
 func Fig8Summary(opts Options) (*Summary, error) {
 	sum := &Summary{Notes: []string{
 		"relative performance normalised to the fastest system per application",
 		"Cactus Phoenix results are on the X1 system; BG/L at P=1024 for Cactus and GTC",
 	}}
 	machines := []machine.Spec{machine.Bassi, machine.Jacquard, machine.Jaguar, machine.BGL, machine.Phoenix}
-
-	type appDef struct {
-		name string
-		run  func(spec machine.Spec, p int) (*simmpi.Report, error)
-	}
-	defs := []appDef{
-		{"HyperCLaw", func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			return hyperclaw.Run(simmpi.Config{Machine: spec, Procs: p}, hyperclaw.DefaultConfig(p))
-		}},
-		{"BeamBeam3D", func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := beambeam3d.DefaultConfig(p)
-			cfg.ParticlesPerRank = bb3dActualParticles(p)
-			return beambeam3d.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		}},
-		{"Cactus", func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			if spec.Name == machine.Phoenix.Name {
-				spec = machine.PhoenixX1
-			}
-			cfg := cactus.DefaultConfig(p)
-			cfg.ActualPerProc = cactusActualPerProc(p)
-			return cactus.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		}},
-		{"GTC", func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			cfg := gtc.DefaultConfig(spec, p)
-			cfg.ActualParticlesPerRank = gtcActualParticles(p)
-			return gtc.Run(simmpi.Config{Machine: spec, Procs: p}, cfg)
-		}},
-		{"ELBM3D", func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			return elbm3d.Run(simmpi.Config{Machine: spec, Procs: p}, elbm3d.DefaultConfig(p))
-		}},
-		{"PARATEC", func(spec machine.Spec, p int) (*simmpi.Report, error) {
-			return paratec.Run(simmpi.Config{Machine: spec, Procs: p}, paratec.DefaultConfig(spec.IsBGL()))
-		}},
-	}
+	workloads := apps.Workloads()
 
 	// One job per (application, machine) cell, app-major so the results
-	// slice indexes as defs × machines.
+	// slice indexes as workloads × machines.
 	var jobs []runner.Job
-	for _, def := range defs {
+	for _, w := range workloads {
 		for _, spec := range machines {
-			def, spec := def, spec
-			p := fig8Procs(def.name, spec, opts)
+			w, spec := w, spec
+			p := fig8ProcsFor(w.Name(), spec, opts)
 			jobs = append(jobs, runner.Job{
-				Key: runner.Key("Figure 8", def.name, spec, p),
+				Key: runner.Key("Figure 8", w.Name(), spec, p),
 				Run: func() (runner.Result, error) {
-					rep, err := def.run(spec, p)
+					rep, err := apps.RunPoint(w, spec, p)
 					if err != nil {
-						return runner.Result{}, fmt.Errorf("fig8 %s on %s: %w", def.name, spec.Name, err)
+						return runner.Result{}, fmt.Errorf("fig8 %s on %s: %w", w.Name(), spec.Name, err)
 					}
 					return runner.Result{
-						Experiment: "Figure 8", App: def.name, Machine: spec.Name, Procs: p,
+						Experiment: "Figure 8", App: w.Name(), Machine: spec.Name, Procs: p,
 						Gflops:   rep.GflopsPerProc(),
 						PctPeak:  rep.PercentOfPeak(spec.PeakGFs),
 						CommFrac: rep.CommFrac,
@@ -121,11 +94,12 @@ func Fig8Summary(opts Options) (*Summary, error) {
 	if err != nil {
 		return nil, err
 	}
-	for di := range defs {
+	sum.Results = results
+	for wi := range workloads {
 		cells := make([]SummaryCell, len(machines))
 		best := 0.0
 		for mi := range machines {
-			r := results[di*len(machines)+mi]
+			r := results[wi*len(machines)+mi]
 			cells[mi] = SummaryCell{
 				App: r.App, Machine: r.Machine, Procs: r.Procs,
 				Gflops:  r.Gflops,
@@ -271,6 +245,12 @@ func (s *Summary) Render(w io.Writer) {
 		fmt.Fprintf(w, "note: %s\n", n)
 	}
 }
+
+// CSV emits the summary's point records for external tooling.
+func (s *Summary) CSV(w io.Writer) error { return runner.WriteCSV(w, s.Results) }
+
+// JSON emits the summary's structured point records.
+func (s *Summary) JSON(w io.Writer) error { return runner.WriteJSON(w, s.Results) }
 
 // Winners returns, per application, the fastest machine — the headline
 // comparison of the study.

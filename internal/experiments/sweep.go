@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/apps"
+	"repro/internal/machine"
+	"repro/internal/simmpi"
+)
+
+// Sweep runs an arbitrary workload × platform × concurrency cross-product
+// through the registry — the scenarios outside the paper's figures. Empty
+// selectors default to everything: all registered workloads, the full
+// Table 1 testbed, and the 64..1024 doubling series. One Figure per
+// workload comes back, machines as series, assembled in deterministic job
+// order through the options' pool exactly like the paper figures, so the
+// output is byte-identical for any worker count and repeat runs are
+// cache-served.
+func Sweep(opts Options, appNames, machineNames []string, procs []int) ([]*Figure, error) {
+	workloads, err := sweepWorkloads(appNames)
+	if err != nil {
+		return nil, err
+	}
+	machines, err := sweepMachines(machineNames)
+	if err != nil {
+		return nil, err
+	}
+	if len(procs) == 0 {
+		procs = powersOfTwo(64, 1024)
+	}
+	for _, p := range procs {
+		if p < 1 {
+			return nil, fmt.Errorf("sweep: nonpositive concurrency %d", p)
+		}
+	}
+
+	specs := make([]*figureSpec, len(workloads))
+	for i, w := range workloads {
+		w := w
+		series := make([]seriesSpec, len(machines))
+		for j, spec := range machines {
+			series[j] = seriesSpec{spec: spec, procs: procs}
+		}
+		specs[i] = &figureSpec{
+			id:      "Sweep " + w.Name(),
+			title:   fmt.Sprintf("%s sweep", w.Name()),
+			scaling: w.Meta().Scaling,
+			app:     w.Name(),
+			series:  series,
+			run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
+				return apps.RunPoint(w, spec, p)
+			},
+		}
+	}
+	figs, err := buildFigureSpecs(opts, specs)
+	if err != nil {
+		return nil, err
+	}
+	for _, fig := range figs {
+		if len(fig.Results) == 0 {
+			return nil, fmt.Errorf("sweep: no runnable points for %s (check -procs against the machines' sizes)", fig.Title)
+		}
+	}
+	return figs, nil
+}
+
+// sweepWorkloads resolves the -app selector, defaulting to the whole
+// registry. Repeats are dropped, keeping first-mention order.
+func sweepWorkloads(names []string) ([]apps.Workload, error) {
+	if len(names) == 0 {
+		return apps.Workloads(), nil
+	}
+	seen := map[string]bool{}
+	var out []apps.Workload
+	for _, name := range names {
+		w, err := apps.Lookup(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		if !seen[w.Name()] {
+			seen[w.Name()] = true
+			out = append(out, w)
+		}
+	}
+	return out, nil
+}
+
+// sweepMachines resolves the -machine selector, defaulting to the Table 1
+// testbed. Repeats are dropped, keeping first-mention order.
+func sweepMachines(names []string) ([]machine.Spec, error) {
+	if len(names) == 0 {
+		return machine.All(), nil
+	}
+	seen := map[string]bool{}
+	var out []machine.Spec
+	for _, name := range names {
+		spec, err := machine.Find(name)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		if !seen[spec.Name] {
+			seen[spec.Name] = true
+			out = append(out, spec)
+		}
+	}
+	return out, nil
+}

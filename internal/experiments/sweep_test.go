@@ -1,0 +1,106 @@
+package experiments
+
+import (
+	"bytes"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/apps"
+	"repro/internal/runner"
+)
+
+// renderSweep runs the acceptance sweep (GTC on BG/L at 64 and 256) and
+// renders it through the given pool.
+func renderSweep(t *testing.T, pool *runner.Pool) string {
+	t.Helper()
+	opts := Options{Quick: true, Runner: pool}
+	figs, err := Sweep(opts, []string{"gtc"}, []string{"bgl"}, []int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 {
+		t.Fatalf("%d sweep figures, want 1", len(figs))
+	}
+	var buf bytes.Buffer
+	if err := figs[0].Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+// TestSweepParallelMatchesSerial is the sweep determinism contract:
+// rendered output must be byte-identical across worker counts.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	serial := renderSweep(t, &runner.Pool{Workers: 1})
+	parallel := renderSweep(t, &runner.Pool{Workers: 8})
+	if serial != parallel {
+		t.Fatalf("parallel sweep diverged from serial:\n--- serial ---\n%s--- parallel ---\n%s", serial, parallel)
+	}
+}
+
+// TestSweepCacheServed runs the same sweep twice against one cache; the
+// second run must simulate nothing and render identically.
+func TestSweepCacheServed(t *testing.T) {
+	cache, err := runner.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := &runner.Pool{Workers: 4, Cache: cache}
+	first := renderSweep(t, cold)
+	if s := cold.Stats(); s.Hits != 0 || s.Simulated == 0 {
+		t.Fatalf("cold stats %+v, want all points simulated", s)
+	}
+	warm := &runner.Pool{Workers: 4, Cache: cache}
+	second := renderSweep(t, warm)
+	if s := warm.Stats(); s.Simulated != 0 || s.Hits == 0 {
+		t.Fatalf("warm stats %+v, want fully cache-served", s)
+	}
+	if first != second {
+		t.Fatal("cached sweep render diverged from simulated render")
+	}
+}
+
+// TestSweepDefaultsAndErrors covers the selector edges: unknown names
+// fail, and an all-defaults sweep resolves every workload.
+func TestSweepDefaultsAndErrors(t *testing.T) {
+	if _, err := Sweep(quick(), []string{"nosuchapp"}, nil, []int{64}); err == nil {
+		t.Error("sweep of unknown workload succeeded")
+	}
+	if _, err := Sweep(quick(), nil, []string{"nosuchmachine"}, []int{64}); err == nil {
+		t.Error("sweep of unknown machine succeeded")
+	}
+	if _, err := Sweep(quick(), nil, nil, []int{-1}); err == nil {
+		t.Error("sweep with nonpositive concurrency succeeded")
+	}
+	// Concurrency above every selected machine's size leaves no points.
+	if _, err := Sweep(quick(), []string{"elbm3d"}, []string{"phoenix"}, []int{1 << 20}); err == nil {
+		t.Error("unrunnable sweep succeeded")
+	}
+	// One cheap point per workload: every registered app must sweep.
+	figs, err := Sweep(Options{Quick: true, Runner: &runner.Pool{Workers: 8}},
+		nil, []string{"bassi"}, []int{16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != len(apps.Workloads()) {
+		t.Fatalf("%d sweep figures, want %d", len(figs), len(apps.Workloads()))
+	}
+}
+
+// TestFig1OrderDerivesFromRegistry checks the topology captures follow
+// registry order.
+func TestFig1OrderDerivesFromRegistry(t *testing.T) {
+	results, err := Fig1Rendered(Options{Runner: &runner.Pool{Workers: 8}}, 16, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := apps.Names()
+	if len(results) != len(names) {
+		t.Fatalf("%d topologies, want %d", len(results), len(names))
+	}
+	for i, r := range results {
+		if r.App != names[i] {
+			t.Errorf("topology %d is %q, registry says %q", i, r.App, names[i])
+		}
+	}
+}

@@ -5,12 +5,6 @@ import (
 	"io"
 
 	"repro/internal/apps"
-	"repro/internal/apps/beambeam3d"
-	"repro/internal/apps/cactus"
-	"repro/internal/apps/elbm3d"
-	"repro/internal/apps/gtc"
-	"repro/internal/apps/hyperclaw"
-	"repro/internal/apps/paratec"
 	"repro/internal/machine"
 	"repro/internal/pingpong"
 	"repro/internal/runner"
@@ -98,12 +92,15 @@ func RenderTable1(w io.Writer, rows []Table1Row) {
 	fmt.Fprintln(w)
 }
 
-// Table2 returns the application-overview rows.
+// Table2 returns the application-overview rows, one per registered
+// workload in registry (sorted) order.
 func Table2() []apps.Meta {
-	return []apps.Meta{
-		gtc.Meta, elbm3d.Meta, cactus.Meta,
-		beambeam3d.Meta, paratec.Meta, hyperclaw.Meta,
+	workloads := apps.Workloads()
+	rows := make([]apps.Meta, len(workloads))
+	for i, w := range workloads {
+		rows[i] = w.Meta()
 	}
+	return rows
 }
 
 // RenderTable2 writes the application overview in the paper's layout.

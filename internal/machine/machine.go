@@ -13,6 +13,7 @@ package machine
 import (
 	"fmt"
 	"sort"
+	"strings"
 
 	"repro/internal/vtime"
 )
@@ -286,4 +287,33 @@ func Names() []string {
 	}
 	sort.Strings(names)
 	return names
+}
+
+// Find looks up a spec by forgiving name — case-insensitive, ignoring
+// punctuation — among the standard testbed plus the X1 variant, so CLI
+// selectors like "bgl", "BG/L" and "phoenix-x1" all resolve.
+func Find(name string) (Spec, error) {
+	candidates := append(All(), PhoenixX1)
+	want := FoldName(name)
+	known := make([]string, len(candidates))
+	for i, s := range candidates {
+		if FoldName(s.Name) == want {
+			return s, nil
+		}
+		known[i] = s.Name
+	}
+	return Spec{}, fmt.Errorf("machine: unknown machine %q (known: %s)",
+		name, strings.Join(known, ", "))
+}
+
+// FoldName lowercases a name and strips punctuation — the folding rule
+// shared by the CLI's forgiving machine and workload selectors.
+func FoldName(name string) string {
+	var b strings.Builder
+	for _, r := range strings.ToLower(name) {
+		if (r >= 'a' && r <= 'z') || (r >= '0' && r <= '9') {
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
 }

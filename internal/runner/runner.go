@@ -12,7 +12,10 @@ import (
 // cacheVersion salts every content key. Bump it when a change to the
 // performance models or experiment configurations invalidates points
 // simulated by earlier builds.
-const cacheVersion = "petasim-cache-v1"
+// v2: the workload registry unified the Figure 8 point configurations
+// with the scaling figures (step counts, GTC's BG/L mapping), so points
+// simulated by v1 builds are stale.
+const cacheVersion = "petasim-cache-v2"
 
 // Key builds the content key for one schedulable point from the
 // experiment identifier and the values that determine the point's
