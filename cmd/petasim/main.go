@@ -26,7 +26,8 @@
 //	vnode     §3.1 BG/L virtual-node-mode efficiency
 //	machines  list the modelled platforms
 //	workloads list the registered workloads (Table 2 metadata)
-//	all       everything above except sweep
+//	serve     long-running HTTP JSON service over the same engine
+//	all       everything above except sweep and serve
 //
 // Flags:
 //
@@ -34,12 +35,14 @@
 //	-max N        cap every series at N processors
 //	-jobs N       worker goroutines for the experiment point cross-product
 //	-cache DIR    persist simulated points; repeated runs skip them
+//	-mem-cache N  in-memory LRU over N results in front of -cache (0 disables)
 //	-csv DIR      also write each experiment's points as CSV into DIR
 //	-json DIR     also write each experiment's points as JSON into DIR
 //	-commtopo-p N concurrency for fig1 (default 64)
 //	-app LIST     sweep: comma-separated workloads (default: all registered)
 //	-machine LIST sweep: comma-separated platforms (default: the full testbed)
 //	-procs LIST   sweep: comma-separated concurrencies (default: 64..1024)
+//	-addr ADDR    serve: listen address (default :8080)
 //
 // Every application is a workload registered in internal/apps; the
 // figures, the summary, the topology captures, and the sweep all
@@ -52,23 +55,32 @@
 // any worker count. With -cache, points carry a content key (experiment
 // × machine spec × concurrency), and a second run serves them from disk
 // without re-simulating; the run summary on stderr reports the split.
+// A failed cache write is a one-time warning, never a run failure.
+//
+// serve turns the same engine into a service: every /v1/sweep and
+// /v1/figures query runs through one shared pool, with the -mem-cache
+// LRU in front of -cache and in-flight deduplication, so concurrent
+// identical requests simulate each point once and warm queries
+// re-simulate nothing.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"path/filepath"
 	"runtime"
-	"strconv"
 	"strings"
+	"time"
 
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/experiments"
 	"repro/internal/machine"
 	"repro/internal/runner"
+	"repro/internal/server"
 )
 
 func main() {
@@ -76,6 +88,9 @@ func main() {
 	maxProcs := flag.Int("max", 0, "cap every series at this many processors")
 	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker goroutines for experiment points")
 	cacheDir := flag.String("cache", "", "cache simulated points in this directory")
+	memCache := flag.Int("mem-cache", runner.DefaultMemCapacity,
+		"in-memory LRU capacity (results) in front of -cache; <=0 disables")
+	addr := flag.String("addr", ":8080", "serve: listen address")
 	csvDir := flag.String("csv", "", "write experiment CSVs into this directory")
 	jsonDir := flag.String("json", "", "write experiment JSON records into this directory")
 	commP := flag.Int("commtopo-p", 64, "concurrency for the fig1 topology capture")
@@ -97,14 +112,15 @@ func main() {
 		}
 		pool.Cache = cache
 	}
+	pool.Mem = runner.NewMemCache(*memCache) // 0 disables the tier (nil)
 	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Runner: pool}
 	cli := cliConfig{
-		csvDir: *csvDir, jsonDir: *jsonDir, commP: *commP,
-		apps:     splitList(*appList),
-		machines: splitList(*machineList),
+		csvDir: *csvDir, jsonDir: *jsonDir, commP: *commP, addr: *addr,
+		apps:     experiments.SplitList(*appList),
+		machines: experiments.SplitList(*machineList),
 	}
 	var err error
-	cli.procs, err = parseProcs(*procsList)
+	cli.procs, err = experiments.ParseProcs(*procsList)
 	if err == nil {
 		err = run(strings.ToLower(flag.Arg(0)), opts, cli)
 	}
@@ -117,10 +133,12 @@ func main() {
 	}
 }
 
-// cliConfig carries the artifact directories and the sweep selectors.
+// cliConfig carries the artifact directories, the sweep selectors, and
+// the serve address.
 type cliConfig struct {
 	csvDir, jsonDir string
 	commP           int
+	addr            string
 	apps, machines  []string
 	procs           []int
 }
@@ -230,6 +248,23 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 		for _, r := range results {
 			fmt.Fprintln(out, r.Output)
 		}
+	case "serve":
+		// Header/idle timeouts so slow or idle clients cannot pin
+		// goroutines forever; no write timeout, because a cold figure
+		// query legitimately simulates for a while before responding.
+		hs := &http.Server{
+			Addr:              cli.addr,
+			Handler:           server.New(opts),
+			ReadHeaderTimeout: 10 * time.Second,
+			// ReadTimeout bounds the whole request read, so a trickled
+			// POST body cannot pin a handler goroutine. It does not
+			// limit how long a cold query may simulate before the
+			// response is written (that would be WriteTimeout).
+			ReadTimeout: 30 * time.Second,
+			IdleTimeout: 2 * time.Minute,
+		}
+		fmt.Fprintf(os.Stderr, "petasim: serving on %s\n", cli.addr)
+		return hs.ListenAndServe()
 	case "machines":
 		for _, m := range machine.All() {
 			fmt.Fprintln(out, m.String())
@@ -245,33 +280,9 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep gtcopt amropt vnode machines workloads all)", cmd)
+		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep serve gtcopt amropt vnode machines workloads all)", cmd)
 	}
 	return nil
-}
-
-// splitList parses a comma-separated selector, trimming blanks.
-func splitList(s string) []string {
-	var out []string
-	for _, part := range strings.Split(s, ",") {
-		if part = strings.TrimSpace(part); part != "" {
-			out = append(out, part)
-		}
-	}
-	return out
-}
-
-// parseProcs parses the -procs selector.
-func parseProcs(s string) ([]int, error) {
-	var out []int
-	for _, part := range splitList(s) {
-		p, err := strconv.Atoi(part)
-		if err != nil {
-			return nil, fmt.Errorf("bad -procs entry %q: %w", part, err)
-		}
-		out = append(out, p)
-	}
-	return out, nil
 }
 
 // writeArtifacts emits an experiment's structured points in the requested

@@ -30,6 +30,13 @@ type figureSpec struct {
 	run                     appRunner
 }
 
+// pointRunnable is the single filter deciding whether a (machine,
+// concurrency) point survives the option caps — shared by jobs and
+// runnable so plan-time validation can never drift from expansion.
+func pointRunnable(opts Options, ss seriesSpec, p int) bool {
+	return !opts.capProcs(p) && p <= ss.spec.TotalProcs
+}
+
 // jobs expands the (machine × concurrency) cross-product into runner
 // jobs, honouring the option caps. Job order is series-major,
 // concurrency-minor — the exact order the serial loops used to run.
@@ -37,7 +44,7 @@ func (fs *figureSpec) jobs(opts Options) []runner.Job {
 	var jobs []runner.Job
 	for _, ss := range fs.series {
 		for _, p := range ss.procs {
-			if opts.capProcs(p) || p > ss.spec.TotalProcs {
+			if !pointRunnable(opts, ss, p) {
 				continue
 			}
 			spec, procs := ss.spec, p
@@ -60,6 +67,20 @@ func (fs *figureSpec) jobs(opts Options) []runner.Job {
 		}
 	}
 	return jobs
+}
+
+// runnable reports whether any (machine, concurrency) point survives
+// the option caps — the same filter jobs applies — without building
+// job closures or hashing content keys.
+func (fs *figureSpec) runnable(opts Options) bool {
+	for _, ss := range fs.series {
+		for _, p := range ss.procs {
+			if pointRunnable(opts, ss, p) {
+				return true
+			}
+		}
+	}
+	return false
 }
 
 // assemble groups point results back into the figure's series. Results
@@ -276,6 +297,17 @@ func Fig6PARATEC(opts Options) (*Figure, error) { return buildPaperFigure(opts, 
 
 // Fig7HyperCLaw regenerates Figure 7.
 func Fig7HyperCLaw(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 7") }
+
+// FigureN regenerates one of the paper's per-application scaling
+// figures (2–7) by number — the CLI-free entry point internal/server
+// dispatches /v1/figures/{n} through. Figure 8 is a summary, not a
+// scaling figure; use Fig8Summary.
+func FigureN(opts Options, n int) (*Figure, error) {
+	if n < 2 || n > 7 {
+		return nil, fmt.Errorf("experiments: no scaling figure %d (the paper's scaling studies are Figures 2-7)", n)
+	}
+	return buildPaperFigure(opts, fmt.Sprintf("Figure %d", n))
+}
 
 // figureSpecs resolves Figures 2–7 in order.
 func figureSpecs(opts Options) ([]*figureSpec, error) {

@@ -2,21 +2,58 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/machine"
 	"repro/internal/simmpi"
 )
 
-// Sweep runs an arbitrary workload × platform × concurrency cross-product
-// through the registry — the scenarios outside the paper's figures. Empty
-// selectors default to everything: all registered workloads, the full
-// Table 1 testbed, and the 64..1024 doubling series. One Figure per
-// workload comes back, machines as series, assembled in deterministic job
-// order through the options' pool exactly like the paper figures, so the
-// output is byte-identical for any worker count and repeat runs are
-// cache-served.
-func Sweep(opts Options, appNames, machineNames []string, procs []int) ([]*Figure, error) {
+// SplitList parses a comma-separated selector, trimming blanks — the
+// -app/-machine syntax shared by the CLI and the HTTP service.
+func SplitList(s string) []string {
+	var out []string
+	for _, part := range strings.Split(s, ",") {
+		if part = strings.TrimSpace(part); part != "" {
+			out = append(out, part)
+		}
+	}
+	return out
+}
+
+// ParseProcs parses the comma-separated concurrency selector shared by
+// the CLI (-procs) and the HTTP service (procs=).
+func ParseProcs(s string) ([]int, error) {
+	var out []int
+	for _, part := range SplitList(s) {
+		p, err := strconv.Atoi(part)
+		if err != nil {
+			return nil, fmt.Errorf("bad procs entry %q: %w", part, err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// SweepPlan is a validated sweep selection, ready to run. Splitting
+// planning from running lets callers (the HTTP service) distinguish
+// bad selectors — a caller error — from a simulation failure. The plan
+// captures the Options it was validated against, so the selection that
+// was checked is exactly the selection that runs.
+type SweepPlan struct {
+	opts  Options
+	specs []*figureSpec
+}
+
+// PlanSweep validates a workload × platform × concurrency selection
+// against the registry and the option caps. Empty selectors default to
+// everything: all registered workloads, the full Table 1 testbed, and
+// the 64..1024 doubling series. Every error it returns names something
+// wrong with the selectors: an unknown workload or machine, a
+// nonpositive concurrency, or a cross-product that leaves a workload
+// with no runnable points. Nothing is simulated.
+func PlanSweep(opts Options, appNames, machineNames []string, procs []int) (*SweepPlan, error) {
 	workloads, err := sweepWorkloads(appNames)
 	if err != nil {
 		return nil, err
@@ -51,17 +88,30 @@ func Sweep(opts Options, appNames, machineNames []string, procs []int) ([]*Figur
 				return apps.RunPoint(w, spec, p)
 			},
 		}
+		if !specs[i].runnable(opts) {
+			return nil, fmt.Errorf("sweep: no runnable points for %s sweep (check -procs against the machines' sizes)", w.Name())
+		}
 	}
-	figs, err := buildFigureSpecs(opts, specs)
+	return &SweepPlan{opts: opts, specs: specs}, nil
+}
+
+// Run simulates the planned cross-product under the plan's options.
+// One Figure per workload comes back, machines as series, assembled in
+// deterministic job order through the options' pool exactly like the
+// paper figures, so the output is byte-identical for any worker count
+// and repeat runs are cache-served. Errors are simulation failures,
+// not selector problems.
+func (p *SweepPlan) Run() ([]*Figure, error) {
+	return buildFigureSpecs(p.opts, p.specs)
+}
+
+// Sweep plans and runs a sweep in one call — the CLI entry point.
+func Sweep(opts Options, appNames, machineNames []string, procs []int) ([]*Figure, error) {
+	plan, err := PlanSweep(opts, appNames, machineNames, procs)
 	if err != nil {
 		return nil, err
 	}
-	for _, fig := range figs {
-		if len(fig.Results) == 0 {
-			return nil, fmt.Errorf("sweep: no runnable points for %s (check -procs against the machines' sizes)", fig.Title)
-		}
-	}
-	return figs, nil
+	return plan.Run()
 }
 
 // sweepWorkloads resolves the -app selector, defaulting to the whole

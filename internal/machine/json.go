@@ -81,9 +81,28 @@ func FromJSON(r io.Reader) (Spec, error) {
 	return s, nil
 }
 
+// SpecsToJSON writes specs as a JSON array in the on-disk form — the
+// body of the service's /v1/machines endpoint.
+func SpecsToJSON(w io.Writer, specs []Spec) error {
+	js := make([]specJSON, len(specs))
+	for i, s := range specs {
+		js[i] = toSpecJSON(s)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(js)
+}
+
 // ToJSON writes the spec in the on-disk form.
 func ToJSON(w io.Writer, s Spec) error {
-	j := specJSON{
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toSpecJSON(s))
+}
+
+// toSpecJSON converts a spec to the user-facing-unit JSON form.
+func toSpecJSON(s Spec) specJSON {
+	return specJSON{
 		Name: s.Name, Site: s.Site, Arch: s.Arch, Network: s.Network,
 		Topology:     string(s.Topology),
 		TotalProcs:   s.TotalProcs,
@@ -104,7 +123,4 @@ func ToJSON(w io.Writer, s Spec) error {
 		MathScalarNs: s.Math.Scalar * 1e9,
 		MathVectorNs: s.Math.Vector * 1e9,
 	}
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	return enc.Encode(j)
 }

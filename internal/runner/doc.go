@@ -13,12 +13,20 @@
 //     goroutines. Results always come back in job order, so output
 //     assembled from them is byte-identical to a serial run regardless
 //     of worker count or host scheduling.
-//   - A [Cache] persists results as one JSON file per point under a
-//     directory, keyed by the SHA-256 of the experiment identifier and
-//     every value that determines the point's outcome (machine spec,
-//     concurrency, config knobs). A second run of the same experiment
-//     set completes without re-simulating anything; [Pool.Stats]
-//     reports the hit/simulated split.
+//   - Results live in a two-tier store. A [MemCache] is a sharded
+//     in-memory LRU — the fast tier a long-running server answers warm
+//     queries from. A [Cache] persists results as one JSON file per
+//     point under a directory, keyed by the SHA-256 of the experiment
+//     identifier and every value that determines the point's outcome
+//     (machine spec, concurrency, config knobs). A second run of the
+//     same experiment set completes without re-simulating anything;
+//     [Pool.Stats] reports the simulated/mem/disk/deduped split.
+//   - Concurrent lookups of one key are deduplicated in flight
+//     (singleflight), so a pool shared by many concurrent Run calls —
+//     internal/server gives every request a [Pool.View] of one shared
+//     pool — simulates each point exactly once. A failed disk-cache
+//     write warns once and the run continues: a simulated result is
+//     never discarded because the disk is full or read-only.
 //
 // [Result] records serialize to JSON ([WriteJSON]) and CSV
 // ([WriteCSV]) for external plotting and archival.

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"fmt"
 	"io"
+	"os"
+	"reflect"
 	"sync"
 	"sync/atomic"
 )
@@ -21,8 +23,10 @@ const cacheVersion = "petasim-cache-v2"
 // experiment identifier and the values that determine the point's
 // outcome: the machine spec, the concurrency, and any config knobs that
 // vary between points of the same experiment. Components are rendered
-// with %+v, so plain structs, slices and scalars hash deterministically;
-// callers must not pass values containing pointers.
+// with %+v, so plain structs, slices and scalars hash deterministically.
+// Values containing pointers (or channels or funcs) would key on a
+// memory address and silently poison the cache, so Key walks each part
+// with reflect and panics on the first pointer-bearing component.
 func Key(experiment string, parts ...any) string {
 	h := sha256.New()
 	// Length-prefix every component so differently-split lists can never
@@ -33,60 +37,312 @@ func Key(experiment string, parts ...any) string {
 	}
 	writePart(cacheVersion)
 	writePart(experiment)
-	for _, p := range parts {
+	for i, p := range parts {
+		if p != nil {
+			v := reflect.ValueOf(p)
+			switch classifyKeyType(v.Type()) {
+			case keyTypeClean:
+				// Hashability is a property of the type; the verdict is
+				// memoized, so warm traffic pays one map lookup here.
+			case keyTypeDirty:
+				panic(fmt.Sprintf("runner: Key part %d has type %s, which contains pointers (or chans/funcs); content keys must be built from pointer-free values (addresses are not stable across runs and would poison the cache)",
+					i, v.Type()))
+			case keyTypeDynamic:
+				// Interface-bearing types can only be judged per value.
+				assertHashable(fmt.Sprintf("part %d", i), v, 0)
+			}
+		}
 		writePart(fmt.Sprintf("%+v", p))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }
 
+// keyTypeClass is the memoized Key-guard verdict for a type.
+type keyTypeClass int8
+
+const (
+	// keyTypeClean types can never reach an address: no per-value walk.
+	keyTypeClean keyTypeClass = iota
+	// keyTypeDirty types contain a pointer, chan, or func somewhere —
+	// rejected outright, even when the offending container is empty,
+	// so the failure does not depend on the data.
+	keyTypeDirty
+	// keyTypeDynamic types contain interfaces, whose contents only a
+	// per-value walk can judge.
+	keyTypeDynamic
+)
+
+var keyTypeCache sync.Map // reflect.Type → keyTypeClass
+
+func classifyKeyType(t reflect.Type) keyTypeClass {
+	if c, ok := keyTypeCache.Load(t); ok {
+		return c.(keyTypeClass)
+	}
+	c := classifyType(t, map[reflect.Type]bool{})
+	keyTypeCache.Store(t, c)
+	return c
+}
+
+// classifyType walks a type's reachable field/element types. seen
+// breaks recursion through self-referential types (legal without
+// pointers via slices/maps); a revisited type contributes nothing new
+// on this path.
+func classifyType(t reflect.Type, seen map[reflect.Type]bool) keyTypeClass {
+	if seen[t] {
+		return keyTypeClean
+	}
+	seen[t] = true
+	switch t.Kind() {
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Chan, reflect.Func:
+		return keyTypeDirty
+	case reflect.Interface:
+		return keyTypeDynamic
+	case reflect.Struct:
+		out := keyTypeClean
+		for i := 0; i < t.NumField(); i++ {
+			switch classifyType(t.Field(i).Type, seen) {
+			case keyTypeDirty:
+				return keyTypeDirty
+			case keyTypeDynamic:
+				out = keyTypeDynamic
+			}
+		}
+		return out
+	case reflect.Slice, reflect.Array:
+		return classifyType(t.Elem(), seen)
+	case reflect.Map:
+		kc := classifyType(t.Key(), seen)
+		ec := classifyType(t.Elem(), seen)
+		if kc == keyTypeDirty || ec == keyTypeDirty {
+			return keyTypeDirty
+		}
+		if kc == keyTypeDynamic || ec == keyTypeDynamic {
+			return keyTypeDynamic
+		}
+		return keyTypeClean
+	default:
+		return keyTypeClean
+	}
+}
+
+// maxKeyDepth bounds the hashability walk; %+v on anything nested this
+// deep would be pathological anyway.
+const maxKeyDepth = 100
+
+// assertHashable panics if v's %+v rendering would embed a memory
+// address — pointers, channels, funcs, and unsafe pointers, at any
+// nesting depth. path names the offending component for the panic
+// message.
+func assertHashable(path string, v reflect.Value, depth int) {
+	if depth > maxKeyDepth {
+		panic(fmt.Sprintf("runner: Key %s is nested more than %d levels deep", path, maxKeyDepth))
+	}
+	switch v.Kind() {
+	case reflect.Invalid:
+		// Untyped nil renders as "<nil>": deterministic, allowed.
+	case reflect.Pointer, reflect.UnsafePointer, reflect.Chan, reflect.Func:
+		panic(fmt.Sprintf("runner: Key %s contains a %s; content keys must be built from pointer-free values (addresses are not stable across runs and would poison the cache)",
+			path, v.Kind()))
+	case reflect.Interface:
+		assertHashable(path, v.Elem(), depth+1)
+	case reflect.Struct:
+		t := v.Type()
+		for i := 0; i < v.NumField(); i++ {
+			assertHashable(path+"."+t.Field(i).Name, v.Field(i), depth+1)
+		}
+	case reflect.Slice, reflect.Array:
+		for i := 0; i < v.Len(); i++ {
+			assertHashable(fmt.Sprintf("%s[%d]", path, i), v.Index(i), depth+1)
+		}
+	case reflect.Map:
+		iter := v.MapRange()
+		for iter.Next() {
+			assertHashable(path+" map key", iter.Key(), depth+1)
+			assertHashable(fmt.Sprintf("%s[%v]", path, iter.Key()), iter.Value(), depth+1)
+		}
+	}
+}
+
 // Job is one independently schedulable simulation point.
 type Job struct {
-	// Key is the content key used for result caching; empty disables
-	// caching for this job.
+	// Key is the content key used for result caching and in-flight
+	// deduplication; empty disables both for this job.
 	Key string
 	// Run simulates the point. Jobs run concurrently, so Run must not
 	// share mutable state with other jobs.
 	Run func() (Result, error)
 }
 
-// Stats counts what a pool did across its lifetime.
+// Stats counts what a pool did. For the root pool they accumulate
+// across its lifetime; for a View they cover only jobs dispatched
+// through that view. Points = Simulated + MemHits + Hits + Deduped
+// (failed jobs count toward Points only).
 type Stats struct {
 	// Points is the number of jobs dispatched (simulated or served).
-	Points int64
-	// Simulated is the number of jobs whose Run function executed.
-	Simulated int64
-	// Hits is the number of jobs served from the cache.
-	Hits int64
+	Points int64 `json:"points"`
+	// Simulated is the number of jobs whose Run function executed to
+	// completion.
+	Simulated int64 `json:"simulated"`
+	// MemHits is the number of jobs served from the in-memory tier.
+	MemHits int64 `json:"mem_hits"`
+	// Hits is the number of jobs served from the on-disk cache.
+	Hits int64 `json:"disk_hits"`
+	// Deduped is the number of jobs that shared another caller's
+	// in-flight result instead of running or hitting a cache tier.
+	Deduped int64 `json:"deduped"`
 }
 
 func (s Stats) String() string {
-	return fmt.Sprintf("%d points (%d simulated, %d cache hits)",
-		s.Points, s.Simulated, s.Hits)
+	return fmt.Sprintf("%d points (%d simulated, %d mem hits, %d disk hits, %d deduped)",
+		s.Points, s.Simulated, s.MemHits, s.Hits, s.Deduped)
+}
+
+// served records how runJob satisfied a job.
+type served int
+
+const (
+	servedSim served = iota
+	servedMem
+	servedDisk
+	servedDedup
+)
+
+// counters is the atomic backing store of Stats.
+type counters struct {
+	points, simulated, memHits, diskHits, deduped atomic.Int64
+}
+
+func (c *counters) add(via served, ok bool) {
+	c.points.Add(1)
+	if !ok {
+		return
+	}
+	switch via {
+	case servedSim:
+		c.simulated.Add(1)
+	case servedMem:
+		c.memHits.Add(1)
+	case servedDisk:
+		c.diskHits.Add(1)
+	case servedDedup:
+		c.deduped.Add(1)
+	}
+}
+
+func (c *counters) stats() Stats {
+	return Stats{
+		Points:    c.points.Load(),
+		Simulated: c.simulated.Load(),
+		MemHits:   c.memHits.Load(),
+		Hits:      c.diskHits.Load(),
+		Deduped:   c.deduped.Load(),
+	}
 }
 
 // Pool fans jobs out across a fixed set of worker goroutines, serving
-// repeated points from an optional result cache. The zero value is a
-// serial, uncached pool ready to use. A pool may be shared by many Run
-// calls — cmd/petasim uses one pool for an entire invocation so the
-// final stats cover every experiment.
+// repeated points from a two-tier result store: an optional in-memory
+// LRU (Mem) in front of an optional on-disk Cache. Concurrent lookups
+// of the same key are deduplicated in flight, so a pool shared by many
+// concurrent Run calls — the petasim serve scenario — simulates each
+// point exactly once no matter how many requests race on it.
+//
+// The zero value is a serial, uncached pool ready to use. All methods
+// are safe for concurrent use.
 type Pool struct {
-	// Workers is the number of concurrent workers. Values below 1 run
-	// serially; values above the job count are clamped.
+	// Workers caps concurrency twice over: each Run call starts at most
+	// Workers worker goroutines, and at most Workers simulations are in
+	// flight at once across every Run call sharing this pool and its
+	// views — the backpressure that keeps N concurrent cold requests
+	// from multiplying compute. Values below 1 run serially; values
+	// above the job count are clamped per call.
 	Workers int
-	// Cache, if non-nil, is consulted before running a job and updated
-	// after a simulated point completes.
+	// Cache, if non-nil, is the persistent tier: consulted after Mem,
+	// updated after a simulated point completes. A failed cache write
+	// is a warning (once per pool), never a job failure — the simulated
+	// result is still returned, the run just loses persistence.
 	Cache *Cache
+	// Mem, if non-nil, is the fast tier: consulted first, filled on
+	// disk hits and simulated points.
+	Mem *MemCache
+	// Warnf, if non-nil, receives the pool's non-fatal warnings (e.g.
+	// the first failed cache write). Nil writes to os.Stderr.
+	Warnf func(format string, args ...any)
 
-	points, simulated, hits atomic.Int64
+	stats      counters
+	parent     *Pool // non-nil for views; counts also flow up
+	flight     *flightGroup
+	flightOnce sync.Once
+	sem        chan struct{} // global simulation slots, shared with views
+	semOnce    sync.Once
+	putWarn    sync.Once
 }
 
-// Stats returns the totals accumulated across every Run call so far.
-func (p *Pool) Stats() Stats {
-	return Stats{
-		Points:    p.points.Load(),
-		Simulated: p.simulated.Load(),
-		Hits:      p.hits.Load(),
+// Stats returns the totals accumulated by this pool (for a View, by
+// that view only).
+func (p *Pool) Stats() Stats { return p.stats.stats() }
+
+// View returns a pool that shares p's worker count, cache tiers,
+// warning sink, and in-flight deduplication group, but accumulates its
+// own Stats. A long-running server gives each request a view of one
+// shared pool: the request observes exactly what was simulated or
+// served on its behalf, while the root pool keeps lifetime totals
+// (every count recorded through a view is added to its parents too).
+func (p *Pool) View() *Pool {
+	return &Pool{
+		Workers: p.Workers, Cache: p.Cache, Mem: p.Mem, Warnf: p.Warnf,
+		flight: p.flightFor(), sem: p.semFor(), parent: p,
 	}
+}
+
+// flightFor lazily creates the dedup group so the zero Pool works.
+func (p *Pool) flightFor() *flightGroup {
+	p.flightOnce.Do(func() {
+		if p.flight == nil {
+			p.flight = newFlightGroup()
+		}
+	})
+	return p.flight
+}
+
+// semFor lazily creates the global simulation semaphore (Workers slots,
+// minimum one) so the zero Pool works.
+func (p *Pool) semFor() chan struct{} {
+	p.semOnce.Do(func() {
+		if p.sem == nil {
+			n := p.Workers
+			if n < 1 {
+				n = 1
+			}
+			p.sem = make(chan struct{}, n)
+		}
+	})
+	return p.sem
+}
+
+// tally records one dispatched job on this pool and every ancestor.
+func (p *Pool) tally(via served, ok bool) {
+	for q := p; q != nil; q = q.parent {
+		q.stats.add(via, ok)
+	}
+}
+
+// warnPutFailure reports the first failed cache write on the root pool
+// and stays silent afterwards: on a full or read-only disk every write
+// fails the same way, and one warning per pool is signal enough.
+func (p *Pool) warnPutFailure(err error) {
+	root := p
+	for root.parent != nil {
+		root = root.parent
+	}
+	root.putWarn.Do(func() {
+		warnf := root.Warnf
+		if warnf == nil {
+			warnf = func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, format+"\n", args...)
+			}
+		}
+		warnf("runner: cache write failed, continuing without persisting results: %v", err)
+	})
 }
 
 // Run executes the jobs and returns their results in job order,
@@ -96,6 +352,10 @@ func (p *Pool) Stats() Stats {
 // the lowest-indexed recorded failure; results are discarded. (Which
 // later jobs were skipped after a failure can vary with scheduling;
 // the successful path is what must be deterministic.)
+//
+// Run may be called concurrently from many goroutines on one pool (or
+// on views of one pool); the cache tiers and the in-flight dedup group
+// are shared, so overlapping job sets simulate each key once.
 func (p *Pool) Run(jobs []Job) ([]Result, error) {
 	workers := p.Workers
 	if workers < 1 {
@@ -118,7 +378,9 @@ func (p *Pool) Run(jobs []Job) ([]Result, error) {
 				if failed.Load() {
 					continue
 				}
-				results[i], errs[i] = p.runJob(jobs[i])
+				var via served
+				results[i], via, errs[i] = p.runJob(jobs[i])
+				p.tally(via, errs[i] == nil)
 				if errs[i] != nil {
 					failed.Store(true)
 				}
@@ -139,25 +401,74 @@ func (p *Pool) Run(jobs []Job) ([]Result, error) {
 	return results, nil
 }
 
-// runJob serves one job from the cache or simulates it.
-func (p *Pool) runJob(j Job) (Result, error) {
-	p.points.Add(1)
-	if p.Cache != nil && j.Key != "" {
-		if r, ok := p.Cache.Get(j.Key); ok {
-			p.hits.Add(1)
+// runJob serves one job from the memory tier, the disk tier, another
+// caller's in-flight lookup, or a fresh simulation — in that order.
+func (p *Pool) runJob(j Job) (Result, served, error) {
+	if j.Key == "" {
+		r, err := p.simulate(j)
+		return r, servedSim, err
+	}
+	if p.Mem != nil {
+		if r, ok := p.Mem.Get(j.Key); ok {
 			r.Cached = true
-			return r, nil
+			return r, servedMem, nil
 		}
 	}
-	r, err := j.Run()
-	if err != nil {
-		return Result{}, err
-	}
-	p.simulated.Add(1)
-	if p.Cache != nil && j.Key != "" {
-		if err := p.Cache.Put(j.Key, r); err != nil {
+	via := servedSim
+	r, dup, err := p.flightFor().do(j.Key, func() (Result, error) {
+		// Re-check the fast tier under the flight: a leader that just
+		// finished this key has already filled it.
+		if p.Mem != nil {
+			if r, ok := p.Mem.Get(j.Key); ok {
+				via = servedMem
+				return r, nil
+			}
+		}
+		if p.Cache != nil {
+			if r, ok := p.Cache.Get(j.Key); ok {
+				via = servedDisk
+				if p.Mem != nil {
+					p.Mem.Put(j.Key, r)
+				}
+				return r, nil
+			}
+		}
+		r, err := p.simulate(j)
+		if err != nil {
 			return Result{}, err
 		}
+		if p.Mem != nil {
+			p.Mem.Put(j.Key, r)
+		}
+		if p.Cache != nil {
+			if err := p.Cache.Put(j.Key, r); err != nil {
+				// A result that simulated successfully is never thrown
+				// away because the disk is full or read-only.
+				p.warnPutFailure(err)
+			}
+		}
+		return r, nil
+	})
+	if err != nil {
+		return Result{}, via, err
 	}
-	return r, nil
+	if dup {
+		via = servedDedup
+	}
+	if via == servedMem || via == servedDisk {
+		r.Cached = true
+	}
+	return r, via, nil
+}
+
+// simulate runs the job's simulation under a global slot, so the total
+// number of in-flight simulations never exceeds Workers no matter how
+// many Run calls (or server requests) race on the pool. Cache lookups
+// and in-flight waits never hold a slot — warm traffic is not queued
+// behind cold traffic.
+func (p *Pool) simulate(j Job) (Result, error) {
+	sem := p.semFor()
+	sem <- struct{}{}
+	defer func() { <-sem }()
+	return j.Run()
 }

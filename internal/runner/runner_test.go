@@ -160,7 +160,7 @@ func TestStatsAccumulateAcrossRuns(t *testing.T) {
 	if s.Points != 12 || s.Simulated != 12 || s.Hits != 0 {
 		t.Fatalf("stats %+v, want 12 points, 12 simulated, 0 hits", s)
 	}
-	if got := s.String(); got != "12 points (12 simulated, 0 cache hits)" {
+	if got := s.String(); got != "12 points (12 simulated, 0 mem hits, 0 disk hits, 0 deduped)" {
 		t.Fatalf("stats string %q", got)
 	}
 }

@@ -1,0 +1,57 @@
+package runner
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// flightGroup coalesces concurrent lookups of one content key: the first
+// caller (the leader) runs the lookup; callers arriving while it is in
+// flight block and share the leader's result instead of re-simulating
+// the point. This is what turns a shared pool into a concurrent-safe
+// backend — M identical requests racing on a cold cache simulate each
+// point exactly once.
+type flightGroup struct {
+	mu sync.Mutex
+	m  map[string]*flightCall
+}
+
+type flightCall struct {
+	done chan struct{}
+	// waiters counts callers sharing this in-flight lookup; the tests
+	// poll it to release a leader only once a duplicate is provably
+	// blocked on done.
+	waiters atomic.Int64
+	r       Result
+	err     error
+}
+
+func newFlightGroup() *flightGroup {
+	return &flightGroup{m: make(map[string]*flightCall)}
+}
+
+// do runs fn once per key among concurrent callers. The boolean reports
+// whether this caller shared another caller's in-flight result (true for
+// every caller except the leader). The key is forgotten once the leader
+// finishes, so later calls look the key up afresh — by then the caching
+// tiers hold the result.
+func (g *flightGroup) do(key string, fn func() (Result, error)) (Result, bool, error) {
+	g.mu.Lock()
+	if c, ok := g.m[key]; ok {
+		c.waiters.Add(1)
+		g.mu.Unlock()
+		<-c.done
+		return c.r, true, c.err
+	}
+	c := &flightCall{done: make(chan struct{})}
+	g.m[key] = c
+	g.mu.Unlock()
+
+	c.r, c.err = fn()
+
+	g.mu.Lock()
+	delete(g.m, key)
+	g.mu.Unlock()
+	close(c.done)
+	return c.r, false, c.err
+}

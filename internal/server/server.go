@@ -1,0 +1,258 @@
+// Package server exposes the experiment engine as a long-running HTTP
+// JSON service — simulation as a service. Every endpoint dispatches
+// through the same registry-driven entry points the CLI uses, and every
+// request runs through a view of one shared runner.Pool, so the
+// service's two-tier result store (in-memory LRU over the on-disk
+// cache) and in-flight deduplication make repeated and concurrent
+// queries cheap: M identical requests simulate each point exactly once,
+// and a warm query never re-simulates at all.
+//
+// Endpoints (all responses application/json):
+//
+//	GET  /v1/workloads        registered workloads (Table 2 metadata)
+//	GET  /v1/machines         the modelled platforms (Table 1 form)
+//	GET  /v1/sweep            workload × machine × procs cross-product
+//	POST /v1/sweep            same, selectors in query or form body
+//	GET  /v1/figures/{n}      paper figure n ∈ 2..8 (8 is the summary)
+//	GET  /v1/stats            lifetime pool statistics
+//	GET  /healthz             liveness probe
+//
+// Sweep selectors are the CLI's: app, machine (comma-separated,
+// forgiving lookup) and procs (comma-separated counts); empty selectors
+// default to everything. Figure bodies are byte-identical to the CLI's
+// figureN.json artifacts, and a single-workload sweep body is
+// byte-identical to its sweep<app>.json artifact; a multi-workload
+// sweep concatenates the per-workload point records into one array
+// (the CLI writes one file per workload). Each sweep/figure response
+// carries X-Petasim-* headers reporting what the request cost: points
+// dispatched, and how many were simulated, served from the memory or
+// disk tier, or deduplicated against another in-flight request.
+package server
+
+import (
+	"encoding/json"
+	"fmt"
+	"mime"
+	"net/http"
+	"strconv"
+
+	"repro/internal/apps"
+	"repro/internal/experiments"
+	"repro/internal/machine"
+	"repro/internal/runner"
+)
+
+// Server is the HTTP front end over one shared simulation pool. It
+// implements http.Handler.
+type Server struct {
+	opts experiments.Options
+	pool *runner.Pool
+	mux  *http.ServeMux
+}
+
+// New builds a server around opts. opts.Runner is the shared backend
+// pool — its Workers, memory tier, and disk cache serve every request;
+// a nil Runner gets a serial, uncached pool (fine for tests, not for
+// traffic).
+func New(opts experiments.Options) *Server {
+	if opts.Runner == nil {
+		opts.Runner = &runner.Pool{}
+	}
+	s := &Server{opts: opts, pool: opts.Runner}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
+	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		fmt.Fprintln(w, `{"status":"ok"}`)
+	})
+	s.mux = mux
+	return s
+}
+
+// Stats returns the shared pool's lifetime totals.
+func (s *Server) Stats() runner.Stats { return s.pool.Stats() }
+
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// requestOptions clones the options around a per-request view of the
+// shared pool, so the handler can report exactly what this request
+// simulated versus what the warm tiers absorbed.
+func (s *Server) requestOptions() (experiments.Options, *runner.Pool) {
+	view := s.pool.View()
+	opts := s.opts
+	opts.Runner = view
+	return opts, view
+}
+
+// writeError emits the JSON error envelope.
+func writeError(w http.ResponseWriter, status int, err error) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// writeStatsHeaders reports a request's serving split.
+func writeStatsHeaders(w http.ResponseWriter, st runner.Stats) {
+	h := w.Header()
+	h.Set("X-Petasim-Points", strconv.FormatInt(st.Points, 10))
+	h.Set("X-Petasim-Simulated", strconv.FormatInt(st.Simulated, 10))
+	h.Set("X-Petasim-Mem-Hits", strconv.FormatInt(st.MemHits, 10))
+	h.Set("X-Petasim-Disk-Hits", strconv.FormatInt(st.Hits, 10))
+	h.Set("X-Petasim-Deduped", strconv.FormatInt(st.Deduped, 10))
+}
+
+// workloadInfo is one row of /v1/workloads: the Table 2 metadata of a
+// registered workload.
+type workloadInfo struct {
+	Name       string `json:"name"`
+	Lines      int    `json:"lines"`
+	Discipline string `json:"discipline"`
+	Methods    string `json:"methods"`
+	Structure  string `json:"structure"`
+	Scaling    string `json:"scaling"`
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	var out []workloadInfo
+	for _, wl := range apps.Workloads() {
+		m := wl.Meta()
+		out = append(out, workloadInfo{
+			Name: m.Name, Lines: m.Lines, Discipline: m.Discipline,
+			Methods: m.Methods, Structure: m.Structure, Scaling: m.Scaling,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out)
+}
+
+func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	machine.SpecsToJSON(w, machine.All())
+}
+
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	// A selector that fails to parse must 400, never silently drop to
+	// the empty selector: empty means the full everything-sweep, so a
+	// typo'd request would otherwise buy minutes of simulation. That
+	// rules out r.FormValue (it swallows parse errors): reject bodies
+	// the form parser does not understand, then parse explicitly.
+	if r.Method == http.MethodPost {
+		ct := r.Header.Get("Content-Type")
+		switch {
+		case ct == "":
+			// ParseForm treats a missing Content-Type as octet-stream
+			// and ignores the body without error, which would drop the
+			// selectors. ContentLength 0 means no body at all (query
+			// selectors only); -1 means an unknown-length body.
+			if r.ContentLength != 0 {
+				writeError(w, http.StatusUnsupportedMediaType,
+					fmt.Errorf("POST body without a content type: send application/x-www-form-urlencoded or use the query string"))
+				return
+			}
+		default:
+			mt, _, err := mime.ParseMediaType(ct)
+			if err != nil || mt != "application/x-www-form-urlencoded" {
+				writeError(w, http.StatusUnsupportedMediaType,
+					fmt.Errorf("unsupported content type %q: POST selectors as application/x-www-form-urlencoded or in the query string", ct))
+				return
+			}
+		}
+	}
+	if err := r.ParseForm(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed selectors: %w", err))
+		return
+	}
+	appNames := experiments.SplitList(r.Form.Get("app"))
+	machineNames := experiments.SplitList(r.Form.Get("machine"))
+	procs, err := experiments.ParseProcs(r.Form.Get("procs"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	opts, view := s.requestOptions()
+	plan, err := experiments.PlanSweep(opts, appNames, machineNames, procs)
+	if err != nil {
+		// Plan errors name unknown workloads/machines or unrunnable
+		// concurrencies — the caller's selectors.
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	figs, err := plan.Run()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	var results []runner.Result
+	for _, fig := range figs {
+		results = append(results, fig.Results...)
+	}
+	writeStatsHeaders(w, view.Stats())
+	w.Header().Set("Content-Type", "application/json")
+	runner.WriteJSON(w, results)
+}
+
+func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
+	n, err := strconv.Atoi(r.PathValue("n"))
+	if err != nil || n < 2 || n > 8 {
+		writeError(w, http.StatusNotFound,
+			fmt.Errorf("no figure %q (the service regenerates figures 2-8)", r.PathValue("n")))
+		return
+	}
+	opts, view := s.requestOptions()
+	if n == 8 {
+		sum, err := experiments.Fig8Summary(opts)
+		if err != nil {
+			writeError(w, http.StatusInternalServerError, err)
+			return
+		}
+		writeStatsHeaders(w, view.Stats())
+		w.Header().Set("Content-Type", "application/json")
+		sum.JSON(w)
+		return
+	}
+	fig, err := experiments.FigureN(opts, n)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeStatsHeaders(w, view.Stats())
+	w.Header().Set("Content-Type", "application/json")
+	fig.JSON(w)
+}
+
+// memInfo reports the memory tier's fill level in /v1/stats.
+type memInfo struct {
+	Len int `json:"len"`
+	Cap int `json:"cap"`
+}
+
+// statsResponse is the body of /v1/stats.
+type statsResponse struct {
+	Stats   runner.Stats `json:"stats"`
+	Workers int          `json:"workers"`
+	Mem     *memInfo     `json:"mem_cache,omitempty"`
+	DiskDir string       `json:"disk_cache_dir,omitempty"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	resp := statsResponse{Stats: s.pool.Stats(), Workers: s.pool.Workers}
+	if s.pool.Mem != nil {
+		resp.Mem = &memInfo{Len: s.pool.Mem.Len(), Cap: s.pool.Mem.Cap()}
+	}
+	if s.pool.Cache != nil {
+		resp.DiskDir = s.pool.Cache.Dir()
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(resp)
+}

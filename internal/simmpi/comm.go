@@ -197,7 +197,9 @@ func (r *Rank) BcastNominal(c *Comm, root int, data []float64, nomBytes float64)
 	out := c.collect(r, in, nomBytes, func(s *commShared) {
 		src, _ := s.inputs[root].([]float64)
 		b := s.nomBytes
-		if b < 0 || s.nomBytes == 0 {
+		if b <= 0 {
+			// Same fallback as every other collective: a zero or negative
+			// nominal size charges the actual payload.
 			b = float64(len(src) * 8)
 		}
 		for i := range s.outputs {

@@ -95,6 +95,43 @@ func TestBcast(t *testing.T) {
 	}
 }
 
+// TestBcastNominalFallback pins the charged byte count for explicit,
+// zero, and negative nominal sizes: zero and negative fall back to the
+// actual payload (the fallback every other collective uses), and an
+// explicit nominal equal to the payload charges identically, while a
+// larger nominal costs strictly more virtual time.
+func TestBcastNominalFallback(t *testing.T) {
+	const p, elems = 4, 64
+	wall := func(nomBytes float64) float64 {
+		rep, err := Run(testCfg(p), func(r *Rank) {
+			var data []float64
+			if r.World().Rank(r) == 0 {
+				data = make([]float64, elems)
+			}
+			out := r.BcastNominal(r.World(), 0, data, nomBytes)
+			if len(out) != elems {
+				t.Errorf("rank %d received %d elements", r.ID(), len(out))
+			}
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Wall
+	}
+	actual := wall(-1)
+	if explicit := wall(elems * 8); explicit != actual {
+		t.Errorf("explicit nominal %d bytes charged %g, payload fallback charged %g",
+			elems*8, explicit, actual)
+	}
+	if zero := wall(0); zero != actual {
+		t.Errorf("zero nominal charged %g, want the payload fallback %g", zero, actual)
+	}
+	if big := wall(1 << 20); big <= actual {
+		t.Errorf("1MiB nominal charged %g, not more than the %d-byte payload's %g",
+			big, elems*8, actual)
+	}
+}
+
 func TestReduceOnlyRootReceives(t *testing.T) {
 	const p, root = 6, 2
 	_, err := Run(testCfg(p), func(r *Rank) {
