@@ -8,6 +8,7 @@
 package repro
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -59,7 +60,7 @@ func BenchmarkTable2(b *testing.B) {
 // BenchmarkFig1CommTopo captures the six communication topologies.
 func BenchmarkFig1CommTopo(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig1CommTopos(16); err != nil {
+		if _, err := experiments.Fig1CommTopos(context.Background(), 16); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -72,7 +73,7 @@ func BenchmarkFig2GTC(b *testing.B) {
 	cfg.Steps = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := gtc.Run(simmpi.Config{Machine: machine.Jaguar, Procs: 64}, cfg); err != nil {
+		if _, err := gtc.Run(context.Background(), simmpi.Config{Machine: machine.Jaguar, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -85,7 +86,7 @@ func BenchmarkFig3ELBM3D(b *testing.B) {
 	cfg.Steps = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := elbm3d.Run(simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
+		if _, err := elbm3d.Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +99,7 @@ func BenchmarkFig4Cactus(b *testing.B) {
 	cfg.Steps = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cactus.Run(simmpi.Config{Machine: machine.BGW, Procs: 64}, cfg); err != nil {
+		if _, err := cactus.Run(context.Background(), simmpi.Config{Machine: machine.BGW, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func BenchmarkFig5BeamBeam3D(b *testing.B) {
 	cfg.Steps = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := beambeam3d.Run(simmpi.Config{Machine: machine.Phoenix, Procs: 64}, cfg); err != nil {
+		if _, err := beambeam3d.Run(context.Background(), simmpi.Config{Machine: machine.Phoenix, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -123,7 +124,7 @@ func BenchmarkFig6PARATEC(b *testing.B) {
 	cfg.Iters = 1
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := paratec.Run(simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
+		if _, err := paratec.Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -135,7 +136,7 @@ func BenchmarkFig7HyperCLaw(b *testing.B) {
 	cfg.Steps = 2
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hyperclaw.Run(simmpi.Config{Machine: machine.Jacquard, Procs: 16}, cfg); err != nil {
+		if _, err := hyperclaw.Run(context.Background(), simmpi.Config{Machine: machine.Jacquard, Procs: 16}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -147,7 +148,7 @@ func BenchmarkFig8Summary(b *testing.B) {
 	opts := experiments.Options{Quick: true, MaxProcs: 32}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig8Summary(opts); err != nil {
+		if _, err := experiments.Fig8Summary(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -161,7 +162,7 @@ func benchAllFigures(b *testing.B, workers int) {
 		Runner: &runner.Pool{Workers: workers}}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if figs, err := experiments.AllFigures(opts); err != nil || len(figs) != 6 {
+		if figs, err := experiments.AllFigures(context.Background(), opts); err != nil || len(figs) != 6 {
 			b.Fatalf("figs=%d err=%v", len(figs), err)
 		}
 	}
@@ -184,12 +185,12 @@ func BenchmarkAllFiguresCached(b *testing.B) {
 	}
 	opts := experiments.Options{Quick: true, MaxProcs: 64,
 		Runner: &runner.Pool{Workers: runtime.GOMAXPROCS(0), Cache: cache}}
-	if _, err := experiments.AllFigures(opts); err != nil {
+	if _, err := experiments.AllFigures(context.Background(), opts); err != nil {
 		b.Fatal(err)
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AllFigures(opts); err != nil {
+		if _, err := experiments.AllFigures(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -200,7 +201,7 @@ func BenchmarkGTCOptStudy(b *testing.B) {
 	opts := experiments.Options{Quick: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.GTCOptStudy(opts); err != nil {
+		if _, err := experiments.GTCOptStudy(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -211,7 +212,7 @@ func BenchmarkAMROptStudy(b *testing.B) {
 	opts := experiments.Options{Quick: true}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AMROptStudy(opts); err != nil {
+		if _, err := experiments.AMROptStudy(context.Background(), opts); err != nil {
 			b.Fatal(err)
 		}
 	}

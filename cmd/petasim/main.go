@@ -61,18 +61,28 @@
 // /v1/figures query runs through one shared pool, with the -mem-cache
 // LRU in front of -cache and in-flight deduplication, so concurrent
 // identical requests simulate each point once and warm queries
-// re-simulate nothing.
+// re-simulate nothing. /v1/sweep/stream answers the same selectors as
+// NDJSON, one point per line as it completes.
+//
+// The whole binary is cancellable: Ctrl-C (or SIGTERM) stops a sweep
+// promptly — already-simulated points are kept in the caches and the
+// stderr summary reports the partial run — and stops serve by draining
+// in-flight requests through http.Server.Shutdown before exiting.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strings"
+	"syscall"
 	"time"
 
 	"repro/internal/apps"
@@ -119,16 +129,27 @@ func main() {
 		apps:     experiments.SplitList(*appList),
 		machines: experiments.SplitList(*machineList),
 	}
+	// Ctrl-C (or a supervisor's SIGTERM) cancels the whole run: sweeps
+	// stop scheduling promptly and report what they completed; serve
+	// drains in-flight requests before exiting.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	var err error
 	cli.procs, err = experiments.ParseProcs(*procsList)
 	if err == nil {
-		err = run(strings.ToLower(flag.Arg(0)), opts, cli)
+		err = run(ctx, strings.ToLower(flag.Arg(0)), opts, cli)
 	}
 	if s := pool.Stats(); s.Points > 0 {
 		fmt.Fprintf(os.Stderr, "petasim: %s across %d workers\n", s, pool.Workers)
 	}
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+		if errors.Is(err, context.Canceled) {
+			// The stats line above already reported the partial run.
+			fmt.Fprintln(os.Stderr, "petasim: interrupted; partial results only")
+		} else {
+			fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+		}
 		os.Exit(1)
 	}
 }
@@ -143,7 +164,7 @@ type cliConfig struct {
 	procs           []int
 }
 
-func run(cmd string, opts experiments.Options, cli cliConfig) error {
+func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfig) error {
 	out := os.Stdout
 	// renderFigure is the single render+artifact path every figure-shaped
 	// experiment goes through: the two table panels, the Gflop/s chart,
@@ -157,8 +178,8 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 		}
 		return writeArtifacts(cli, fig.ID, fig.CSV, fig.JSON)
 	}
-	figure := func(f func(experiments.Options) (*experiments.Figure, error)) error {
-		fig, err := f(opts)
+	figure := func(f func(context.Context, experiments.Options) (*experiments.Figure, error)) error {
+		fig, err := f(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -173,7 +194,7 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 		return nil
 	}
 	study := func(id string) error {
-		study, rows, err := experiments.RunStudyByID(opts, id)
+		study, rows, err := experiments.RunStudyByID(ctx, opts, id)
 		if err != nil {
 			return err
 		}
@@ -183,7 +204,7 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 
 	switch cmd {
 	case "table1":
-		rows, err := experiments.Table1(opts)
+		rows, err := experiments.Table1(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -191,7 +212,7 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 	case "table2":
 		experiments.RenderTable2(out)
 	case "fig1", "commtopo":
-		results, err := experiments.Fig1Rendered(opts, cli.commP, 48)
+		results, err := experiments.Fig1Rendered(ctx, opts, cli.commP, 48)
 		if err != nil {
 			return err
 		}
@@ -215,19 +236,19 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 	case "fig7":
 		return figure(experiments.Fig7HyperCLaw)
 	case "figures":
-		figs, err := experiments.AllFigures(opts)
+		figs, err := experiments.AllFigures(ctx, opts)
 		if err != nil {
 			return err
 		}
 		return figureSet(figs)
 	case "sweep":
-		figs, err := experiments.Sweep(opts, cli.apps, cli.machines, cli.procs)
+		figs, err := experiments.Sweep(ctx, opts, cli.apps, cli.machines, cli.procs)
 		if err != nil {
 			return err
 		}
 		return figureSet(figs)
 	case "fig8":
-		sum, err := experiments.Fig8Summary(opts)
+		sum, err := experiments.Fig8Summary(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -240,7 +261,7 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 	case "vnode":
 		return study("vnode")
 	case "apexmap":
-		results, err := experiments.ApexMapStudy(opts)
+		results, err := experiments.ApexMapStudy(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -249,22 +270,7 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 			fmt.Fprintln(out, r.Output)
 		}
 	case "serve":
-		// Header/idle timeouts so slow or idle clients cannot pin
-		// goroutines forever; no write timeout, because a cold figure
-		// query legitimately simulates for a while before responding.
-		hs := &http.Server{
-			Addr:              cli.addr,
-			Handler:           server.New(opts),
-			ReadHeaderTimeout: 10 * time.Second,
-			// ReadTimeout bounds the whole request read, so a trickled
-			// POST body cannot pin a handler goroutine. It does not
-			// limit how long a cold query may simulate before the
-			// response is written (that would be WriteTimeout).
-			ReadTimeout: 30 * time.Second,
-			IdleTimeout: 2 * time.Minute,
-		}
-		fmt.Fprintf(os.Stderr, "petasim: serving on %s\n", cli.addr)
-		return hs.ListenAndServe()
+		return serve(ctx, opts, cli.addr)
 	case "machines":
 		for _, m := range machine.All() {
 			fmt.Fprintln(out, m.String())
@@ -275,13 +281,56 @@ func run(cmd string, opts experiments.Options, cli cliConfig) error {
 		}
 	case "all":
 		for _, c := range []string{"table1", "table2", "fig1", "figures", "fig8", "gtcopt", "amropt", "vnode", "apexmap"} {
-			if err := run(c, opts, cli); err != nil {
+			if err := run(ctx, c, opts, cli); err != nil {
 				return err
 			}
 		}
 	default:
 		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep serve gtcopt amropt vnode machines workloads all)", cmd)
 	}
+	return nil
+}
+
+// drainTimeout bounds how long a stopping server waits for in-flight
+// requests before giving up on them.
+const drainTimeout = 15 * time.Second
+
+// serve runs the HTTP service until ctx is cancelled (SIGINT/SIGTERM),
+// then drains: the listener closes immediately, in-flight requests get
+// up to drainTimeout to finish, and only then does the process exit —
+// no request is killed mid-simulation by a clean shutdown.
+func serve(ctx context.Context, opts experiments.Options, addr string) error {
+	// Header/idle timeouts so slow or idle clients cannot pin
+	// goroutines forever; no write timeout, because a cold figure
+	// query legitimately simulates for a while before responding.
+	hs := &http.Server{
+		Addr:              addr,
+		Handler:           server.New(opts),
+		ReadHeaderTimeout: 10 * time.Second,
+		// ReadTimeout bounds the whole request read, so a trickled
+		// POST body cannot pin a handler goroutine. It does not
+		// limit how long a cold query may simulate before the
+		// response is written (that would be WriteTimeout).
+		ReadTimeout: 30 * time.Second,
+		IdleTimeout: 2 * time.Minute,
+	}
+	fmt.Fprintf(os.Stderr, "petasim: serving on %s\n", addr)
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	select {
+	case err := <-errc:
+		return err // bind failure or another listener error; not a shutdown
+	case <-ctx.Done():
+	}
+	fmt.Fprintf(os.Stderr, "petasim: shutting down, draining for up to %s\n", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := hs.Shutdown(drainCtx); err != nil {
+		// Drain deadline hit: close the stragglers' connections hard.
+		hs.Close()
+		return fmt.Errorf("serve: drain incomplete after %s: %w", drainTimeout, err)
+	}
+	<-errc // reap the ListenAndServe goroutine (returns ErrServerClosed)
 	return nil
 }
 

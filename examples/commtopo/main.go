@@ -18,6 +18,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"log"
 	"os"
@@ -30,7 +31,7 @@ func main() {
 	size := flag.Int("size", 48, "heatmap size in characters")
 	flag.Parse()
 
-	topos, err := experiments.Fig1CommTopos(*procs)
+	topos, err := experiments.Fig1CommTopos(context.Background(), *procs)
 	if err != nil {
 		log.Fatal(err)
 	}

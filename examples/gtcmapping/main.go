@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -65,7 +66,7 @@ func main() {
 
 	// Then the end-to-end effect.
 	run := func(label string, sim simmpi.Config) float64 {
-		rep, err := gtc.Run(sim, cfg)
+		rep, err := gtc.Run(context.Background(), sim, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -11,6 +11,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -37,6 +38,7 @@ var petaMachine = machine.Spec{
 }
 
 func main() {
+	ctx := context.Background()
 	if err := petaMachine.Validate(); err != nil {
 		log.Fatal(err)
 	}
@@ -48,14 +50,14 @@ func main() {
 		gcfg := gtc.DefaultConfig(petaMachine, p)
 		gcfg.ActualParticlesPerRank = 300
 		gcfg.Steps = 2
-		grep, err := gtc.Run(simmpi.Config{Machine: petaMachine, Procs: p}, gcfg)
+		grep, err := gtc.Run(ctx, simmpi.Config{Machine: petaMachine, Procs: p}, gcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ccfg := cactus.DefaultConfig(p)
 		ccfg.ActualPerProc = 4
 		ccfg.Steps = 2
-		crep, err := cactus.Run(simmpi.Config{Machine: petaMachine, Procs: p}, ccfg)
+		crep, err := cactus.Run(ctx, simmpi.Config{Machine: petaMachine, Procs: p}, ccfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -68,13 +70,13 @@ func main() {
 	for _, p := range []int{512, 4096, 16384} {
 		pcfg := paratec.DefaultConfig(false)
 		pcfg.Iters = 1
-		prep, err := paratec.Run(simmpi.Config{Machine: petaMachine, Procs: p}, pcfg)
+		prep, err := paratec.Run(ctx, simmpi.Config{Machine: petaMachine, Procs: p}, pcfg)
 		if err != nil {
 			log.Fatal(err)
 		}
 		ecfg := elbm3d.DefaultConfig(p)
 		ecfg.Steps = 2
-		erep, err := elbm3d.Run(simmpi.Config{Machine: petaMachine, Procs: p}, ecfg)
+		erep, err := elbm3d.Run(ctx, simmpi.Config{Machine: petaMachine, Procs: p}, ecfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("ELBM3D on %s with %d processors (nominal %d³ grid, actual %d³)\n",
 		spec, procs, cfg.NominalN, cfg.ActualN)
 
-	rep, err := elbm3d.Run(simmpi.Config{Machine: spec, Procs: procs}, cfg)
+	rep, err := elbm3d.Run(context.Background(), simmpi.Config{Machine: spec, Procs: procs}, cfg)
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,99 @@
+// Stream: consume the execution engine's NDJSON streaming endpoint —
+// the Execution API v2 walkthrough.
+//
+// A long sweep used to be all-or-nothing: the client stared at an open
+// connection until the last point simulated. GET /v1/sweep/stream
+// instead emits one JSON object per line as each point completes, then
+// one trailing stats record, so a consumer renders progress live and
+// keeps every point it has already received if it disconnects.
+//
+// To keep the example runnable without any setup it starts the service
+// in-process on a loopback port; against a real deployment, point the
+// same consumer code at `petasim serve`'s address, e.g.
+//
+//	curl -N 'localhost:8080/v1/sweep/stream?app=gtc&machine=bassi,jaguar&procs=64,128,256'
+//
+// Run with:
+//
+//	go run ./examples/stream
+package main
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/experiments"
+	"repro/internal/runner"
+	"repro/internal/server"
+)
+
+// line mirrors the endpoint's NDJSON envelope: a point with provenance,
+// a point's own error, or (last line) the request's stats.
+type line struct {
+	Point  *runner.Result `json:"point"`
+	Served string         `json:"served"`
+	Error  string         `json:"error"`
+	Stats  *runner.Stats  `json:"stats"`
+}
+
+func main() {
+	// An in-process service over a shared pool, exactly what
+	// `petasim serve -quick` wires up.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	pool := &runner.Pool{Workers: 8, Mem: runner.NewMemCache(runner.DefaultMemCapacity)}
+	hs := &http.Server{Handler: server.New(experiments.Options{Quick: true, Runner: pool})}
+	go hs.Serve(ln)
+	defer hs.Shutdown(context.Background())
+
+	// The consumer side: a plain HTTP GET, read line by line. The
+	// request context is the cancellation lever — dropping it mid-stream
+	// makes the server abandon the unfinished points.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	url := fmt.Sprintf("http://%s/v1/sweep/stream?app=gtc&machine=bassi,jaguar&procs=64,128,256", ln.Addr())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("stream request failed: %s", resp.Status)
+	}
+	fmt.Printf("streaming %s planned points:\n\n", resp.Header.Get("X-Petasim-Planned-Points"))
+
+	sc := bufio.NewScanner(resp.Body)
+	n := 0
+	for sc.Scan() {
+		var l line
+		if err := json.Unmarshal(sc.Bytes(), &l); err != nil {
+			log.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case l.Stats != nil:
+			fmt.Printf("\ndone: %s\n", l.Stats)
+		case l.Error != "":
+			fmt.Printf("point failed: %s\n", l.Error)
+		default:
+			n++
+			fmt.Printf("%2d  %-10s %-8s P=%-5d %7.3f Gflop/s/proc  (%s)\n",
+				n, l.Point.App, l.Point.Machine, l.Point.Procs, l.Point.Gflops, l.Served)
+		}
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+}

@@ -10,6 +10,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"os"
@@ -30,7 +31,7 @@ func main() {
 	// A cross-product the paper never ran: every application on Jaguar
 	// and Bassi at 64 and 256 processors.
 	opts := experiments.Options{Runner: &runner.Pool{Workers: 8}}
-	figs, err := experiments.Sweep(opts, nil, []string{"jaguar", "bassi"}, []int{64, 256})
+	figs, err := experiments.Sweep(context.Background(), opts, nil, []string{"jaguar", "bassi"}, []int{64, 256})
 	if err != nil {
 		log.Fatal(err)
 	}

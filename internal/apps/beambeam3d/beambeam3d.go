@@ -15,6 +15,7 @@
 package beambeam3d
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -443,8 +444,8 @@ func (s *State) BeamCentroid(beam int) float64 {
 }
 
 // Run executes the BeamBeam3D benchmark.
-func Run(sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
-	return simmpi.Run(sim, func(r *simmpi.Rank) {
+func Run(ctx context.Context, sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
+	return simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
 		st, err := NewState(r, cfg)
 		if err != nil {
 			panic(err)

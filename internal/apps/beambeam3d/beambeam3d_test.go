@@ -1,6 +1,7 @@
 package beambeam3d
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -185,7 +186,7 @@ func TestParticleCountFixed(t *testing.T) {
 func TestRunLowSustainedEfficiency(t *testing.T) {
 	// §6.1: "no platform attained more than about 5% of theoretical peak".
 	for _, m := range []machine.Spec{machine.Bassi, machine.Jaguar} {
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 64}, smallCfg())
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 64}, smallCfg())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -203,7 +204,7 @@ func TestParallelEfficiencyDeclines(t *testing.T) {
 	// Strong scaling with heavy global communication: parallel efficiency
 	// at 64 ranks must be well below the 8-rank value.
 	gf := func(p int) float64 {
-		rep, err := Run(simmpi.Config{Machine: machine.Bassi, Procs: p}, smallCfg())
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: p}, smallCfg())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -218,7 +219,7 @@ func TestParallelEfficiencyDeclines(t *testing.T) {
 func TestPhoenixCommFractionHigh(t *testing.T) {
 	// §6.1: at 256 processors over 50% of Phoenix's runtime is
 	// communication; the vector processor computes fast and then waits.
-	rep, err := Run(simmpi.Config{Machine: machine.Phoenix, Procs: 128}, smallCfg())
+	rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Phoenix, Procs: 128}, smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestPhoenixCommFractionHigh(t *testing.T) {
 
 func TestDeterminism(t *testing.T) {
 	wall := func() float64 {
-		rep, err := Run(simmpi.Config{Machine: machine.BGL, Procs: 8}, smallCfg())
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.BGL, Procs: 8}, smallCfg())
 		if err != nil {
 			t.Fatal(err)
 		}

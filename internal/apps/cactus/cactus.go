@@ -16,6 +16,7 @@
 package cactus
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -451,8 +452,8 @@ func (s *State) Probe(i, j, k int) float64 { return s.phi[0].At(i, j, k) }
 func (s *State) Dec() grid.Decomp { return s.dec }
 
 // Run executes the Cactus benchmark under the given simulation config.
-func Run(sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
-	return simmpi.Run(sim, func(r *simmpi.Rank) {
+func Run(ctx context.Context, sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
+	return simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
 		st, err := NewState(r, cfg)
 		if err != nil {
 			panic(err)

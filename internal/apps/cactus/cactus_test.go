@@ -1,6 +1,7 @@
 package cactus
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -177,7 +178,7 @@ func TestRunReportsPaperBandEfficiencies(t *testing.T) {
 	cfg.Steps = 2
 	cfg.ActualPerProc = 6
 	for _, m := range []machine.Spec{machine.Bassi, machine.BGL} {
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 8}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 8}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -195,7 +196,7 @@ func TestX1VectorPenalty(t *testing.T) {
 	cfg.Steps = 2
 	cfg.ActualPerProc = 6
 	gf := func(m machine.Spec) float64 {
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 4}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 4}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

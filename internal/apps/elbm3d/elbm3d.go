@@ -11,6 +11,7 @@
 package elbm3d
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -303,8 +304,8 @@ func (s *State) Density(i, j, k int) float64 {
 }
 
 // Run executes the ELBM3D benchmark under the given simulation config.
-func Run(sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
-	return simmpi.Run(sim, func(r *simmpi.Rank) {
+func Run(ctx context.Context, sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
+	return simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
 		st, err := NewState(r, cfg)
 		if err != nil {
 			panic(err)

@@ -1,6 +1,7 @@
 package elbm3d
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -194,7 +195,7 @@ func TestRunReportsSaneMetrics(t *testing.T) {
 	cfg := DefaultConfig(8)
 	cfg.Steps = 2
 	cfg.ActualN = 16
-	rep, err := Run(simmpi.Config{Machine: machine.Bassi, Procs: 8}, cfg)
+	rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 8}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestMathLibAblation(t *testing.T) {
 		cfg := smallCfg(2)
 		cfg.NominalN = 64
 		cfg.MathLib = lib
-		rep, err := Run(simmpi.Config{Machine: machine.Bassi, Procs: 4}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 4}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -234,7 +235,7 @@ func TestConfigValidation(t *testing.T) {
 		{NominalN: 16, ActualN: 16, Steps: 1, Beta: 1.5},
 	}
 	for i, cfg := range bad {
-		if _, err := Run(simmpi.Config{Machine: machine.Bassi, Procs: 1}, cfg); err == nil {
+		if _, err := Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 1}, cfg); err == nil {
 			t.Errorf("case %d: bad config accepted", i)
 		}
 	}

@@ -1,6 +1,7 @@
 package elbm3d
 
 import (
+	"context"
 	"repro/internal/apps"
 	"repro/internal/machine"
 	"repro/internal/simmpi"
@@ -22,8 +23,8 @@ func (workload) DefaultConfig(spec machine.Spec, procs int) any {
 	return cfg
 }
 
-func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
-	return Run(sim, cfg.(Config))
+func (workload) Run(ctx context.Context, sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(ctx, sim, cfg.(Config))
 }
 
 // TopoConfig implements apps.TopoConfigurer: two steps suffice to expose

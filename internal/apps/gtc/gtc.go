@@ -18,6 +18,7 @@
 package gtc
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -508,8 +509,8 @@ func (s *State) InDomainCount() int {
 }
 
 // Run executes the GTC benchmark under the given simulation config.
-func Run(sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
-	return simmpi.Run(sim, func(r *simmpi.Rank) {
+func Run(ctx context.Context, sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
+	return simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
 		st, err := NewState(r, cfg)
 		if err != nil {
 			panic(err)

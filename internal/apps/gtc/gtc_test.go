@@ -1,6 +1,7 @@
 package gtc
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -157,7 +158,7 @@ func TestPoissonReducesResidual(t *testing.T) {
 
 func TestDeterministicAcrossRuns(t *testing.T) {
 	run := func() float64 {
-		rep, err := Run(simmpi.Config{Machine: machine.Jaguar, Procs: 8}, smallCfg(8))
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Jaguar, Procs: 8}, smallCfg(8))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -174,7 +175,7 @@ func TestOpteronEfficiencyAdvantage(t *testing.T) {
 	// Bassi achieves about half of Jaguar's percentage of peak.
 	pct := func(m machine.Spec) float64 {
 		cfg := smallCfg(64)
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 64}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 64}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -194,7 +195,7 @@ func TestPhoenixFastestRaw(t *testing.T) {
 	// (Jaguar) thanks to the multi-streaming vector optimisations.
 	gf := func(m machine.Spec) float64 {
 		cfg := smallCfg(64)
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 64}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 64}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -213,7 +214,7 @@ func TestMathLibOptimizationOnBGL(t *testing.T) {
 		cfg := smallCfg(32)
 		cfg.MathLib = lib
 		cfg.OptimizedLoops = loops
-		rep, err := Run(simmpi.Config{Machine: machine.BGL, Procs: 32}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.BGL, Procs: 32}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -252,7 +253,7 @@ func TestAlignedMappingReducesRingHops(t *testing.T) {
 		if mp != nil {
 			sim.Mapping = m
 		}
-		rep, err := Run(sim, cfg)
+		rep, err := Run(context.Background(), sim, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -268,11 +269,11 @@ func TestVirtualNodeModeHighEfficiency(t *testing.T) {
 	// §3.1: GTC retains >95% efficiency using the second core (virtual
 	// node mode), because it is latency- rather than bandwidth-bound.
 	cfg := smallCfg(64)
-	co, err := Run(simmpi.Config{Machine: machine.BGL, Procs: 64}, cfg)
+	co, err := Run(context.Background(), simmpi.Config{Machine: machine.BGL, Procs: 64}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	vn, err := Run(simmpi.Config{Machine: machine.BGL.WithMode(machine.VirtualNode), Procs: 64}, cfg)
+	vn, err := Run(context.Background(), simmpi.Config{Machine: machine.BGL.WithMode(machine.VirtualNode), Procs: 64}, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestWeakScalingRoughlyFlat(t *testing.T) {
 	// Figure 2: near-perfect weak scaling on the superscalar machines.
 	gf := func(p int) float64 {
 		cfg := smallCfg(p)
-		rep, err := Run(simmpi.Config{Machine: machine.Jaguar, Procs: p}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Jaguar, Procs: p}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package gtc
 
 import (
+	"context"
 	"repro/internal/apps"
 	"repro/internal/machine"
 	"repro/internal/simmpi"
@@ -24,8 +25,8 @@ func (workload) DefaultConfig(spec machine.Spec, procs int) any {
 	return cfg
 }
 
-func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
-	return Run(sim, cfg.(Config))
+func (workload) Run(ctx context.Context, sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(ctx, sim, cfg.(Config))
 }
 
 // PreferredMapping implements apps.Mapper: on BG/L-family machines GTC
@@ -107,7 +108,7 @@ func optLadderStudy(quick bool) apps.Study {
 		Machine: machine.BGW,
 		Procs:   procs,
 		Labels:  labels,
-		Wall: func(i int) (float64, error) {
+		Wall: func(ctx context.Context, i int) (float64, error) {
 			v := variants[i]
 			c := cfg
 			c.MathLib = v.lib
@@ -120,7 +121,7 @@ func optLadderStudy(quick bool) apps.Study {
 				}
 				sim.Mapping = m
 			}
-			rep, err := Run(sim, c)
+			rep, err := Run(ctx, sim, c)
 			if err != nil {
 				return 0, err
 			}
@@ -148,8 +149,8 @@ func virtualNodeStudy(quick bool) apps.Study {
 			"coprocessor mode (1 compute core/node)",
 			"virtual node mode (2 compute cores/node)",
 		},
-		Wall: func(i int) (float64, error) {
-			rep, err := Run(simmpi.Config{Machine: specs[i], Procs: procs}, cfg)
+		Wall: func(ctx context.Context, i int) (float64, error) {
+			rep, err := Run(ctx, simmpi.Config{Machine: specs[i], Procs: procs}, cfg)
 			if err != nil {
 				return 0, err
 			}

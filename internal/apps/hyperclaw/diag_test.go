@@ -1,6 +1,7 @@
 package hyperclaw
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func TestDiagPhases(t *testing.T) {
 	for _, p := range []int{16, 128} {
 		cfg := DefaultConfig(p)
-		rep, err := Run(simmpi.Config{Machine: machine.Jacquard, Procs: p}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Jacquard, Procs: p}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package hyperclaw
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -552,8 +553,8 @@ func (s *State) ProbeDensity(i, j, k int) float64 {
 }
 
 // Run executes the HyperCLaw benchmark.
-func Run(sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
-	return simmpi.Run(sim, func(r *simmpi.Rank) {
+func Run(ctx context.Context, sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
+	return simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
 		st, err := NewState(r, cfg)
 		if err != nil {
 			panic(err)

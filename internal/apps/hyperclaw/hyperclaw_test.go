@@ -1,6 +1,7 @@
 package hyperclaw
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -261,7 +262,7 @@ func TestLowEfficiencyBand(t *testing.T) {
 	// under 1%.
 	pct := func(m machine.Spec) float64 {
 		cfg := tinyCfg()
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 4}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 4}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -284,7 +285,7 @@ func TestOptimizationAblations(t *testing.T) {
 		cfg.NomMaxBoxCells = 32 * 32 * 32 / 16
 		cfg.NaiveIntersect = naive
 		cfg.CopyingKnapsack = copying
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 4}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 4}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -304,7 +305,7 @@ func TestManyCommunicatingPartners(t *testing.T) {
 	// Figure 1f: AMR gives each processor "a surprisingly large number of
 	// communicating partners" — more than the 6 of a stencil code.
 	// Verified via per-rank message counting at modest P.
-	rep, err := Run(simmpi.Config{Machine: machine.Jaguar, Procs: 8}, tinyCfg())
+	rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Jaguar, Procs: 8}, tinyCfg())
 	if err != nil {
 		t.Fatal(err)
 	}

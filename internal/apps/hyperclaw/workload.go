@@ -1,6 +1,7 @@
 package hyperclaw
 
 import (
+	"context"
 	"repro/internal/apps"
 	"repro/internal/machine"
 	"repro/internal/simmpi"
@@ -20,8 +21,8 @@ func (workload) DefaultConfig(spec machine.Spec, procs int) any {
 	return DefaultConfig(procs)
 }
 
-func (workload) Run(sim simmpi.Config, cfg any) (*simmpi.Report, error) {
-	return Run(sim, cfg.(Config))
+func (workload) Run(ctx context.Context, sim simmpi.Config, cfg any) (*simmpi.Report, error) {
+	return Run(ctx, sim, cfg.(Config))
 }
 
 // TopoConfig implements apps.TopoConfigurer: small boxes over two steps
@@ -69,11 +70,11 @@ func (workload) Studies(quick bool) []apps.Study {
 		Machine: machine.Phoenix,
 		Procs:   procs,
 		Labels:  labels,
-		Wall: func(i int) (float64, error) {
+		Wall: func(ctx context.Context, i int) (float64, error) {
 			c := cfg
 			c.NaiveIntersect = variants[i].naive
 			c.CopyingKnapsack = variants[i].copying
-			rep, err := Run(simmpi.Config{Machine: machine.Phoenix, Procs: procs}, c)
+			rep, err := Run(ctx, simmpi.Config{Machine: machine.Phoenix, Procs: procs}, c)
 			if err != nil {
 				return 0, err
 			}

@@ -15,6 +15,7 @@
 package paratec
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -398,8 +399,8 @@ func (s *State) GramMatrix() []float64 {
 }
 
 // Run executes the PARATEC benchmark.
-func Run(sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
-	return simmpi.Run(sim, func(r *simmpi.Rank) {
+func Run(ctx context.Context, sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
+	return simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
 		st, err := NewState(r, cfg)
 		if err != nil {
 			panic(err)

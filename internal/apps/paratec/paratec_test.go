@@ -1,6 +1,7 @@
 package paratec
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -148,7 +149,7 @@ func TestBassiHighestAbsolutePerformance(t *testing.T) {
 	// P=64) and BG/L the lowest.
 	gf := func(m machine.Spec) float64 {
 		cfg := smallCfg()
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 8}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 8}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -166,7 +167,7 @@ func TestBassiHighestAbsolutePerformance(t *testing.T) {
 func TestHighSustainedEfficiency(t *testing.T) {
 	// §7: PARATEC "obtains a high percentage of peak on the different
 	// platforms studied" — tens of percent, unlike the PIC codes.
-	rep, err := Run(simmpi.Config{Machine: machine.Bassi, Procs: 8}, smallCfg())
+	rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 8}, smallCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -179,7 +180,7 @@ func TestX1ELowestPercentOfPeak(t *testing.T) {
 	// §7.1: "the Phoenix X1E achieved a lower percentage of peak than the
 	// other evaluated architectures" (while absolute performance is good).
 	pct := func(m machine.Spec) float64 {
-		rep, err := Run(simmpi.Config{Machine: m, Procs: 8}, smallCfg())
+		rep, err := Run(context.Background(), simmpi.Config{Machine: m, Procs: 8}, smallCfg())
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -200,7 +201,7 @@ func TestBlockedFFTFasterAtScale(t *testing.T) {
 		cfg := smallCfg()
 		cfg.Iters = 1
 		cfg.BlockedFFT = blocked
-		rep, err := Run(simmpi.Config{Machine: machine.Jacquard, Procs: 64}, cfg)
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Jacquard, Procs: 64}, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +216,7 @@ func TestStrongScalingFFTLimited(t *testing.T) {
 	// §7.1: the all-to-all transposes limit FFT scaling — parallel
 	// efficiency must fall noticeably by hundreds of processors.
 	gf := func(p int) float64 {
-		rep, err := Run(simmpi.Config{Machine: machine.Jacquard, Procs: p}, smallCfg())
+		rep, err := Run(context.Background(), simmpi.Config{Machine: machine.Jacquard, Procs: p}, smallCfg())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -2,6 +2,7 @@ package apps_test
 
 import (
 	"bytes"
+	"context"
 	"sort"
 	"strings"
 	"testing"
@@ -73,7 +74,7 @@ func TestLookupForgiving(t *testing.T) {
 func TestDefaultConfigsRunnable(t *testing.T) {
 	for _, w := range apps.Workloads() {
 		for _, spec := range []machine.Spec{machine.Bassi, machine.BGL} {
-			rep, err := apps.RunPoint(w, spec, 16)
+			rep, err := apps.RunPoint(context.Background(), w, spec, 16)
 			if err != nil {
 				t.Errorf("%s on %s: %v", w.Name(), spec.Name, err)
 				continue

@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -31,8 +32,10 @@ type Workload interface {
 	// straight back to Run.
 	DefaultConfig(spec machine.Spec, procs int) any
 	// Run executes one point under sim with cfg, a value obtained from
-	// DefaultConfig (possibly modified).
-	Run(sim simmpi.Config, cfg any) (*simmpi.Report, error)
+	// DefaultConfig (possibly modified). Cancelling ctx aborts the
+	// simulation at its next communication operation and returns ctx's
+	// error; it never changes the result of a run that completes.
+	Run(ctx context.Context, sim simmpi.Config, cfg any) (*simmpi.Report, error)
 }
 
 // Mapper is the optional preferred-mapping hook: a workload that benefits
@@ -70,8 +73,9 @@ type Study struct {
 	Procs   int
 	// Labels name the variants, baseline first.
 	Labels []string
-	// Wall simulates variant i and returns its wall-clock seconds.
-	Wall func(i int) (float64, error)
+	// Wall simulates variant i under ctx and returns its wall-clock
+	// seconds.
+	Wall func(ctx context.Context, i int) (float64, error)
 }
 
 // Studier is the optional interface for workloads that define
@@ -144,7 +148,8 @@ func normalize(name string) string { return machine.FoldName(name) }
 // platform-variant substitution, and the preferred mapping. The report is
 // from the substituted platform; callers that normalise against peak
 // should use the spec they asked for, as the paper's figures do.
-func RunPoint(w Workload, spec machine.Spec, procs int) (*simmpi.Report, error) {
+// Cancelling ctx aborts the point promptly with ctx's error.
+func RunPoint(ctx context.Context, w Workload, spec machine.Spec, procs int) (*simmpi.Report, error) {
 	cfg := w.DefaultConfig(spec, procs)
 	run := spec
 	if p, ok := w.(SpecPreparer); ok {
@@ -156,7 +161,7 @@ func RunPoint(w Workload, spec machine.Spec, procs int) (*simmpi.Report, error) 
 			sim.Mapping = mp
 		}
 	}
-	return w.Run(sim, cfg)
+	return w.Run(ctx, sim, cfg)
 }
 
 // TopoConfig returns the workload's Figure 1 capture configuration,

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -12,7 +13,7 @@ import (
 // ApexMapStudy runs the Apex-MAP synthetic locality sweep on every
 // platform model, one schedulable job per machine, and returns one
 // prerendered line per machine in Table 1 order.
-func ApexMapStudy(opts Options) ([]runner.Result, error) {
+func ApexMapStudy(ctx context.Context, opts Options) ([]runner.Result, error) {
 	alphas := []float64{0.02, 0.1, 0.5, 1.0}
 	ls := []int{1, 8, 64}
 	specs := machine.All()
@@ -24,7 +25,7 @@ func ApexMapStudy(opts Options) ([]runner.Result, error) {
 		}
 		jobs[i] = runner.Job{
 			Key: runner.Key("apexmap", spec, procs, alphas, ls),
-			Run: func() (runner.Result, error) {
+			Run: func(context.Context) (runner.Result, error) {
 				res, err := apexmap.Sweep(spec, procs, alphas, ls)
 				if err != nil {
 					return runner.Result{}, fmt.Errorf("apexmap %s: %w", spec.Name, err)
@@ -41,5 +42,5 @@ func ApexMapStudy(opts Options) ([]runner.Result, error) {
 			},
 		}
 	}
-	return opts.pool().Run(jobs)
+	return opts.pool().Run(ctx, jobs)
 }

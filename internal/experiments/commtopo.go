@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"io"
 
@@ -22,10 +23,10 @@ type CommTopo struct {
 
 // captureTopo runs one workload with a communication collector attached,
 // using the workload's downsized Figure 1 capture configuration.
-func captureTopo(w apps.Workload, spec machine.Spec, procs int) (*trace.Collector, error) {
+func captureTopo(ctx context.Context, w apps.Workload, spec machine.Spec, procs int) (*trace.Collector, error) {
 	col := trace.NewCollector(procs)
 	sim := simmpi.Config{Machine: spec, Procs: procs, Collector: col}
-	if _, err := w.Run(sim, apps.TopoConfig(w, spec, procs)); err != nil {
+	if _, err := w.Run(ctx, sim, apps.TopoConfig(w, spec, procs)); err != nil {
 		return nil, fmt.Errorf("commtopo %s: %w", w.Name(), err)
 	}
 	return col, nil
@@ -34,14 +35,14 @@ func captureTopo(w apps.Workload, spec machine.Spec, procs int) (*trace.Collecto
 // Fig1CommTopos runs every registered workload at a modest concurrency
 // with a communication collector attached and returns the topologies in
 // registry order.
-func Fig1CommTopos(procs int) ([]CommTopo, error) {
+func Fig1CommTopos(ctx context.Context, procs int) ([]CommTopo, error) {
 	if procs <= 0 {
 		procs = 64
 	}
 	spec := machine.Jaguar
 	var out []CommTopo
 	for _, w := range apps.Workloads() {
-		col, err := captureTopo(w, spec, procs)
+		col, err := captureTopo(ctx, w, spec, procs)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +54,7 @@ func Fig1CommTopos(procs int) ([]CommTopo, error) {
 // Fig1Rendered captures the registered workloads' topologies as
 // schedulable (and cacheable) jobs, each result carrying the heatmap
 // prerendered at the given size exactly as CommTopo.Render writes it.
-func Fig1Rendered(opts Options, procs, size int) ([]runner.Result, error) {
+func Fig1Rendered(ctx context.Context, opts Options, procs, size int) ([]runner.Result, error) {
 	if procs <= 0 {
 		procs = 64
 	}
@@ -64,8 +65,8 @@ func Fig1Rendered(opts Options, procs, size int) ([]runner.Result, error) {
 		w := w
 		jobs[i] = runner.Job{
 			Key: runner.Key("Figure 1", w.Name(), spec, procs, size),
-			Run: func() (runner.Result, error) {
-				col, err := captureTopo(w, spec, procs)
+			Run: func(ctx context.Context) (runner.Result, error) {
+				col, err := captureTopo(ctx, w, spec, procs)
 				if err != nil {
 					return runner.Result{}, err
 				}
@@ -81,7 +82,7 @@ func Fig1Rendered(opts Options, procs, size int) ([]runner.Result, error) {
 			},
 		}
 	}
-	return opts.pool().Run(jobs)
+	return opts.pool().Run(ctx, jobs)
 }
 
 // Render writes the topology heatmap with partner statistics, the

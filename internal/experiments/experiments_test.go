@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -11,7 +12,7 @@ import (
 func quick() Options { return Options{Quick: true, MaxProcs: 64} }
 
 func TestTable1ReproducesPublishedColumns(t *testing.T) {
-	rows, err := Table1(Options{})
+	rows, err := Table1(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -64,7 +65,7 @@ func TestTable2MatchesPaper(t *testing.T) {
 }
 
 func TestFig2GTCQuick(t *testing.T) {
-	fig, err := Fig2GTC(quick())
+	fig, err := Fig2GTC(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -85,7 +86,7 @@ func TestFig2GTCQuick(t *testing.T) {
 func TestFig3ELBM3DQuick(t *testing.T) {
 	opts := quick()
 	opts.MaxProcs = 256
-	fig, err := Fig3ELBM3D(opts)
+	fig, err := Fig3ELBM3D(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -101,7 +102,7 @@ func TestFig3ELBM3DQuick(t *testing.T) {
 }
 
 func TestFig4CactusQuick(t *testing.T) {
-	fig, err := Fig4Cactus(quick())
+	fig, err := Fig4Cactus(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +116,7 @@ func TestFig4CactusQuick(t *testing.T) {
 }
 
 func TestFig5BeamBeam3DQuick(t *testing.T) {
-	fig, err := Fig5BeamBeam3D(quick())
+	fig, err := Fig5BeamBeam3D(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,7 +132,7 @@ func TestFig5BeamBeam3DQuick(t *testing.T) {
 }
 
 func TestFig6PARATECQuick(t *testing.T) {
-	fig, err := Fig6PARATEC(quick())
+	fig, err := Fig6PARATEC(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -150,7 +151,7 @@ func TestFig6PARATECQuick(t *testing.T) {
 
 func TestFig7HyperCLawQuick(t *testing.T) {
 	opts := quick()
-	fig, err := Fig7HyperCLaw(opts)
+	fig, err := Fig7HyperCLaw(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -200,7 +201,7 @@ func checkFigure(t *testing.T, fig *Figure, wantSeries int) {
 }
 
 func TestFig8SummaryQuick(t *testing.T) {
-	sum, err := Fig8Summary(quick())
+	sum, err := Fig8Summary(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -242,7 +243,7 @@ func TestFig8SummaryQuick(t *testing.T) {
 }
 
 func TestFig1CommToposQuick(t *testing.T) {
-	topos, err := Fig1CommTopos(16)
+	topos, err := Fig1CommTopos(context.Background(), 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -266,7 +267,7 @@ func TestFig1CommToposQuick(t *testing.T) {
 }
 
 func TestGTCOptStudyQuick(t *testing.T) {
-	rows, err := GTCOptStudy(quick())
+	rows, err := GTCOptStudy(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -286,7 +287,7 @@ func TestGTCOptStudyQuick(t *testing.T) {
 }
 
 func TestAMROptStudyQuick(t *testing.T) {
-	rows, err := AMROptStudy(quick())
+	rows, err := AMROptStudy(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +300,7 @@ func TestAMROptStudyQuick(t *testing.T) {
 }
 
 func TestVirtualNodeStudyQuick(t *testing.T) {
-	rows, err := VirtualNodeStudy(quick())
+	rows, err := VirtualNodeStudy(context.Background(), quick())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/apps"
@@ -16,8 +17,8 @@ type seriesSpec struct {
 	procs []int
 }
 
-// appRunner runs one application instance on (machine, P).
-type appRunner func(spec machine.Spec, procs int) (*simmpi.Report, error)
+// appRunner runs one application instance on (machine, P) under ctx.
+type appRunner func(ctx context.Context, spec machine.Spec, procs int) (*simmpi.Report, error)
 
 // figureSpec declares a figure's cross-product — which machines at
 // which concurrencies, and how to simulate one point — without running
@@ -50,8 +51,8 @@ func (fs *figureSpec) jobs(opts Options) []runner.Job {
 			spec, procs := ss.spec, p
 			jobs = append(jobs, runner.Job{
 				Key: runner.Key(fs.id, fs.app, spec, procs),
-				Run: func() (runner.Result, error) {
-					rep, err := fs.run(spec, procs)
+				Run: func(ctx context.Context) (runner.Result, error) {
+					rep, err := fs.run(ctx, spec, procs)
 					if err != nil {
 						return runner.Result{}, fmt.Errorf("%s %s P=%d: %w", fs.id, spec.Name, procs, err)
 					}
@@ -109,8 +110,8 @@ func (fs *figureSpec) assemble(results []runner.Result) *Figure {
 }
 
 // build schedules the figure's jobs on the options' pool.
-func (fs *figureSpec) build(opts Options) (*Figure, error) {
-	results, err := opts.pool().Run(fs.jobs(opts))
+func (fs *figureSpec) build(ctx context.Context, opts Options) (*Figure, error) {
+	results, err := opts.pool().Run(ctx, fs.jobs(opts))
 	if err != nil {
 		return nil, err
 	}
@@ -142,19 +143,19 @@ func (sf scalingFigure) spec(opts Options) (*figureSpec, error) {
 		id: sf.id, title: sf.title, scaling: w.Meta().Scaling, app: w.Name(),
 		series: sf.series(opts),
 		notes:  sf.notes,
-		run: func(spec machine.Spec, procs int) (*simmpi.Report, error) {
-			return apps.RunPoint(w, spec, procs)
+		run: func(ctx context.Context, spec machine.Spec, procs int) (*simmpi.Report, error) {
+			return apps.RunPoint(ctx, w, spec, procs)
 		},
 	}, nil
 }
 
 // build resolves and schedules the figure.
-func (sf scalingFigure) build(opts Options) (*Figure, error) {
+func (sf scalingFigure) build(ctx context.Context, opts Options) (*Figure, error) {
 	fs, err := sf.spec(opts)
 	if err != nil {
 		return nil, err
 	}
-	return fs.build(opts)
+	return fs.build(ctx, opts)
 }
 
 // capped returns full, or quick when the -quick cap is in effect.
@@ -272,41 +273,53 @@ func paperFigure(id string) (scalingFigure, error) {
 }
 
 // buildPaperFigure regenerates one of Figures 2–7 by ID.
-func buildPaperFigure(opts Options, id string) (*Figure, error) {
+func buildPaperFigure(ctx context.Context, opts Options, id string) (*Figure, error) {
 	sf, err := paperFigure(id)
 	if err != nil {
 		return nil, err
 	}
-	return sf.build(opts)
+	return sf.build(ctx, opts)
 }
 
 // Fig2GTC regenerates Figure 2.
-func Fig2GTC(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 2") }
+func Fig2GTC(ctx context.Context, opts Options) (*Figure, error) {
+	return buildPaperFigure(ctx, opts, "Figure 2")
+}
 
 // Fig3ELBM3D regenerates Figure 3.
-func Fig3ELBM3D(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 3") }
+func Fig3ELBM3D(ctx context.Context, opts Options) (*Figure, error) {
+	return buildPaperFigure(ctx, opts, "Figure 3")
+}
 
 // Fig4Cactus regenerates Figure 4.
-func Fig4Cactus(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 4") }
+func Fig4Cactus(ctx context.Context, opts Options) (*Figure, error) {
+	return buildPaperFigure(ctx, opts, "Figure 4")
+}
 
 // Fig5BeamBeam3D regenerates Figure 5.
-func Fig5BeamBeam3D(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 5") }
+func Fig5BeamBeam3D(ctx context.Context, opts Options) (*Figure, error) {
+	return buildPaperFigure(ctx, opts, "Figure 5")
+}
 
 // Fig6PARATEC regenerates Figure 6.
-func Fig6PARATEC(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 6") }
+func Fig6PARATEC(ctx context.Context, opts Options) (*Figure, error) {
+	return buildPaperFigure(ctx, opts, "Figure 6")
+}
 
 // Fig7HyperCLaw regenerates Figure 7.
-func Fig7HyperCLaw(opts Options) (*Figure, error) { return buildPaperFigure(opts, "Figure 7") }
+func Fig7HyperCLaw(ctx context.Context, opts Options) (*Figure, error) {
+	return buildPaperFigure(ctx, opts, "Figure 7")
+}
 
 // FigureN regenerates one of the paper's per-application scaling
 // figures (2–7) by number — the CLI-free entry point internal/server
 // dispatches /v1/figures/{n} through. Figure 8 is a summary, not a
 // scaling figure; use Fig8Summary.
-func FigureN(opts Options, n int) (*Figure, error) {
+func FigureN(ctx context.Context, opts Options, n int) (*Figure, error) {
 	if n < 2 || n > 7 {
 		return nil, fmt.Errorf("experiments: no scaling figure %d (the paper's scaling studies are Figures 2-7)", n)
 	}
-	return buildPaperFigure(opts, fmt.Sprintf("Figure %d", n))
+	return buildPaperFigure(ctx, opts, fmt.Sprintf("Figure %d", n))
 }
 
 // figureSpecs resolves Figures 2–7 in order.
@@ -325,17 +338,17 @@ func figureSpecs(opts Options) ([]*figureSpec, error) {
 // AllFigures runs Figures 2–7, fanning the full (figure × machine ×
 // concurrency) cross-product through one pool so the independent points
 // of different figures overlap.
-func AllFigures(opts Options) ([]*Figure, error) {
+func AllFigures(ctx context.Context, opts Options) ([]*Figure, error) {
 	specs, err := figureSpecs(opts)
 	if err != nil {
 		return nil, err
 	}
-	return buildFigureSpecs(opts, specs)
+	return buildFigureSpecs(ctx, opts, specs)
 }
 
 // buildFigureSpecs pools the specs' jobs through one Run and assembles
 // each figure from its slice of the deterministic result order.
-func buildFigureSpecs(opts Options, specs []*figureSpec) ([]*Figure, error) {
+func buildFigureSpecs(ctx context.Context, opts Options, specs []*figureSpec) ([]*Figure, error) {
 	var jobs []runner.Job
 	counts := make([]int, len(specs))
 	for i, fs := range specs {
@@ -343,7 +356,7 @@ func buildFigureSpecs(opts Options, specs []*figureSpec) ([]*Figure, error) {
 		counts[i] = len(js)
 		jobs = append(jobs, js...)
 	}
-	results, err := opts.pool().Run(jobs)
+	results, err := opts.pool().Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -28,7 +29,7 @@ func goldenOpts() Options {
 func TestGoldenFigures(t *testing.T) {
 	builders := []struct {
 		name  string
-		build func(Options) (*Figure, error)
+		build func(context.Context, Options) (*Figure, error)
 	}{
 		{"figure2", Fig2GTC},
 		{"figure3", Fig3ELBM3D},
@@ -39,7 +40,7 @@ func TestGoldenFigures(t *testing.T) {
 	}
 	for _, b := range builders {
 		t.Run(b.name, func(t *testing.T) {
-			fig, err := b.build(goldenOpts())
+			fig, err := b.build(context.Background(), goldenOpts())
 			if err != nil {
 				t.Fatal(err)
 			}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -38,14 +39,14 @@ func finishSpeedups(rows []OptResult) []OptResult {
 
 // runStudy schedules one job per study variant and folds the walls back
 // into labelled rows with speedups over the first (baseline) variant.
-func runStudy(opts Options, study apps.Study) ([]OptResult, error) {
+func runStudy(ctx context.Context, opts Options, study apps.Study) ([]OptResult, error) {
 	jobs := make([]runner.Job, len(study.Labels))
 	for i, label := range study.Labels {
 		i, label := i, label
 		jobs[i] = runner.Job{
 			Key: runner.Key(study.ID, label, study.Machine, study.Procs),
-			Run: func() (runner.Result, error) {
-				wall, err := study.Wall(i)
+			Run: func(ctx context.Context) (runner.Result, error) {
+				wall, err := study.Wall(ctx, i)
 				if err != nil {
 					return runner.Result{}, fmt.Errorf("%s %q: %w", study.ID, label, err)
 				}
@@ -55,7 +56,7 @@ func runStudy(opts Options, study apps.Study) ([]OptResult, error) {
 			},
 		}
 	}
-	results, err := opts.pool().Run(jobs)
+	results, err := opts.pool().Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -69,28 +70,34 @@ func runStudy(opts Options, study apps.Study) ([]OptResult, error) {
 // RunStudyByID runs one optimisation study by its stable identifier
 // ("gtcopt", "amropt", "vnode") and returns the study (for its title)
 // with the finished rows.
-func RunStudyByID(opts Options, id string) (apps.Study, []OptResult, error) {
+func RunStudyByID(ctx context.Context, opts Options, id string) (apps.Study, []OptResult, error) {
 	study, err := apps.StudyByID(id, opts.Quick)
 	if err != nil {
 		return apps.Study{}, nil, err
 	}
-	rows, err := runStudy(opts, study)
+	rows, err := runStudy(ctx, opts, study)
 	return study, rows, err
 }
 
-func studyRows(opts Options, id string) ([]OptResult, error) {
-	_, rows, err := RunStudyByID(opts, id)
+func studyRows(ctx context.Context, opts Options, id string) ([]OptResult, error) {
+	_, rows, err := RunStudyByID(ctx, opts, id)
 	return rows, err
 }
 
 // GTCOptStudy reproduces the §3.1 BG/L optimisation ladder (defined by
 // the GTC workload).
-func GTCOptStudy(opts Options) ([]OptResult, error) { return studyRows(opts, "gtcopt") }
+func GTCOptStudy(ctx context.Context, opts Options) ([]OptResult, error) {
+	return studyRows(ctx, opts, "gtcopt")
+}
 
 // AMROptStudy reproduces the §8.1 HyperCLaw X1E knapsack/regrid
 // optimisations (defined by the HyperCLaw workload).
-func AMROptStudy(opts Options) ([]OptResult, error) { return studyRows(opts, "amropt") }
+func AMROptStudy(ctx context.Context, opts Options) ([]OptResult, error) {
+	return studyRows(ctx, opts, "amropt")
+}
 
 // VirtualNodeStudy reproduces the §3.1 BG/L virtual-node-mode efficiency
 // observation (defined by the GTC workload).
-func VirtualNodeStudy(opts Options) ([]OptResult, error) { return studyRows(opts, "vnode") }
+func VirtualNodeStudy(ctx context.Context, opts Options) ([]OptResult, error) {
+	return studyRows(ctx, opts, "vnode")
+}

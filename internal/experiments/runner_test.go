@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"path/filepath"
 	"reflect"
 	"testing"
@@ -10,10 +11,10 @@ import (
 )
 
 // renderFig builds a figure through the given pool and renders it.
-func renderFig(t *testing.T, f func(Options) (*Figure, error), pool *runner.Pool) string {
+func renderFig(t *testing.T, f func(context.Context, Options) (*Figure, error), pool *runner.Pool) string {
 	t.Helper()
 	opts := Options{Quick: true, MaxProcs: 128, Runner: pool}
-	fig, err := f(opts)
+	fig, err := f(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -36,11 +37,11 @@ func TestFig2ParallelMatchesSerial(t *testing.T) {
 }
 
 func TestTable1ParallelMatchesSerial(t *testing.T) {
-	serial, err := Table1(Options{Runner: &runner.Pool{Workers: 1}})
+	serial, err := Table1(context.Background(), Options{Runner: &runner.Pool{Workers: 1}})
 	if err != nil {
 		t.Fatal(err)
 	}
-	parallel, err := Table1(Options{Runner: &runner.Pool{Workers: 6}})
+	parallel, err := Table1(context.Background(), Options{Runner: &runner.Pool{Workers: 6}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -54,18 +55,18 @@ func TestTable1ParallelMatchesSerial(t *testing.T) {
 // building each one alone.
 func TestAllFiguresPooledMatchesPerFigure(t *testing.T) {
 	opts := Options{Quick: true, MaxProcs: 64, Runner: &runner.Pool{Workers: 8}}
-	pooled, err := AllFigures(opts)
+	pooled, err := AllFigures(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}
-	singles := []func(Options) (*Figure, error){
+	singles := []func(context.Context, Options) (*Figure, error){
 		Fig2GTC, Fig3ELBM3D, Fig4Cactus, Fig5BeamBeam3D, Fig6PARATEC, Fig7HyperCLaw,
 	}
 	if len(pooled) != len(singles) {
 		t.Fatalf("%d pooled figures, want %d", len(pooled), len(singles))
 	}
 	for i, f := range singles {
-		alone, err := f(Options{Quick: true, MaxProcs: 64})
+		alone, err := f(context.Background(), Options{Quick: true, MaxProcs: 64})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -109,7 +110,7 @@ func TestFigureCacheSkipsResimulation(t *testing.T) {
 // point appears in the CSV and JSON forms.
 func TestFigureArtifacts(t *testing.T) {
 	opts := Options{Quick: true, MaxProcs: 64}
-	fig, err := Fig3ELBM3D(opts)
+	fig, err := Fig3ELBM3D(context.Background(), opts)
 	if err != nil {
 		t.Fatal(err)
 	}

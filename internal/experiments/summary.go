@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -57,7 +58,7 @@ func fig8ProcsFor(app string, spec machine.Spec, opts Options) int {
 // from the workload registry in its deterministic (sorted) order; each
 // cell runs the workload's canonical configuration at the paper's largest
 // comparable concurrency.
-func Fig8Summary(opts Options) (*Summary, error) {
+func Fig8Summary(ctx context.Context, opts Options) (*Summary, error) {
 	sum := &Summary{Notes: []string{
 		"relative performance normalised to the fastest system per application",
 		"Cactus Phoenix results are on the X1 system; BG/L at P=1024 for Cactus and GTC",
@@ -74,8 +75,8 @@ func Fig8Summary(opts Options) (*Summary, error) {
 			p := fig8ProcsFor(w.Name(), spec, opts)
 			jobs = append(jobs, runner.Job{
 				Key: runner.Key("Figure 8", w.Name(), spec, p),
-				Run: func() (runner.Result, error) {
-					rep, err := apps.RunPoint(w, spec, p)
+				Run: func(ctx context.Context) (runner.Result, error) {
+					rep, err := apps.RunPoint(ctx, w, spec, p)
 					if err != nil {
 						return runner.Result{}, fmt.Errorf("fig8 %s on %s: %w", w.Name(), spec.Name, err)
 					}
@@ -90,7 +91,7 @@ func Fig8Summary(opts Options) (*Summary, error) {
 			})
 		}
 	}
-	results, err := opts.pool().Run(jobs)
+	results, err := opts.pool().Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strconv"
 	"strings"
 
 	"repro/internal/apps"
 	"repro/internal/machine"
+	"repro/internal/runner"
 	"repro/internal/simmpi"
 )
 
@@ -84,8 +86,8 @@ func PlanSweep(opts Options, appNames, machineNames []string, procs []int) (*Swe
 			scaling: w.Meta().Scaling,
 			app:     w.Name(),
 			series:  series,
-			run: func(spec machine.Spec, p int) (*simmpi.Report, error) {
-				return apps.RunPoint(w, spec, p)
+			run: func(ctx context.Context, spec machine.Spec, p int) (*simmpi.Report, error) {
+				return apps.RunPoint(ctx, w, spec, p)
 			},
 		}
 		if !specs[i].runnable(opts) {
@@ -95,23 +97,77 @@ func PlanSweep(opts Options, appNames, machineNames []string, procs []int) (*Swe
 	return &SweepPlan{opts: opts, specs: specs}, nil
 }
 
-// Run simulates the planned cross-product under the plan's options.
+// Execute simulates the planned cross-product under the plan's options.
 // One Figure per workload comes back, machines as series, assembled in
 // deterministic job order through the options' pool exactly like the
 // paper figures, so the output is byte-identical for any worker count
-// and repeat runs are cache-served. Errors are simulation failures,
-// not selector problems.
-func (p *SweepPlan) Run() ([]*Figure, error) {
-	return buildFigureSpecs(p.opts, p.specs)
+// and repeat runs are cache-served. Errors are simulation failures (or
+// ctx's cancellation), not selector problems; cancelling ctx stops
+// scheduling promptly and returns the error alongside whatever partial
+// state the pool accumulated in its caches.
+func (p *SweepPlan) Execute(ctx context.Context) ([]*Figure, error) {
+	return buildFigureSpecs(ctx, p.opts, p.specs)
+}
+
+// Points returns how many simulation points the plan will dispatch —
+// the exact number of point events a Stream consumer will see on a run
+// that completes.
+func (p *SweepPlan) Points() int {
+	n := 0
+	for _, fs := range p.specs {
+		n += len(fs.jobs(p.opts))
+	}
+	return n
+}
+
+// PointEvent is one completed sweep point from SweepPlan.Stream: the
+// structured result (or the point's own error) plus the served-from
+// provenance — freshly simulated, memory tier, disk tier, or
+// deduplicated against a concurrent request.
+type PointEvent struct {
+	// Result is the point record; zero when Err is non-nil.
+	Result runner.Result
+	// Served is the runner's served-from provenance for the point.
+	Served runner.Served
+	// Err is the point's own failure; a streaming sweep keeps going
+	// after a failed point.
+	Err error
+}
+
+// Stream simulates the planned cross-product incrementally, delivering
+// one PointEvent per point in completion order as each finishes —
+// the streaming counterpart of Execute for consumers (the NDJSON
+// endpoint, progress UIs) that cannot wait for the whole batch. The
+// channel closes when every point has been delivered or ctx is
+// cancelled. Completion order varies with scheduling; the byte-identical
+// guarantee belongs to Execute, which assembles in job order.
+func (p *SweepPlan) Stream(ctx context.Context) <-chan PointEvent {
+	var jobs []runner.Job
+	for _, fs := range p.specs {
+		jobs = append(jobs, fs.jobs(p.opts)...)
+	}
+	out := make(chan PointEvent)
+	go func() {
+		defer close(out)
+		for ev := range p.opts.pool().Stream(ctx, jobs) {
+			select {
+			case out <- PointEvent{Result: ev.Result, Served: ev.Served, Err: ev.Err}:
+			case <-ctx.Done():
+				// Keep draining so the pool's workers can finish; their
+				// sends are ctx-guarded too, so this loop ends promptly.
+			}
+		}
+	}()
+	return out
 }
 
 // Sweep plans and runs a sweep in one call — the CLI entry point.
-func Sweep(opts Options, appNames, machineNames []string, procs []int) ([]*Figure, error) {
+func Sweep(ctx context.Context, opts Options, appNames, machineNames []string, procs []int) ([]*Figure, error) {
 	plan, err := PlanSweep(opts, appNames, machineNames, procs)
 	if err != nil {
 		return nil, err
 	}
-	return plan.Run()
+	return plan.Execute(ctx)
 }
 
 // sweepWorkloads resolves the -app selector, defaulting to the whole

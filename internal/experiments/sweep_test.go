@@ -2,8 +2,12 @@ package experiments
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"path/filepath"
+	"runtime"
 	"testing"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/runner"
@@ -14,7 +18,7 @@ import (
 func renderSweep(t *testing.T, pool *runner.Pool) string {
 	t.Helper()
 	opts := Options{Quick: true, Runner: pool}
-	figs, err := Sweep(opts, []string{"gtc"}, []string{"bgl"}, []int{64, 256})
+	figs, err := Sweep(context.Background(), opts, []string{"gtc"}, []string{"bgl"}, []int{64, 256})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -63,21 +67,21 @@ func TestSweepCacheServed(t *testing.T) {
 // TestSweepDefaultsAndErrors covers the selector edges: unknown names
 // fail, and an all-defaults sweep resolves every workload.
 func TestSweepDefaultsAndErrors(t *testing.T) {
-	if _, err := Sweep(quick(), []string{"nosuchapp"}, nil, []int{64}); err == nil {
+	if _, err := Sweep(context.Background(), quick(), []string{"nosuchapp"}, nil, []int{64}); err == nil {
 		t.Error("sweep of unknown workload succeeded")
 	}
-	if _, err := Sweep(quick(), nil, []string{"nosuchmachine"}, []int{64}); err == nil {
+	if _, err := Sweep(context.Background(), quick(), nil, []string{"nosuchmachine"}, []int{64}); err == nil {
 		t.Error("sweep of unknown machine succeeded")
 	}
-	if _, err := Sweep(quick(), nil, nil, []int{-1}); err == nil {
+	if _, err := Sweep(context.Background(), quick(), nil, nil, []int{-1}); err == nil {
 		t.Error("sweep with nonpositive concurrency succeeded")
 	}
 	// Concurrency above every selected machine's size leaves no points.
-	if _, err := Sweep(quick(), []string{"elbm3d"}, []string{"phoenix"}, []int{1 << 20}); err == nil {
+	if _, err := Sweep(context.Background(), quick(), []string{"elbm3d"}, []string{"phoenix"}, []int{1 << 20}); err == nil {
 		t.Error("unrunnable sweep succeeded")
 	}
 	// One cheap point per workload: every registered app must sweep.
-	figs, err := Sweep(Options{Quick: true, Runner: &runner.Pool{Workers: 8}},
+	figs, err := Sweep(context.Background(), Options{Quick: true, Runner: &runner.Pool{Workers: 8}},
 		nil, []string{"bassi"}, []int{16})
 	if err != nil {
 		t.Fatal(err)
@@ -90,7 +94,7 @@ func TestSweepDefaultsAndErrors(t *testing.T) {
 // TestFig1OrderDerivesFromRegistry checks the topology captures follow
 // registry order.
 func TestFig1OrderDerivesFromRegistry(t *testing.T) {
-	results, err := Fig1Rendered(Options{Runner: &runner.Pool{Workers: 8}}, 16, 16)
+	results, err := Fig1Rendered(context.Background(), Options{Runner: &runner.Pool{Workers: 8}}, 16, 16)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,4 +107,82 @@ func TestFig1OrderDerivesFromRegistry(t *testing.T) {
 			t.Errorf("topology %d is %q, registry says %q", i, r.App, names[i])
 		}
 	}
+}
+
+// TestSweepPlanPointsMatchesExecute: the count Stream consumers are
+// promised equals what Execute actually dispatches.
+func TestSweepPlanPointsMatchesExecute(t *testing.T) {
+	pool := &runner.Pool{Workers: 4}
+	opts := Options{Quick: true, Runner: pool}
+	plan, err := PlanSweep(opts, []string{"gtc"}, []string{"bgl"}, []int{64, 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := plan.Points()
+	if want != 2 {
+		t.Fatalf("plan.Points() = %d, want 2", want)
+	}
+	if _, err := plan.Execute(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if s := pool.Stats(); int(s.Points) != want {
+		t.Fatalf("executed %d points, plan promised %d", s.Points, want)
+	}
+}
+
+// TestSweepPlanStreamDeliversEveryPoint: the streaming path covers the
+// same cross-product, one event per point, each carrying provenance.
+func TestSweepPlanStreamDeliversEveryPoint(t *testing.T) {
+	opts := Options{Quick: true, Runner: &runner.Pool{Workers: 4}}
+	plan, err := PlanSweep(opts, []string{"gtc"}, []string{"bassi"}, []int{32, 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := 0
+	for ev := range plan.Stream(context.Background()) {
+		if ev.Err != nil {
+			t.Fatalf("stream point failed: %v", ev.Err)
+		}
+		if ev.Result.App != "GTC" {
+			t.Fatalf("stream point %+v from the wrong workload", ev.Result)
+		}
+		seen++
+	}
+	if seen != plan.Points() {
+		t.Fatalf("%d stream events, plan promised %d", seen, plan.Points())
+	}
+}
+
+// TestSweepCancelMidRunReturnsPromptlyWithoutLeaks: cancelling a sweep
+// mid-run must stop scheduling, surface the cancellation, and leave no
+// worker goroutines behind (checked under -race in CI).
+func TestSweepCancelMidRunReturnsPromptlyWithoutLeaks(t *testing.T) {
+	before := runtime.NumGoroutine()
+	ctx, cancel := context.WithCancel(context.Background())
+	// Cancel from a watcher as soon as the first point lands in the
+	// pool's stats — provably mid-sweep.
+	pool := &runner.Pool{Workers: 2}
+	go func() {
+		for pool.Stats().Points == 0 {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Sweep(ctx, Options{Quick: true, Runner: pool},
+		nil, nil, []int{64, 128, 256}) // full registry × testbed: plenty to cancel
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("mid-run cancel returned %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("cancelled sweep took %s to return", elapsed)
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= before {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Errorf("goroutines leaked by cancelled sweep: %d before, %d after", before, runtime.NumGoroutine())
 }

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -30,13 +31,13 @@ type Table1Row struct {
 // Table1 regenerates the architectural-highlights table by running the
 // microbenchmarks on every platform model, one schedulable job per
 // machine.
-func Table1(opts Options) ([]Table1Row, error) {
+func Table1(ctx context.Context, opts Options) ([]Table1Row, error) {
 	specs := machine.All()
 	jobs := make([]runner.Job, len(specs))
 	for i, spec := range specs {
 		jobs[i] = runner.Job{
 			Key: runner.Key("Table 1", spec),
-			Run: func() (runner.Result, error) {
+			Run: func(context.Context) (runner.Result, error) {
 				st := stream.Measure(spec, 1<<20)
 				pp, err := pingpong.Measure(spec)
 				if err != nil {
@@ -54,7 +55,7 @@ func Table1(opts Options) ([]Table1Row, error) {
 			},
 		}
 	}
-	results, err := opts.pool().Run(jobs)
+	results, err := opts.pool().Run(ctx, jobs)
 	if err != nil {
 		return nil, err
 	}

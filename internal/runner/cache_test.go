@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"testing"
@@ -68,7 +69,7 @@ func TestPoolServesSecondRunFromCache(t *testing.T) {
 		for i := range jobs {
 			jobs[i] = Job{
 				Key: Key("exp", i),
-				Run: func() (Result, error) {
+				Run: func(context.Context) (Result, error) {
 					if !mustRun {
 						t.Errorf("job %d re-simulated despite a warm cache", i)
 					}
@@ -80,7 +81,7 @@ func TestPoolServesSecondRunFromCache(t *testing.T) {
 	}
 
 	cold := &Pool{Workers: 4, Cache: cache}
-	first, err := cold.Run(newJobs(true))
+	first, err := cold.Run(context.Background(), newJobs(true))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestPoolServesSecondRunFromCache(t *testing.T) {
 	}
 
 	warm := &Pool{Workers: 4, Cache: cache}
-	second, err := warm.Run(newJobs(false))
+	second, err := warm.Run(context.Background(), newJobs(false))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -109,9 +110,9 @@ func TestPoolServesSecondRunFromCache(t *testing.T) {
 func TestEmptyKeyDisablesCaching(t *testing.T) {
 	cache := testCache(t)
 	p := &Pool{Workers: 2, Cache: cache}
-	jobs := []Job{{Run: func() (Result, error) { return Result{}, nil }}}
+	jobs := []Job{{Run: func(context.Context) (Result, error) { return Result{}, nil }}}
 	for i := 0; i < 2; i++ {
-		if _, err := p.Run(jobs); err != nil {
+		if _, err := p.Run(context.Background(), jobs); err != nil {
 			t.Fatal(err)
 		}
 	}

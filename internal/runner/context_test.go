@@ -1,0 +1,386 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// leakCheck fails the test if the goroutine count has not returned to
+// its starting level shortly after the test body finishes — the
+// cancellation paths must not strand workers or singleflight waiters.
+func leakCheck(t *testing.T) {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	t.Cleanup(func() {
+		deadline := time.Now().Add(2 * time.Second)
+		for time.Now().Before(deadline) {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+		t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+	})
+}
+
+// TestRunReturnsPartialResultsAndJoinedErrors: a failing batch no longer
+// throws away the points that completed, and every recorded failure is
+// in the returned (joined) error, not just the first.
+func TestRunReturnsPartialResultsAndJoinedErrors(t *testing.T) {
+	errA := errors.New("point A failed")
+	errB := errors.New("point B failed")
+	var both sync.WaitGroup
+	both.Add(2)
+	barrier := func(err error) (Result, error) {
+		both.Done()
+		both.Wait()
+		return Result{}, err
+	}
+	jobs := []Job{
+		{Run: func(context.Context) (Result, error) { return Result{Experiment: "ok0"}, nil }},
+		{Run: func(context.Context) (Result, error) { return barrier(errA) }},
+		{Run: func(context.Context) (Result, error) { return barrier(errB) }},
+	}
+	// Three workers: the good job and both failing jobs are all in
+	// flight together, so both failures are recorded.
+	p := &Pool{Workers: 3}
+	results, err := p.Run(context.Background(), jobs)
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("joined error %v must carry both failures", err)
+	}
+	if len(results) != len(jobs) {
+		t.Fatalf("%d results, want a full-length slice with zero slots for failures", len(results))
+	}
+	if results[0].Experiment != "ok0" {
+		t.Fatalf("completed job's result discarded: %+v", results[0])
+	}
+}
+
+// TestRunCancelStopsSchedulingPromptly: cancelling mid-batch returns
+// quickly with the completed prefix, does not start the remaining jobs,
+// and leaks no goroutines.
+func TestRunCancelStopsSchedulingPromptly(t *testing.T) {
+	leakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var started atomic.Int64
+	release := make(chan struct{})
+	jobs := make([]Job, 64)
+	for i := range jobs {
+		jobs[i] = Job{Run: func(ctx context.Context) (Result, error) {
+			if started.Add(1) == 1 {
+				cancel() // first job cancels the batch...
+				<-release
+				return Result{Experiment: "first"}, nil // ...but still completes
+			}
+			return Result{}, nil
+		}}
+	}
+	done := make(chan struct{})
+	var results []Result
+	var err error
+	go func() {
+		defer close(done)
+		results, err = (&Pool{Workers: 1}).Run(ctx, jobs)
+	}()
+	// Run must be blocked only on the in-flight job, not on the queue.
+	time.Sleep(20 * time.Millisecond)
+	close(release)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run did not return after cancellation")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled in the join", err)
+	}
+	if n := started.Load(); n != 1 {
+		t.Fatalf("%d jobs started after cancellation, want 1", n)
+	}
+	if len(results) != len(jobs) || results[0].Experiment != "first" {
+		t.Fatalf("in-flight job's result discarded on cancel: %+v", results[:1])
+	}
+}
+
+// TestStreamDeliversEveryPointWithProvenance: a streaming batch delivers
+// one event per job as it completes, carrying where it was served from.
+func TestStreamDeliversEveryPointWithProvenance(t *testing.T) {
+	p := &Pool{Workers: 4, Mem: NewMemCache(16)}
+	jobs := make([]Job, 8)
+	for i := range jobs {
+		key := "point"
+		if i%2 == 0 {
+			key = "shared" // even jobs collapse onto one simulation
+		}
+		jobs[i] = Job{Key: key + string(rune('a'+i%2)), Run: func(context.Context) (Result, error) {
+			time.Sleep(time.Millisecond)
+			return Result{Experiment: "stream"}, nil
+		}}
+	}
+	seen := 0
+	provenance := map[string]int{}
+	for ev := range p.Stream(context.Background(), jobs) {
+		if ev.Err != nil {
+			t.Fatalf("event %d: %v", ev.Index, ev.Err)
+		}
+		seen++
+		provenance[ev.Served.String()]++
+	}
+	if seen != len(jobs) {
+		t.Fatalf("%d events for %d jobs", seen, len(jobs))
+	}
+	if provenance["simulated"] < 2 {
+		t.Fatalf("provenance %v: want at least the two unique keys simulated", provenance)
+	}
+	if provenance["simulated"]+provenance["mem"]+provenance["dedup"]+provenance["disk"] != len(jobs) {
+		t.Fatalf("provenance %v does not cover all %d jobs", provenance, len(jobs))
+	}
+}
+
+// TestStreamKeepsGoingAfterAFailedPoint: unlike Run, a streaming batch
+// reports a failed point as its own event and finishes the rest.
+func TestStreamKeepsGoingAfterAFailedPoint(t *testing.T) {
+	boom := errors.New("boom")
+	jobs := []Job{
+		{Run: func(context.Context) (Result, error) { return Result{}, boom }},
+		{Run: func(context.Context) (Result, error) { return Result{Experiment: "ok"}, nil }},
+	}
+	var ok, failed int
+	for ev := range (&Pool{Workers: 1}).Stream(context.Background(), jobs) {
+		if ev.Err != nil {
+			failed++
+		} else {
+			ok++
+		}
+	}
+	if failed != 1 || ok != 1 {
+		t.Fatalf("%d failed / %d ok events, want 1/1", failed, ok)
+	}
+}
+
+// TestStreamCancelClosesChannelAndLeaksNothing: an abandoned consumer
+// cancels and the stream shuts down even with jobs still queued.
+func TestStreamCancelClosesChannelAndLeaksNothing(t *testing.T) {
+	leakCheck(t)
+	ctx, cancel := context.WithCancel(context.Background())
+	jobs := make([]Job, 128)
+	for i := range jobs {
+		jobs[i] = Job{Run: func(context.Context) (Result, error) {
+			time.Sleep(time.Millisecond)
+			return Result{}, nil
+		}}
+	}
+	events := (&Pool{Workers: 2}).Stream(ctx, jobs)
+	<-events // consume one event, then walk away
+	cancel()
+	deadline := time.After(2 * time.Second)
+	for {
+		select {
+		case _, open := <-events:
+			if !open {
+				return
+			}
+		case <-deadline:
+			t.Fatal("stream channel not closed after cancellation")
+		}
+	}
+}
+
+// waitForWaiters polls (under the group lock) until key has at least n
+// waiters provably blocked on the in-flight call.
+func waitForWaiters(g *flightGroup, key string, n int64) {
+	for {
+		g.mu.Lock()
+		c := g.m[key]
+		ready := c != nil && c.waiters.Load() >= n
+		g.mu.Unlock()
+		if ready {
+			return
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestCancelledWaiterDoesNotPoisonOthers: a singleflight waiter that
+// gives up (its own ctx) gets its own ctx error, while the leader and a
+// second waiter complete normally.
+func TestCancelledWaiterDoesNotPoisonOthers(t *testing.T) {
+	leakCheck(t)
+	g := newFlightGroup()
+	leaderIn := make(chan struct{})
+	release := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	var leaderRes Result
+	var leaderErr error
+	go func() {
+		defer wg.Done()
+		leaderRes, _, leaderErr = g.do(context.Background(), "k", func(context.Context) (Result, error) {
+			close(leaderIn)
+			<-release
+			return Result{Experiment: "led"}, nil
+		})
+	}()
+	<-leaderIn
+
+	// Waiter 1 joins then cancels itself.
+	wctx, wcancel := context.WithCancel(context.Background())
+	w1done := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(wctx, "k", func(context.Context) (Result, error) {
+			t.Error("cancelled waiter must never lead")
+			return Result{}, nil
+		})
+		w1done <- err
+	}()
+	// Waiter 2 stays.
+	w2done := make(chan error, 1)
+	var w2res Result
+	go func() {
+		r, dup, err := g.do(context.Background(), "k", func(context.Context) (Result, error) {
+			t.Error("second waiter must share the leader's flight")
+			return Result{}, nil
+		})
+		if !dup {
+			t.Error("second waiter did not report sharing")
+		}
+		w2res = r
+		w2done <- err
+	}()
+	waitForWaiters(g, "k", 2)
+	wcancel()
+	if err := <-w1done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled waiter got %v, want its own ctx error", err)
+	}
+	close(release)
+	wg.Wait()
+	if leaderErr != nil || leaderRes.Experiment != "led" {
+		t.Fatalf("leader result %+v err %v perturbed by the cancelled waiter", leaderRes, leaderErr)
+	}
+	if err := <-w2done; err != nil {
+		t.Fatalf("surviving waiter poisoned: %v", err)
+	}
+	if w2res.Experiment != "led" {
+		t.Fatalf("surviving waiter got %+v, want the leader's result", w2res)
+	}
+}
+
+// TestCancelledLeaderDoesNotPoisonWaiters: when the leader dies of its
+// own cancellation, a live waiter retries and completes the lookup
+// itself instead of inheriting the cancellation error.
+func TestCancelledLeaderDoesNotPoisonWaiters(t *testing.T) {
+	leakCheck(t)
+	g := newFlightGroup()
+	lctx, lcancel := context.WithCancel(context.Background())
+	leaderIn := make(chan struct{})
+	ldone := make(chan error, 1)
+	go func() {
+		_, _, err := g.do(lctx, "k", func(ctx context.Context) (Result, error) {
+			close(leaderIn)
+			<-ctx.Done()
+			return Result{}, ctx.Err()
+		})
+		ldone <- err
+	}()
+	<-leaderIn
+	wdone := make(chan Result, 1)
+	go func() {
+		r, dup, err := g.do(context.Background(), "k", func(context.Context) (Result, error) {
+			return Result{Experiment: "retried"}, nil
+		})
+		if err != nil {
+			t.Errorf("surviving waiter inherited the leader's cancellation: %v", err)
+		}
+		if dup {
+			t.Error("retried waiter led its own lookup; dup must be false")
+		}
+		wdone <- r
+	}()
+	waitForWaiters(g, "k", 1)
+	lcancel()
+	if err := <-ldone; !errors.Is(err, context.Canceled) {
+		t.Fatalf("leader got %v, want its own cancellation", err)
+	}
+	if r := <-wdone; r.Experiment != "retried" {
+		t.Fatalf("waiter result %+v, want its own retried lookup", r)
+	}
+}
+
+// TestSimulateSlotWaitHonoursCancel: a job queued behind a full
+// semaphore leaves when its ctx is cancelled instead of waiting for a
+// slot.
+func TestSimulateSlotWaitHonoursCancel(t *testing.T) {
+	leakCheck(t)
+	p := &Pool{Workers: 1}
+	block := make(chan struct{})
+	hold := make(chan struct{})
+	go func() {
+		p.Run(context.Background(), []Job{{Run: func(context.Context) (Result, error) {
+			close(hold)
+			<-block
+			return Result{}, nil
+		}}})
+	}()
+	<-hold // the only slot is taken
+	ctx, cancel := context.WithCancel(context.Background())
+	errc := make(chan error, 1)
+	go func() {
+		_, err := p.View().Run(ctx, []Job{{Run: func(context.Context) (Result, error) {
+			t.Error("job ran despite cancellation; the slot wait did not yield")
+			return Result{}, nil
+		}}})
+		errc <- err
+	}()
+	time.Sleep(20 * time.Millisecond) // let it queue on the full semaphore
+	cancel()
+	select {
+	case err := <-errc:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("got %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("Run still waiting for a slot after cancellation")
+	}
+	close(block)
+}
+
+// TestServedString pins the wire tokens the streaming endpoints emit.
+func TestServedString(t *testing.T) {
+	for s, want := range map[Served]string{
+		ServedSim: "simulated", ServedMem: "mem", ServedDisk: "disk", ServedDedup: "dedup",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("Served(%d).String() = %q, want %q", s, got, want)
+		}
+	}
+	joined := []string{ServedSim.String(), ServedMem.String(), ServedDisk.String(), ServedDedup.String()}
+	if s := strings.Join(joined, ","); s != "simulated,mem,disk,dedup" {
+		t.Errorf("provenance tokens drifted: %s", s)
+	}
+}
+
+// TestRealFailureRacingWithCancelIsNotSuppressed: a genuine simulation
+// error that lands while the batch is being cancelled must still reach
+// the caller — only cancellation-shaped errors are folded into ctx.Err.
+func TestRealFailureRacingWithCancelIsNotSuppressed(t *testing.T) {
+	boom := errors.New("genuine model failure")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := []Job{{Run: func(context.Context) (Result, error) {
+		cancel() // the cancel lands while this job is in flight...
+		return Result{}, boom
+	}}}
+	_, err := (&Pool{Workers: 1}).Run(ctx, jobs)
+	if !errors.Is(err, boom) {
+		t.Fatalf("joined error %v lost the genuine failure behind the cancel", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("joined error %v also wants the cancellation cause", err)
+	}
+}

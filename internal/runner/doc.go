@@ -10,9 +10,16 @@
 //     identifying what is being simulated plus a Run function that
 //     produces a structured [Result].
 //   - A [Pool] fans jobs out across a fixed number of worker
-//     goroutines. Results always come back in job order, so output
+//     goroutines. [Pool.Run] returns results in job order, so output
 //     assembled from them is byte-identical to a serial run regardless
-//     of worker count or host scheduling.
+//     of worker count or host scheduling; [Pool.Stream] instead yields
+//     an [Event] per point in completion order, with served-from
+//     provenance, for consumers that want results as they happen.
+//   - Every entry point takes a context. Cancellation stops scheduling
+//     promptly, in-flight simulations observe it at their next
+//     communication step, a singleflight waiter abandons only itself,
+//     and Run returns partial results with every per-job error joined
+//     (errors.Join) instead of discarding the batch on first failure.
 //   - Results live in a two-tier store. A [MemCache] is a sharded
 //     in-memory LRU — the fast tier a long-running server answers warm
 //     queries from. A [Cache] persists results as one JSON file per

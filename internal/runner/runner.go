@@ -1,8 +1,10 @@
 package runner
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -169,8 +171,10 @@ type Job struct {
 	// deduplication; empty disables both for this job.
 	Key string
 	// Run simulates the point. Jobs run concurrently, so Run must not
-	// share mutable state with other jobs.
-	Run func() (Result, error)
+	// share mutable state with other jobs. The context is the scheduling
+	// call's context (possibly shortened while the job waits for a
+	// simulation slot); Run should return promptly once it is cancelled.
+	Run func(ctx context.Context) (Result, error)
 }
 
 // Stats counts what a pool did. For the root pool they accumulate
@@ -197,34 +201,51 @@ func (s Stats) String() string {
 		s.Points, s.Simulated, s.MemHits, s.Hits, s.Deduped)
 }
 
-// served records how runJob satisfied a job.
-type served int
+// Served records how a job was satisfied: simulated fresh, served from
+// the memory or disk tier, or shared with another caller's in-flight
+// simulation. Stream events carry it as per-point provenance.
+type Served int
 
 const (
-	servedSim served = iota
-	servedMem
-	servedDisk
-	servedDedup
+	ServedSim Served = iota
+	ServedMem
+	ServedDisk
+	ServedDedup
 )
+
+// String renders the provenance as the stable wire token the streaming
+// endpoints emit.
+func (s Served) String() string {
+	switch s {
+	case ServedMem:
+		return "mem"
+	case ServedDisk:
+		return "disk"
+	case ServedDedup:
+		return "dedup"
+	default:
+		return "simulated"
+	}
+}
 
 // counters is the atomic backing store of Stats.
 type counters struct {
 	points, simulated, memHits, diskHits, deduped atomic.Int64
 }
 
-func (c *counters) add(via served, ok bool) {
+func (c *counters) add(via Served, ok bool) {
 	c.points.Add(1)
 	if !ok {
 		return
 	}
 	switch via {
-	case servedSim:
+	case ServedSim:
 		c.simulated.Add(1)
-	case servedMem:
+	case ServedMem:
 		c.memHits.Add(1)
-	case servedDisk:
+	case ServedDisk:
 		c.diskHits.Add(1)
-	case servedDedup:
+	case ServedDedup:
 		c.deduped.Add(1)
 	}
 }
@@ -320,7 +341,7 @@ func (p *Pool) semFor() chan struct{} {
 }
 
 // tally records one dispatched job on this pool and every ancestor.
-func (p *Pool) tally(via served, ok bool) {
+func (p *Pool) tally(via Served, ok bool) {
 	for q := p; q != nil; q = q.parent {
 		q.stats.add(via, ok)
 	}
@@ -347,16 +368,81 @@ func (p *Pool) warnPutFailure(err error) {
 
 // Run executes the jobs and returns their results in job order,
 // regardless of worker count or host scheduling — output assembled from
-// the slice is byte-identical to a serial run. If any jobs fail, Run
-// stops starting new jobs, waits for the in-flight ones, and returns
-// the lowest-indexed recorded failure; results are discarded. (Which
-// later jobs were skipped after a failure can vary with scheduling;
-// the successful path is what must be deterministic.)
+// the slice is byte-identical to a serial run.
+//
+// Cancelling ctx stops new jobs from being scheduled promptly; in-flight
+// jobs are waited for (their Run functions observe the same ctx), and
+// Run returns whatever completed alongside ctx's error. Failures no
+// longer discard the batch either: the first failure stops new jobs from
+// starting, and every per-job error is returned joined (errors.Join)
+// with the results slice still holding each job that completed. A failed
+// or skipped job's slot is the zero Result; the slice is only fully
+// populated when the returned error is nil.
 //
 // Run may be called concurrently from many goroutines on one pool (or
 // on views of one pool); the cache tiers and the in-flight dedup group
 // are shared, so overlapping job sets simulate each key once.
-func (p *Pool) Run(jobs []Job) ([]Result, error) {
+func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	results := make([]Result, len(jobs))
+	errs := make([]error, len(jobs))
+	p.dispatch(ctx, jobs, true, func(i int, r Result, _ Served, err error) {
+		results[i], errs[i] = r, err
+	})
+	// Join in job order (then the cancellation cause, if any), so the
+	// aggregate error message is deterministic for a given failure set.
+	if err := errors.Join(append(errs, ctx.Err())...); err != nil {
+		return results, err
+	}
+	return results, nil
+}
+
+// Event is one completed job delivered by Stream: the job's index in the
+// submitted slice, its result or error, and the served-from provenance.
+type Event struct {
+	// Index is the job's position in the Stream call's jobs slice.
+	Index int
+	// Result is the job's result; zero when Err is non-nil.
+	Result Result
+	// Served reports how the point was satisfied: freshly simulated,
+	// memory tier, disk tier, or deduplicated against another caller's
+	// in-flight simulation.
+	Served Served
+	// Err is the job's own failure, if any. Unlike Run, a streaming
+	// batch keeps going after a failed point — each event stands alone.
+	Err error
+}
+
+// Stream executes the jobs and delivers one Event per completed job, in
+// completion order, as each point finishes — the incremental form of
+// Run for consumers that want results as they happen (the NDJSON
+// endpoint, progress UIs). The channel is closed once every scheduled
+// job has been delivered or ctx is cancelled; after cancellation the
+// remaining jobs are never started. A failed job is an Event carrying
+// its error; unlike Run, failures do not stop the rest of the batch.
+//
+// Callers that stop consuming must cancel ctx, or workers block
+// forever on the undelivered events.
+func (p *Pool) Stream(ctx context.Context, jobs []Job) <-chan Event {
+	out := make(chan Event)
+	go func() {
+		defer close(out)
+		p.dispatch(ctx, jobs, false, func(i int, r Result, via Served, err error) {
+			select {
+			case out <- Event{Index: i, Result: r, Served: via, Err: err}:
+			case <-ctx.Done():
+			}
+		})
+	}()
+	return out
+}
+
+// dispatch is the scheduling core shared by Run and Stream: fan the
+// jobs across Workers goroutines, calling emit once per executed job
+// (from worker goroutines — emit must be safe for disjoint-index
+// concurrent use). Cancelling ctx stops feeding new jobs; when failFast
+// is set, the first failure does too (jobs already fed are skipped
+// without an emit).
+func (p *Pool) dispatch(ctx context.Context, jobs []Job, failFast bool, emit func(i int, r Result, via Served, err error)) {
 	workers := p.Workers
 	if workers < 1 {
 		workers = 1
@@ -364,9 +450,6 @@ func (p *Pool) Run(jobs []Job) ([]Result, error) {
 	if workers > len(jobs) {
 		workers = len(jobs)
 	}
-
-	results := make([]Result, len(jobs))
-	errs := make([]error, len(jobs))
 	var failed atomic.Bool
 	idx := make(chan int)
 	var wg sync.WaitGroup
@@ -375,65 +458,70 @@ func (p *Pool) Run(jobs []Job) ([]Result, error) {
 		go func() {
 			defer wg.Done()
 			for i := range idx {
-				if failed.Load() {
+				if ctx.Err() != nil || (failFast && failed.Load()) {
 					continue
 				}
-				var via served
-				results[i], via, errs[i] = p.runJob(jobs[i])
-				p.tally(via, errs[i] == nil)
-				if errs[i] != nil {
+				r, via, err := p.runJob(ctx, jobs[i])
+				if err != nil && cancellation(err) && ctx.Err() != nil {
+					// The job died of this call's own cancellation; the
+					// caller sees ctx.Err once, not once per worker. A
+					// genuine simulation failure that merely races with
+					// the cancel is still emitted.
+					continue
+				}
+				p.tally(via, err == nil)
+				if err != nil {
 					failed.Store(true)
 				}
+				emit(i, r, via, err)
 			}
 		}()
 	}
+feed:
 	for i := range jobs {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
-
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return results, nil
 }
 
 // runJob serves one job from the memory tier, the disk tier, another
 // caller's in-flight lookup, or a fresh simulation — in that order.
-func (p *Pool) runJob(j Job) (Result, served, error) {
+func (p *Pool) runJob(ctx context.Context, j Job) (Result, Served, error) {
 	if j.Key == "" {
-		r, err := p.simulate(j)
-		return r, servedSim, err
+		r, err := p.simulate(ctx, j)
+		return r, ServedSim, err
 	}
 	if p.Mem != nil {
 		if r, ok := p.Mem.Get(j.Key); ok {
 			r.Cached = true
-			return r, servedMem, nil
+			return r, ServedMem, nil
 		}
 	}
-	via := servedSim
-	r, dup, err := p.flightFor().do(j.Key, func() (Result, error) {
+	via := ServedSim
+	r, dup, err := p.flightFor().do(ctx, j.Key, func(ctx context.Context) (Result, error) {
 		// Re-check the fast tier under the flight: a leader that just
 		// finished this key has already filled it.
 		if p.Mem != nil {
 			if r, ok := p.Mem.Get(j.Key); ok {
-				via = servedMem
+				via = ServedMem
 				return r, nil
 			}
 		}
 		if p.Cache != nil {
 			if r, ok := p.Cache.Get(j.Key); ok {
-				via = servedDisk
+				via = ServedDisk
 				if p.Mem != nil {
 					p.Mem.Put(j.Key, r)
 				}
 				return r, nil
 			}
 		}
-		r, err := p.simulate(j)
+		r, err := p.simulate(ctx, j)
 		if err != nil {
 			return Result{}, err
 		}
@@ -453,9 +541,9 @@ func (p *Pool) runJob(j Job) (Result, served, error) {
 		return Result{}, via, err
 	}
 	if dup {
-		via = servedDedup
+		via = ServedDedup
 	}
-	if via == servedMem || via == servedDisk {
+	if via == ServedMem || via == ServedDisk {
 		r.Cached = true
 	}
 	return r, via, nil
@@ -465,10 +553,14 @@ func (p *Pool) runJob(j Job) (Result, served, error) {
 // number of in-flight simulations never exceeds Workers no matter how
 // many Run calls (or server requests) race on the pool. Cache lookups
 // and in-flight waits never hold a slot — warm traffic is not queued
-// behind cold traffic.
-func (p *Pool) simulate(j Job) (Result, error) {
+// behind cold traffic — and a cancelled caller stops queueing for one.
+func (p *Pool) simulate(ctx context.Context, j Job) (Result, error) {
 	sem := p.semFor()
-	sem <- struct{}{}
+	select {
+	case sem <- struct{}{}:
+	case <-ctx.Done():
+		return Result{}, ctx.Err()
+	}
 	defer func() { <-sem }()
-	return j.Run()
+	return j.Run(ctx)
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -15,7 +16,7 @@ import (
 func stampJobs(n int) []Job {
 	jobs := make([]Job, n)
 	for i := range jobs {
-		jobs[i] = Job{Run: func() (Result, error) {
+		jobs[i] = Job{Run: func(context.Context) (Result, error) {
 			time.Sleep(time.Duration(n-i) * time.Millisecond)
 			return Result{Experiment: "stamp", Procs: i}, nil
 		}}
@@ -25,7 +26,7 @@ func stampJobs(n int) []Job {
 
 func TestRunPreservesJobOrder(t *testing.T) {
 	p := &Pool{Workers: 8}
-	results, err := p.Run(stampJobs(32))
+	results, err := p.Run(context.Background(), stampJobs(32))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -46,7 +47,7 @@ func TestSerialPoolRunsOneJobAtATime(t *testing.T) {
 		var inFlight, maxInFlight atomic.Int64
 		jobs := make([]Job, 16)
 		for i := range jobs {
-			jobs[i] = Job{Run: func() (Result, error) {
+			jobs[i] = Job{Run: func(context.Context) (Result, error) {
 				n := inFlight.Add(1)
 				defer inFlight.Add(-1)
 				for {
@@ -60,7 +61,7 @@ func TestSerialPoolRunsOneJobAtATime(t *testing.T) {
 			}}
 		}
 		p := &Pool{Workers: workers}
-		if _, err := p.Run(jobs); err != nil {
+		if _, err := p.Run(context.Background(), jobs); err != nil {
 			t.Fatal(err)
 		}
 		if got := maxInFlight.Load(); got != 1 {
@@ -71,7 +72,7 @@ func TestSerialPoolRunsOneJobAtATime(t *testing.T) {
 
 func TestMoreWorkersThanJobs(t *testing.T) {
 	p := &Pool{Workers: 64}
-	results, err := p.Run(stampJobs(3))
+	results, err := p.Run(context.Background(), stampJobs(3))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -88,7 +89,7 @@ func TestMoreWorkersThanJobs(t *testing.T) {
 func TestRunEmptyAndNil(t *testing.T) {
 	p := &Pool{Workers: 4}
 	for _, jobs := range [][]Job{nil, {}} {
-		results, err := p.Run(jobs)
+		results, err := p.Run(context.Background(), jobs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,8 +101,8 @@ func TestRunEmptyAndNil(t *testing.T) {
 
 func TestLowestIndexedRecordedErrorWins(t *testing.T) {
 	// Both failing jobs are in flight before either fails (the barrier
-	// guarantees it), so both errors are recorded; the lower-indexed
-	// one must be returned even if the other finishes first.
+	// guarantees it), so both errors are recorded; the join must carry
+	// the lower-indexed failure whatever order they finish in.
 	var both sync.WaitGroup
 	both.Add(2)
 	errEarly := errors.New("early failure")
@@ -111,11 +112,11 @@ func TestLowestIndexedRecordedErrorWins(t *testing.T) {
 		return Result{}, err
 	}
 	jobs := []Job{
-		{Run: func() (Result, error) { return barrier(errEarly) }},
-		{Run: func() (Result, error) { return barrier(errors.New("late failure")) }},
+		{Run: func(context.Context) (Result, error) { return barrier(errEarly) }},
+		{Run: func(context.Context) (Result, error) { return barrier(errors.New("late failure")) }},
 	}
 	p := &Pool{Workers: 2}
-	_, err := p.Run(jobs)
+	_, err := p.Run(context.Background(), jobs)
 	if !errors.Is(err, errEarly) {
 		t.Fatalf("got %v, want the lowest-indexed recorded failure", err)
 	}
@@ -125,17 +126,17 @@ func TestFailureStopsDispatchingNewJobs(t *testing.T) {
 	// Serial pool: job 0 fails, so none of the expensive jobs behind it
 	// may start.
 	var started atomic.Int64
-	jobs := []Job{{Run: func() (Result, error) {
+	jobs := []Job{{Run: func(context.Context) (Result, error) {
 		return Result{}, errors.New("boom")
 	}}}
 	for i := 0; i < 64; i++ {
-		jobs = append(jobs, Job{Run: func() (Result, error) {
+		jobs = append(jobs, Job{Run: func(context.Context) (Result, error) {
 			started.Add(1)
 			return Result{}, nil
 		}})
 	}
 	p := &Pool{Workers: 1}
-	if _, err := p.Run(jobs); err == nil {
+	if _, err := p.Run(context.Background(), jobs); err == nil {
 		t.Fatal("failing job set returned nil error")
 	}
 	if n := started.Load(); n != 0 {
@@ -152,7 +153,7 @@ func TestKeyComponentSplitDoesNotCollide(t *testing.T) {
 func TestStatsAccumulateAcrossRuns(t *testing.T) {
 	p := &Pool{Workers: 2}
 	for run := 0; run < 3; run++ {
-		if _, err := p.Run(stampJobs(4)); err != nil {
+		if _, err := p.Run(context.Background(), stampJobs(4)); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -189,14 +190,14 @@ func TestKeyDiscriminatesAndIsStable(t *testing.T) {
 func BenchmarkPoolOverhead(b *testing.B) {
 	jobs := make([]Job, 256)
 	for i := range jobs {
-		jobs[i] = Job{Run: func() (Result, error) {
+		jobs[i] = Job{Run: func(context.Context) (Result, error) {
 			return Result{Experiment: fmt.Sprint(i)}, nil
 		}}
 	}
 	p := &Pool{Workers: 8}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := p.Run(jobs); err != nil {
+		if _, err := p.Run(context.Background(), jobs); err != nil {
 			b.Fatal(err)
 		}
 	}

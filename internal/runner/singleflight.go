@@ -1,6 +1,8 @@
 package runner
 
 import (
+	"context"
+	"errors"
 	"sync"
 	"sync/atomic"
 )
@@ -11,6 +13,13 @@ import (
 // the point. This is what turns a shared pool into a concurrent-safe
 // backend — M identical requests racing on a cold cache simulate each
 // point exactly once.
+//
+// Every caller waits under its own context. A waiter whose context is
+// cancelled leaves immediately with its own ctx error — the leader and
+// the other waiters are untouched. And a leader that dies of its own
+// cancellation does not poison the key: surviving waiters see the
+// cancellation-shaped error, re-enter the group, and one of them becomes
+// the new leader under its own (live) context.
 type flightGroup struct {
 	mu sync.Mutex
 	m  map[string]*flightCall
@@ -30,28 +39,52 @@ func newFlightGroup() *flightGroup {
 	return &flightGroup{m: make(map[string]*flightCall)}
 }
 
-// do runs fn once per key among concurrent callers. The boolean reports
-// whether this caller shared another caller's in-flight result (true for
-// every caller except the leader). The key is forgotten once the leader
-// finishes, so later calls look the key up afresh — by then the caching
-// tiers hold the result.
-func (g *flightGroup) do(key string, fn func() (Result, error)) (Result, bool, error) {
-	g.mu.Lock()
-	if c, ok := g.m[key]; ok {
-		c.waiters.Add(1)
+// cancellation reports whether err is a context cancellation or
+// deadline — the error shapes that describe the caller that produced
+// them, not the key being looked up.
+func cancellation(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// do runs fn once per key among concurrent callers, passing fn this
+// caller's ctx. The boolean reports whether this caller shared another
+// caller's in-flight result instead of running fn itself (false for
+// whoever led the lookup, including a waiter that retried into
+// leadership after its leader was cancelled). The key is forgotten once
+// the leader finishes, so later calls look the key up afresh — by then
+// the caching tiers hold the result.
+func (g *flightGroup) do(ctx context.Context, key string, fn func(context.Context) (Result, error)) (Result, bool, error) {
+	for {
+		g.mu.Lock()
+		if c, ok := g.m[key]; ok {
+			c.waiters.Add(1)
+			g.mu.Unlock()
+			select {
+			case <-c.done:
+			case <-ctx.Done():
+				// This waiter gives up on its own terms; the leader keeps
+				// running and the other waiters keep waiting.
+				c.waiters.Add(-1)
+				return Result{}, true, ctx.Err()
+			}
+			if cancellation(c.err) && ctx.Err() == nil {
+				// The leader was cancelled, not the lookup itself. This
+				// waiter is still live, so it retries — and with the key
+				// now forgotten, it (or a fellow survivor) leads.
+				continue
+			}
+			return c.r, true, c.err
+		}
+		c := &flightCall{done: make(chan struct{})}
+		g.m[key] = c
 		g.mu.Unlock()
-		<-c.done
-		return c.r, true, c.err
+
+		c.r, c.err = fn(ctx)
+
+		g.mu.Lock()
+		delete(g.m, key)
+		g.mu.Unlock()
+		close(c.done)
+		return c.r, false, c.err
 	}
-	c := &flightCall{done: make(chan struct{})}
-	g.m[key] = c
-	g.mu.Unlock()
-
-	c.r, c.err = fn()
-
-	g.mu.Lock()
-	delete(g.m, key)
-	g.mu.Unlock()
-	close(c.done)
-	return c.r, false, c.err
 }

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"strings"
@@ -13,7 +14,7 @@ import (
 // keyedJob returns a job under the given key whose executions are
 // counted in execs.
 func keyedJob(key string, execs *atomic.Int64) Job {
-	return Job{Key: key, Run: func() (Result, error) {
+	return Job{Key: key, Run: func(context.Context) (Result, error) {
 		execs.Add(1)
 		return Result{Experiment: "store", Output: key}, nil
 	}}
@@ -38,7 +39,7 @@ func TestPutFailureWarnsOnceAndContinues(t *testing.T) {
 	for i := range jobs {
 		jobs[i] = keyedJob(fmt.Sprintf("k%d", i), &execs)
 	}
-	results, err := p.Run(jobs)
+	results, err := p.Run(context.Background(), jobs)
 	if err != nil {
 		t.Fatalf("run failed on an unwritable cache: %v", err)
 	}
@@ -69,7 +70,7 @@ func TestPutFailureDefaultWarnGoesToStderrOnly(t *testing.T) {
 	}
 	p := &Pool{Cache: cache}
 	var execs atomic.Int64
-	if _, err := p.Run([]Job{keyedJob("k", &execs)}); err != nil {
+	if _, err := p.Run(context.Background(), []Job{keyedJob("k", &execs)}); err != nil {
 		t.Fatalf("run failed: %v", err)
 	}
 }
@@ -79,7 +80,7 @@ func TestMemTierServesRepeats(t *testing.T) {
 	var execs atomic.Int64
 	jobs := []Job{keyedJob("a", &execs), keyedJob("b", &execs)}
 	for run := 0; run < 3; run++ {
-		results, err := p.Run(jobs)
+		results, err := p.Run(context.Background(), jobs)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -100,13 +101,13 @@ func TestDiskHitPromotedToMemTier(t *testing.T) {
 	cache := testCache(t)
 	seed := &Pool{Cache: cache}
 	var execs atomic.Int64
-	if _, err := seed.Run([]Job{keyedJob("a", &execs)}); err != nil {
+	if _, err := seed.Run(context.Background(), []Job{keyedJob("a", &execs)}); err != nil {
 		t.Fatal(err)
 	}
 
 	p := &Pool{Cache: cache, Mem: NewMemCache(64)}
 	for run := 0; run < 2; run++ {
-		if _, err := p.Run([]Job{keyedJob("a", &execs)}); err != nil {
+		if _, err := p.Run(context.Background(), []Job{keyedJob("a", &execs)}); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -123,7 +124,7 @@ func TestSingleflightDedupsConcurrentIdenticalJobs(t *testing.T) {
 	started := make(chan struct{})
 	release := make(chan struct{})
 	var execs atomic.Int64
-	slow := Job{Key: "slow", Run: func() (Result, error) {
+	slow := Job{Key: "slow", Run: func(context.Context) (Result, error) {
 		execs.Add(1)
 		close(started)
 		<-release
@@ -135,7 +136,7 @@ func TestSingleflightDedupsConcurrentIdenticalJobs(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		if _, err := p.Run([]Job{slow}); err != nil {
+		if _, err := p.Run(context.Background(), []Job{slow}); err != nil {
 			t.Errorf("leader run: %v", err)
 		}
 	}()
@@ -143,7 +144,7 @@ func TestSingleflightDedupsConcurrentIdenticalJobs(t *testing.T) {
 	wg.Add(1)
 	go func() {
 		defer wg.Done()
-		results, err := p.Run([]Job{{Key: "slow", Run: func() (Result, error) {
+		results, err := p.Run(context.Background(), []Job{{Key: "slow", Run: func(context.Context) (Result, error) {
 			execs.Add(1)
 			return Result{Output: "dup"}, nil
 		}}})
@@ -205,7 +206,7 @@ func TestConcurrentRunsSharedPool(t *testing.T) {
 			for i := range jobs {
 				jobs[i] = keyedJob(fmt.Sprintf("k%d", i), &execs[i])
 			}
-			results, err := view.Run(jobs)
+			results, err := view.Run(context.Background(), jobs)
 			if err != nil {
 				t.Errorf("goroutine %d: %v", g, err)
 				return
@@ -264,7 +265,7 @@ func TestWorkersBoundSimulationsGlobally(t *testing.T) {
 			defer wg.Done()
 			jobs := make([]Job, jobsPer)
 			for i := range jobs {
-				jobs[i] = Job{Key: fmt.Sprintf("g%d-j%d", g, i), Run: func() (Result, error) {
+				jobs[i] = Job{Key: fmt.Sprintf("g%d-j%d", g, i), Run: func(context.Context) (Result, error) {
 					n := inFlight.Add(1)
 					defer inFlight.Add(-1)
 					for {
@@ -277,7 +278,7 @@ func TestWorkersBoundSimulationsGlobally(t *testing.T) {
 					return Result{}, nil
 				}}
 			}
-			if _, err := root.View().Run(jobs); err != nil {
+			if _, err := root.View().Run(context.Background(), jobs); err != nil {
 				t.Errorf("goroutine %d: %v", g, err)
 			}
 		}(g)

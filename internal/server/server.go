@@ -27,14 +27,31 @@
 // carries X-Petasim-* headers reporting what the request cost: points
 // dispatched, and how many were simulated, served from the memory or
 // disk tier, or deduplicated against another in-flight request.
+//
+// Every simulating handler runs under the request's context: a client
+// that disconnects (or a proxy that times the request out) cancels the
+// simulation instead of leaving it running to completion for nobody.
+// An optional timeout= query parameter (a Go duration: "30s", "2m")
+// puts a per-request deadline on top; a request that exceeds it gets
+// 504 with the JSON error envelope.
+//
+// GET /v1/sweep/stream is the incremental form of /v1/sweep: an NDJSON
+// (application/x-ndjson) response with one point record per line, in
+// completion order, flushed as each point finishes, followed by one
+// trailing stats record — so a consumer watches a long sweep fill in
+// instead of staring at an open connection. See sweepStreamLine for the
+// line shape.
 package server
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"mime"
 	"net/http"
 	"strconv"
+	"time"
 
 	"repro/internal/apps"
 	"repro/internal/experiments"
@@ -64,6 +81,7 @@ func New(opts experiments.Options) *Server {
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
+	mux.HandleFunc("GET /v1/sweep/stream", s.handleSweepStream)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -96,6 +114,43 @@ func writeError(w http.ResponseWriter, status int, err error) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(status)
 	json.NewEncoder(w).Encode(map[string]string{"error": err.Error()})
+}
+
+// requestContext derives the simulation context for one request: the
+// request's own context (cancelled when the client disconnects), capped
+// by the optional timeout= query parameter. A malformed or nonpositive
+// timeout is a selector error.
+func requestContext(r *http.Request) (context.Context, context.CancelFunc, error) {
+	ctx := r.Context()
+	raw := r.URL.Query().Get("timeout")
+	if raw == "" {
+		return ctx, func() {}, nil
+	}
+	d, err := time.ParseDuration(raw)
+	if err != nil {
+		return nil, nil, fmt.Errorf("bad timeout %q: %w", raw, err)
+	}
+	if d <= 0 {
+		return nil, nil, fmt.Errorf("bad timeout %q: must be positive", raw)
+	}
+	ctx, cancel := context.WithTimeout(ctx, d)
+	return ctx, cancel, nil
+}
+
+// writeRunError maps a simulation failure to a status: a deadline blown
+// by the request's timeout= is the caller's 504; a disconnect-cancelled
+// request gets a best-effort 499 (the client is gone and will never read
+// it, but the access log should say what happened); everything else is
+// an internal simulation failure.
+func writeRunError(w http.ResponseWriter, err error) {
+	switch {
+	case errors.Is(err, context.DeadlineExceeded):
+		writeError(w, http.StatusGatewayTimeout, fmt.Errorf("simulation exceeded the request deadline: %w", err))
+	case errors.Is(err, context.Canceled):
+		writeError(w, 499, fmt.Errorf("request cancelled: %w", err)) // nginx's client-closed-request
+	default:
+		writeError(w, http.StatusInternalServerError, err)
+	}
 }
 
 // writeStatsHeaders reports a request's serving split.
@@ -167,28 +222,19 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 			}
 		}
 	}
-	if err := r.ParseForm(); err != nil {
-		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed selectors: %w", err))
+	plan, view, ok := s.planFromRequest(w, r)
+	if !ok {
 		return
 	}
-	appNames := experiments.SplitList(r.Form.Get("app"))
-	machineNames := experiments.SplitList(r.Form.Get("machine"))
-	procs, err := experiments.ParseProcs(r.Form.Get("procs"))
+	ctx, cancel, err := requestContext(r)
 	if err != nil {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
-	opts, view := s.requestOptions()
-	plan, err := experiments.PlanSweep(opts, appNames, machineNames, procs)
+	defer cancel()
+	figs, err := plan.Execute(ctx)
 	if err != nil {
-		// Plan errors name unknown workloads/machines or unrunnable
-		// concurrencies — the caller's selectors.
-		writeError(w, http.StatusBadRequest, err)
-		return
-	}
-	figs, err := plan.Run()
-	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeRunError(w, err)
 		return
 	}
 	var results []runner.Result
@@ -200,6 +246,92 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 	runner.WriteJSON(w, results)
 }
 
+// planFromRequest parses the request's sweep selectors and validates
+// them into a plan over a per-request pool view. On failure it has
+// already written the error response and returns ok=false.
+func (s *Server) planFromRequest(w http.ResponseWriter, r *http.Request) (*experiments.SweepPlan, *runner.Pool, bool) {
+	if err := r.ParseForm(); err != nil {
+		writeError(w, http.StatusBadRequest, fmt.Errorf("malformed selectors: %w", err))
+		return nil, nil, false
+	}
+	appNames := experiments.SplitList(r.Form.Get("app"))
+	machineNames := experiments.SplitList(r.Form.Get("machine"))
+	procs, err := experiments.ParseProcs(r.Form.Get("procs"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	opts, view := s.requestOptions()
+	plan, err := experiments.PlanSweep(opts, appNames, machineNames, procs)
+	if err != nil {
+		// Plan errors name unknown workloads/machines or unrunnable
+		// concurrencies — the caller's selectors.
+		writeError(w, http.StatusBadRequest, err)
+		return nil, nil, false
+	}
+	return plan, view, true
+}
+
+// sweepStreamLine is one NDJSON line of /v1/sweep/stream. Point lines
+// carry the point record with its served-from provenance (or the
+// point's own error); the final line carries the request's stats
+// instead — a consumer distinguishes them by which field is set.
+type sweepStreamLine struct {
+	Point  *runner.Result `json:"point,omitempty"`
+	Served string         `json:"served,omitempty"`
+	Error  string         `json:"error,omitempty"`
+	Stats  *runner.Stats  `json:"stats,omitempty"`
+}
+
+func (s *Server) handleSweepStream(w http.ResponseWriter, r *http.Request) {
+	plan, view, ok := s.planFromRequest(w, r)
+	if !ok {
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.Header().Set("X-Petasim-Planned-Points", strconv.Itoa(plan.Points()))
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w) // Encode appends the newline NDJSON needs
+	for ev := range plan.Stream(ctx) {
+		line := sweepStreamLine{}
+		if ev.Err != nil {
+			line.Error = ev.Err.Error()
+		} else {
+			res := ev.Result
+			line.Point = &res
+			line.Served = ev.Served.String()
+		}
+		if err := enc.Encode(line); err != nil {
+			// The client is gone; cancel the plan's remaining points
+			// rather than simulating for nobody.
+			cancel()
+			break
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		// A blown timeout= deadline is worth reporting: the client is
+		// still connected, so the stream's last line says why it was cut
+		// short (the batch endpoint's 504 equivalent). A disconnect gets
+		// nothing — there is nobody left to read it.
+		if errors.Is(err, context.DeadlineExceeded) {
+			enc.Encode(sweepStreamLine{Error: fmt.Sprintf("stream cut short: %v", err)})
+		}
+		return
+	}
+	st := view.Stats()
+	enc.Encode(sweepStreamLine{Stats: &st})
+}
+
 func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 	n, err := strconv.Atoi(r.PathValue("n"))
 	if err != nil || n < 2 || n > 8 {
@@ -207,11 +339,17 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("no figure %q (the service regenerates figures 2-8)", r.PathValue("n")))
 		return
 	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
 	opts, view := s.requestOptions()
 	if n == 8 {
-		sum, err := experiments.Fig8Summary(opts)
+		sum, err := experiments.Fig8Summary(ctx, opts)
 		if err != nil {
-			writeError(w, http.StatusInternalServerError, err)
+			writeRunError(w, err)
 			return
 		}
 		writeStatsHeaders(w, view.Stats())
@@ -219,9 +357,9 @@ func (s *Server) handleFigure(w http.ResponseWriter, r *http.Request) {
 		sum.JSON(w)
 		return
 	}
-	fig, err := experiments.FigureN(opts, n)
+	fig, err := experiments.FigureN(ctx, opts, n)
 	if err != nil {
-		writeError(w, http.StatusInternalServerError, err)
+		writeRunError(w, err)
 		return
 	}
 	writeStatsHeaders(w, view.Stats())

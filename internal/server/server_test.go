@@ -2,6 +2,7 @@ package server
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -102,7 +103,7 @@ const sweepQuery = "/v1/sweep?app=GTC&machine=Bassi&procs=64"
 // writes for the same selectors, through an independent serial pool.
 func cliSweepArtifact(t *testing.T) []byte {
 	t.Helper()
-	figs, err := experiments.Sweep(experiments.Options{Quick: true, MaxProcs: 64},
+	figs, err := experiments.Sweep(context.Background(), experiments.Options{Quick: true, MaxProcs: 64},
 		[]string{"GTC"}, []string{"Bassi"}, []int{64})
 	if err != nil {
 		t.Fatal(err)
@@ -220,7 +221,7 @@ func TestFigureEndpointMatchesDirectBuild(t *testing.T) {
 	if resp.StatusCode != http.StatusOK {
 		t.Fatalf("status %d: %s", resp.StatusCode, body)
 	}
-	fig, err := experiments.FigureN(experiments.Options{Quick: true, MaxProcs: 64}, 3)
+	fig, err := experiments.FigureN(context.Background(), experiments.Options{Quick: true, MaxProcs: 64}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,250 @@
+package server
+
+import (
+	"bufio"
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"runtime"
+	"strconv"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+// streamURL asks for a small fixed sweep: 1 app × 1 machine × 2 procs.
+const streamURL = "/v1/sweep/stream?app=GTC&machine=Bassi&procs=32,64"
+
+// TestSweepStreamDeliversEveryPointPlusStats: the NDJSON body holds one
+// point line per planned point (each with provenance) and one trailing
+// stats line, nothing else.
+func TestSweepStreamDeliversEveryPointPlusStats(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + streamURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Fatalf("content type %q, want application/x-ndjson", ct)
+	}
+	planned, err := strconv.Atoi(resp.Header.Get("X-Petasim-Planned-Points"))
+	if err != nil || planned != 2 {
+		t.Fatalf("X-Petasim-Planned-Points %q, want 2", resp.Header.Get("X-Petasim-Planned-Points"))
+	}
+
+	var points, stats int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line sweepStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		switch {
+		case line.Stats != nil:
+			stats++
+			if line.Stats.Points != 2 {
+				t.Errorf("trailing stats %+v, want 2 points", line.Stats)
+			}
+		case line.Point != nil:
+			points++
+			if line.Point.App != "GTC" || line.Point.Machine != "Bassi" {
+				t.Errorf("point %+v not from the requested sweep", line.Point)
+			}
+			if line.Served == "" {
+				t.Error("point line missing served-from provenance")
+			}
+		default:
+			t.Errorf("line %q carries neither point nor stats", sc.Text())
+		}
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if points != planned || stats != 1 {
+		t.Fatalf("%d point lines + %d stats lines, want %d + 1", points, stats, planned)
+	}
+}
+
+// TestSweepStreamSelectorErrors: a bad selector is a JSON 400, exactly
+// like the batch endpoint.
+func TestSweepStreamSelectorErrors(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/v1/sweep/stream?app=nosuchapp")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d for unknown workload, want 400: %s", resp.StatusCode, body)
+	}
+}
+
+// TestSweepStreamClientDisconnectCancelsAndServerSurvives: killing the
+// connection mid-stream cancels the sweep's remaining points, and the
+// server keeps answering.
+func TestSweepStreamClientDisconnectCancelsAndServerSurvives(t *testing.T) {
+	ts, pool := newTestServer(t)
+	// Warm the client's keep-alive pool before taking the goroutine
+	// baseline, so idle-connection read loops don't count as leaks.
+	if resp, _ := get(t, ts.URL+"/healthz"); resp.StatusCode != http.StatusOK {
+		t.Fatal("health check failed")
+	}
+	before := runtime.NumGoroutine()
+
+	// A wide sweep (all apps × 32,64 on one machine) so plenty of
+	// points remain when the client walks away after the first line.
+	ctx, cancel := context.WithCancel(context.Background())
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		ts.URL+"/v1/sweep/stream?machine=Bassi&procs=32,64", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 1)
+	if _, err := io.ReadFull(resp.Body, buf); err != nil {
+		t.Fatalf("no streamed bytes before disconnect: %v", err)
+	}
+	cancel() // drop the connection mid-stream
+	resp.Body.Close()
+
+	// The handler's ctx is now cancelled; the pool must stop dispatching
+	// instead of simulating the rest for nobody. Poll until dispatch
+	// quiesces, then check the server is still healthy and correct.
+	deadline := time.Now().Add(5 * time.Second)
+	last := pool.Stats().Points
+	for time.Now().Before(deadline) {
+		time.Sleep(100 * time.Millisecond)
+		if now := pool.Stats().Points; now == last {
+			break
+		} else {
+			last = now
+		}
+	}
+	resp2, body := get(t, ts.URL+"/healthz")
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("healthz %d after mid-stream disconnect: %s", resp2.StatusCode, body)
+	}
+	resp3, body3 := get(t, ts.URL+sweepQuery)
+	if resp3.StatusCode != http.StatusOK {
+		t.Fatalf("sweep after disconnect: status %d: %s", resp3.StatusCode, body3)
+	}
+
+	// No handler or worker goroutines may linger once the stream dies.
+	// Idle client connections are closed first: their read loops are
+	// bookkeeping, not leaks.
+	leakDeadline := time.Now().Add(5 * time.Second)
+	for time.Now().Before(leakDeadline) {
+		http.DefaultClient.CloseIdleConnections()
+		if runtime.NumGoroutine() <= before+2 {
+			return
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	t.Errorf("goroutines: %d before stream, %d after disconnect", before, runtime.NumGoroutine())
+}
+
+// TestSweepTimeoutReturnsGatewayTimeout: a timeout= too small for a cold
+// sweep turns into 504 with the JSON error envelope, and a malformed
+// timeout is a 400.
+func TestSweepTimeoutReturnsGatewayTimeout(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+sweepQuery+"&timeout=1ns")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d for 1ns deadline, want 504: %s", resp.StatusCode, body)
+	}
+	var envelope map[string]string
+	if err := json.Unmarshal(body, &envelope); err != nil || envelope["error"] == "" {
+		t.Fatalf("504 body is not the JSON error envelope: %s", body)
+	}
+
+	resp, body = get(t, ts.URL+sweepQuery+"&timeout=banana")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d for malformed timeout, want 400: %s", resp.StatusCode, body)
+	}
+	resp, body = get(t, ts.URL+sweepQuery+"&timeout=-3s")
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status %d for negative timeout, want 400: %s", resp.StatusCode, body)
+	}
+
+	// A generous deadline must not perturb the result: body identical to
+	// the no-timeout artifact.
+	resp, body = get(t, ts.URL+sweepQuery+"&timeout=5m")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d with generous timeout: %s", resp.StatusCode, body)
+	}
+	if want := cliSweepArtifact(t); string(body) != string(want) {
+		t.Fatal("timeout-bearing request's body diverged from the CLI artifact")
+	}
+}
+
+// TestFigureTimeout: the figure endpoints honour timeout= too.
+func TestFigureTimeout(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/v1/figures/3?timeout=1ns")
+	if resp.StatusCode != http.StatusGatewayTimeout {
+		t.Fatalf("status %d for 1ns figure deadline, want 504: %s", resp.StatusCode, body)
+	}
+}
+
+// TestStreamWarmRepeatServesFromCache: a second identical stream request
+// reports warm provenance — nothing re-simulated.
+func TestStreamWarmRepeatServesFromCache(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if resp, _ := get(t, ts.URL+streamURL); resp.StatusCode != http.StatusOK {
+		t.Fatalf("cold stream status %d", resp.StatusCode)
+	}
+	resp, err := http.Get(ts.URL + streamURL)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line sweepStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatal(err)
+		}
+		if line.Point != nil && line.Served == runner.ServedSim.String() {
+			t.Errorf("warm stream re-simulated point %+v", line.Point)
+		}
+		if line.Stats != nil && line.Stats.Simulated != 0 {
+			t.Errorf("warm stream stats %+v, want 0 simulated", line.Stats)
+		}
+	}
+}
+
+// TestStreamDeadlineEmitsTrailingErrorLine: unlike a disconnect, a blown
+// timeout= leaves the client connected — the stream's final line must
+// say the deadline cut it short.
+func TestStreamDeadlineEmitsTrailingErrorLine(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, err := http.Get(ts.URL + streamURL + "&timeout=1ns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var lastErr string
+	var statsLines int
+	sc := bufio.NewScanner(resp.Body)
+	for sc.Scan() {
+		var line sweepStreamLine
+		if err := json.Unmarshal(sc.Bytes(), &line); err != nil {
+			t.Fatalf("bad NDJSON line %q: %v", sc.Text(), err)
+		}
+		if line.Stats != nil {
+			statsLines++
+		}
+		lastErr = line.Error
+	}
+	if sc.Err() != nil {
+		t.Fatal(sc.Err())
+	}
+	if lastErr == "" || statsLines != 0 {
+		t.Fatalf("deadline-cut stream ended with error=%q stats-lines=%d, want a trailing error line and no stats", lastErr, statsLines)
+	}
+}

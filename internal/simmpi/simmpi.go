@@ -16,6 +16,7 @@
 package simmpi
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -111,8 +112,21 @@ func (w *World) Net() *netmodel.Model { return w.net }
 // results. It returns an error if the configuration is invalid or any
 // rank panics.
 func Run(cfg Config, body func(*Rank)) (*Report, error) {
+	return RunContext(context.Background(), cfg, body)
+}
+
+// RunContext is Run with cancellation: when ctx is cancelled the run
+// aborts through the same mechanism a rank failure uses — every rank
+// unwinds at its next communication operation — and RunContext returns
+// ctx's error. Cancellation only ever turns a run into an error; it
+// cannot change the virtual-time results of a run that completes, so
+// successful runs stay bit-reproducible.
+func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Report, error) {
 	if cfg.Procs < 1 {
 		return nil, fmt.Errorf("simmpi: nonpositive proc count %d", cfg.Procs)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	net, err := netmodel.NewWithMapping(cfg.Machine, cfg.Procs, cfg.Mapping)
 	if err != nil {
@@ -124,6 +138,15 @@ func Run(cfg Config, body func(*Rank)) (*Report, error) {
 		w.mail[i] = newMailbox()
 	}
 	world := newWorldComm(w)
+
+	// A cancelled ctx aborts the world exactly like a rank failure:
+	// blocked ranks wake, see the abort error, and unwind. Ranks in a
+	// pure-compute stretch notice at their next communication op, so
+	// cancellation is prompt without perturbing any completed result.
+	stop := context.AfterFunc(ctx, func() {
+		w.abort(ctx.Err())
+	})
+	defer stop()
 
 	ranks := make([]*Rank, cfg.Procs)
 	var wg sync.WaitGroup

@@ -1,6 +1,9 @@
 package simmpi
 
 import (
+	"context"
+	"errors"
+	"sync"
 	"testing"
 
 	"repro/internal/machine"
@@ -247,5 +250,64 @@ func TestTraceCollectorRecordsMatrix(t *testing.T) {
 	}
 	if m[0][2] != 0 {
 		t.Errorf("matrix[0][2] = %g, want 0", m[0][2])
+	}
+}
+
+// TestRunContextCancelAbortsMidRun: cancelling the context unwinds a
+// run that would otherwise keep communicating, through the same abort
+// path a rank failure uses, and returns the context's error.
+func TestRunContextCancelAbortsMidRun(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	started := make(chan struct{})
+	var once sync.Once
+	_, err := RunContext(ctx, testCfg(4), func(r *Rank) {
+		once.Do(func() { close(started) })
+		// Communicate forever; only the abort can end this.
+		for i := 0; ; i++ {
+			r.AllreduceScalar(r.World(), float64(i), OpSum)
+			if i == 4 {
+				<-started // provably past the first reductions
+				cancel()
+			}
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled run returned %v, want context.Canceled", err)
+	}
+}
+
+// TestRunContextPreCancelled: an already-dead context never starts the
+// world.
+func TestRunContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ran := false
+	_, err := RunContext(ctx, testCfg(2), func(*Rank) { ran = true })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want context.Canceled", err)
+	}
+	if ran {
+		t.Fatal("rank body ran under a pre-cancelled context")
+	}
+}
+
+// TestRunContextCompletedRunUnaffected: a context that stays live never
+// perturbs the result — the report matches a plain Run.
+func TestRunContextCompletedRunUnaffected(t *testing.T) {
+	body := func(r *Rank) {
+		r.AllreduceScalar(r.World(), 1, OpSum)
+	}
+	plain, err := Run(testCfg(4), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	withCtx, err := RunContext(ctx, testCfg(4), body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Wall != withCtx.Wall {
+		t.Fatalf("ctx-bearing run wall %g != plain run wall %g", withCtx.Wall, plain.Wall)
 	}
 }
