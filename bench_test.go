@@ -24,6 +24,7 @@ import (
 	"repro/internal/runner"
 	"repro/internal/simmpi"
 	"repro/internal/stream"
+	"repro/internal/whatif"
 )
 
 // BenchmarkTable1Stream regenerates the EP-STREAM triad column.
@@ -191,6 +192,46 @@ func BenchmarkAllFiguresCached(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiments.AllFigures(context.Background(), opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// whatifBenchPlan is the what-if hot path's fixture: one app × one
+// machine × a 3-knob perturbation grid (7 points with the shared
+// baseline).
+func whatifBenchPlan(b *testing.B) *whatif.Plan {
+	b.Helper()
+	plan, err := whatif.NewPlan("gtc", []machine.Spec{machine.BGL}, []int{64},
+		[]whatif.Perturbation{{Knob: whatif.Stream, Pct: 20}, {Knob: whatif.Latency, Pct: 50}, {Knob: whatif.Peak, Pct: 20}}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return plan
+}
+
+// BenchmarkWhatIfPlan measures plan expansion alone: selector
+// validation, perturbed-spec construction, and grid layout — the work
+// every whatif request pays before any simulation or cache lookup.
+func BenchmarkWhatIfPlan(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		whatifBenchPlan(b)
+	}
+}
+
+// BenchmarkWhatIfWarm measures a fully warm what-if scan: every grid
+// point served from the memory tier, so this bounds the per-study
+// overhead of key hashing, cache lookups, and the tornado/frontier
+// reduction.
+func BenchmarkWhatIfWarm(b *testing.B) {
+	plan := whatifBenchPlan(b)
+	pool := &runner.Pool{Workers: runtime.GOMAXPROCS(0), Mem: runner.NewMemCache(256)}
+	if _, err := plan.Execute(context.Background(), pool); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := plan.Execute(context.Background(), pool); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,13 +21,14 @@
 //	fig8      cross-application summary
 //	figures   figures 2–7 in sequence
 //	sweep     generic -app × -machine × -procs cross-product
+//	whatif    sensitivity study: perturb one machine knob at a time
 //	gtcopt    §3.1 GTC BG/L optimisation ladder
 //	amropt    §8.1 HyperCLaw X1E knapsack/regrid optimisations
 //	vnode     §3.1 BG/L virtual-node-mode efficiency
-//	machines  list the modelled platforms
+//	machines  list the modelled platforms (built-ins plus -spec customs)
 //	workloads list the registered workloads (Table 2 metadata)
 //	serve     long-running HTTP JSON service over the same engine
-//	all       everything above except sweep and serve
+//	all       everything above except sweep, whatif and serve
 //
 // Flags:
 //
@@ -39,10 +40,28 @@
 //	-csv DIR      also write each experiment's points as CSV into DIR
 //	-json DIR     also write each experiment's points as JSON into DIR
 //	-commtopo-p N concurrency for fig1 (default 64)
-//	-app LIST     sweep: comma-separated workloads (default: all registered)
-//	-machine LIST sweep: comma-separated platforms (default: the full testbed)
-//	-procs LIST   sweep: comma-separated concurrencies (default: 64..1024)
+//	-spec FILE    load a custom machine spec file (repeatable)
+//	-app LIST     sweep: comma-separated workloads (default: all registered); whatif: exactly one
+//	-machine LIST sweep/whatif: comma-separated platforms (default: the full testbed)
+//	-procs LIST   sweep/whatif: comma-separated concurrencies (default: 64..1024; whatif: 64)
+//	-perturb LIST whatif: comma-separated knob=±X% entries (default: every knob ±10%)
+//	-steps N      whatif: perturbation grid points per side of each half-range (default 1)
+//	-stream       whatif: emit NDJSON point lines as they complete
 //	-addr ADDR    serve: listen address (default :8080)
+//
+// Custom machines: each -spec FILE is a JSON machine definition — a full
+// spec in the Table 1 on-disk units, or an overlay like
+// {"base": "bassi", "name": "bassi-2x", "stream_gbs": 13.6} — validated
+// and merged over the built-in testbed for every selector in the run
+// (sweep, whatif, machines, serve). Cache keys hash the full spec
+// content, never the machine name, so renaming or editing a spec file
+// can never collide with stale cached points.
+//
+// whatif perturbs one Table 1 quantity of each selected machine at a
+// time (peak, stream, latency, bandwidth, hop, nodesize), reruns the
+// -app workload across the ±X% grid, and prints a tornado-style
+// sensitivity ranking per machine plus the Pareto frontier across the
+// candidates; -json/-csv write the full study artifact.
 //
 // Every application is a workload registered in internal/apps; the
 // figures, the summary, the topology captures, and the sweep all
@@ -72,6 +91,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -88,10 +108,21 @@ import (
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/experiments"
+	"repro/internal/machfile"
 	"repro/internal/machine"
 	"repro/internal/runner"
 	"repro/internal/server"
+	"repro/internal/whatif"
 )
+
+// multiFlag collects a repeatable string flag.
+type multiFlag []string
+
+func (m *multiFlag) String() string { return strings.Join(*m, ",") }
+func (m *multiFlag) Set(s string) error {
+	*m = append(*m, s)
+	return nil
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "cap concurrencies for a fast smoke run")
@@ -104,9 +135,14 @@ func main() {
 	csvDir := flag.String("csv", "", "write experiment CSVs into this directory")
 	jsonDir := flag.String("json", "", "write experiment JSON records into this directory")
 	commP := flag.Int("commtopo-p", 64, "concurrency for the fig1 topology capture")
-	appList := flag.String("app", "", "sweep: comma-separated workload names")
-	machineList := flag.String("machine", "", "sweep: comma-separated machine names")
-	procsList := flag.String("procs", "", "sweep: comma-separated processor counts")
+	var specFiles multiFlag
+	flag.Var(&specFiles, "spec", "custom machine spec file (repeatable)")
+	appList := flag.String("app", "", "sweep: comma-separated workload names (whatif requires exactly one)")
+	machineList := flag.String("machine", "", "sweep/whatif: comma-separated machine names")
+	procsList := flag.String("procs", "", "sweep/whatif: comma-separated processor counts")
+	perturb := flag.String("perturb", "", "whatif: comma-separated knob=±X% perturbations (default: every knob ±10%)")
+	steps := flag.Int("steps", 1, "whatif: perturbation grid points per side")
+	stream := flag.Bool("stream", false, "whatif: emit NDJSON point lines as they complete")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -123,11 +159,20 @@ func main() {
 		pool.Cache = cache
 	}
 	pool.Mem = runner.NewMemCache(*memCache) // 0 disables the tier (nil)
-	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Runner: pool}
+	reg := machfile.NewRegistry()
+	for _, path := range specFiles {
+		if _, err := reg.LoadFile(path); err != nil {
+			fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	opts := experiments.Options{Quick: *quick, MaxProcs: *maxProcs, Runner: pool, Machines: reg}
 	cli := cliConfig{
 		csvDir: *csvDir, jsonDir: *jsonDir, commP: *commP, addr: *addr,
 		apps:     experiments.SplitList(*appList),
 		machines: experiments.SplitList(*machineList),
+		perturb:  *perturb, steps: *steps, stream: *stream,
+		reg: reg,
 	}
 	// Ctrl-C (or a supervisor's SIGTERM) cancels the whole run: sweeps
 	// stop scheduling promptly and report what they completed; serve
@@ -154,14 +199,25 @@ func main() {
 	}
 }
 
-// cliConfig carries the artifact directories, the sweep selectors, and
-// the serve address.
+// cliConfig carries the artifact directories, the sweep/whatif
+// selectors, the serve address, and the session's machine registry.
 type cliConfig struct {
 	csvDir, jsonDir string
 	commP           int
 	addr            string
 	apps, machines  []string
 	procs           []int
+	perturb         string
+	steps           int
+	stream          bool
+	reg             *machfile.Registry
+}
+
+// selectedMachines resolves the -machine selector against the registry
+// with the shared selector rule (empty = full merged testbed, repeats
+// dropped).
+func (cli cliConfig) selectedMachines() ([]machine.Spec, error) {
+	return experiments.ResolveMachines(cli.reg, cli.machines)
 }
 
 func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfig) error {
@@ -247,6 +303,8 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 			return err
 		}
 		return figureSet(figs)
+	case "whatif":
+		return runWhatif(ctx, opts, cli, out)
 	case "fig8":
 		sum, err := experiments.Fig8Summary(ctx, opts)
 		if err != nil {
@@ -272,8 +330,13 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 	case "serve":
 		return serve(ctx, opts, cli.addr)
 	case "machines":
-		for _, m := range machine.All() {
-			fmt.Fprintln(out, m.String())
+		builtin := len(machine.All())
+		for i, m := range cli.reg.All() {
+			if i < builtin {
+				fmt.Fprintln(out, m.String())
+			} else {
+				fmt.Fprintln(out, m.String()+" [custom]")
+			}
 		}
 	case "workloads":
 		for _, w := range apps.Workloads() {
@@ -286,7 +349,76 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep serve gtcopt amropt vnode machines workloads all)", cmd)
+		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep whatif serve gtcopt amropt vnode machines workloads all)", cmd)
+	}
+	return nil
+}
+
+// runWhatif plans and runs the sensitivity study: tornado tables (plus
+// -csv/-json artifacts) by default, NDJSON point lines with -stream.
+func runWhatif(ctx context.Context, opts experiments.Options, cli cliConfig, out io.Writer) error {
+	if len(cli.apps) != 1 {
+		return fmt.Errorf("whatif needs exactly one -app workload (got %d)", len(cli.apps))
+	}
+	machines, err := cli.selectedMachines()
+	if err != nil {
+		return err
+	}
+	perturbs, err := whatif.ParsePerturbs(cli.perturb)
+	if err != nil {
+		return err
+	}
+	plan, err := whatif.NewPlan(cli.apps[0], machines, cli.procs, perturbs, cli.steps)
+	if err != nil {
+		return err
+	}
+	if cli.stream {
+		return streamWhatif(ctx, plan, opts.Runner, out)
+	}
+	study, err := plan.Execute(ctx, opts.Runner)
+	if err != nil {
+		return err
+	}
+	if err := study.Render(out); err != nil {
+		return err
+	}
+	return writeArtifacts(cli, "WhatIf "+study.App, study.CSV, study.JSON)
+}
+
+// whatifStreamLine is one NDJSON line of whatif -stream: a completed
+// point with its served-from provenance, or a point's own error.
+type whatifStreamLine struct {
+	Point  *whatif.Point `json:"point,omitempty"`
+	Served string        `json:"served,omitempty"`
+	Error  string        `json:"error,omitempty"`
+}
+
+// streamWhatif emits the study's points in completion order, one JSON
+// line each — the CLI twin of the service's NDJSON endpoints. Failed
+// points become error lines and the stream keeps going; the run exits
+// nonzero if any point failed.
+func streamWhatif(ctx context.Context, plan *whatif.Plan, pool *runner.Pool, out io.Writer) error {
+	enc := json.NewEncoder(out)
+	failed := 0
+	for ev := range plan.Stream(ctx, pool) {
+		line := whatifStreamLine{}
+		if ev.Err != nil {
+			failed++
+			line.Error = ev.Err.Error()
+		} else {
+			pt := ev.Point
+			line.Point = &pt
+			line.Served = ev.Served.String()
+		}
+		if err := enc.Encode(line); err != nil {
+			return err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("whatif: %d point(s) failed", failed)
 	}
 	return nil
 }

@@ -1,0 +1,75 @@
+// What-if: the machine lab in three acts. Define a hypothetical
+// platform as data (a machfile overlay on a built-in), sweep it
+// alongside the Table 1 testbed, then ask which hardware knob actually
+// matters for a workload — the tornado sensitivity ranking and the
+// Pareto frontier across candidates.
+//
+// Run with:
+//
+//	go run ./examples/whatif
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+	"os"
+
+	_ "repro/internal/apps/all" // populate the workload registry
+	"repro/internal/experiments"
+	"repro/internal/machfile"
+	"repro/internal/runner"
+	"repro/internal/whatif"
+)
+
+func main() {
+	// Act 1: a custom platform is a JSON overlay, not code. Double
+	// Bassi's memory bandwidth and see what that buys.
+	reg := machfile.NewRegistry()
+	spec, err := reg.Load([]byte(`{
+		"base": "bassi", "name": "bassi-2x", "stream_gbs": 13.6
+	}`))
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("registered %s (%.1f GB/s/proc vs Bassi's 6.8)\n\n", spec.Name, spec.StreamGBs)
+
+	// Act 2: the custom platform sweeps like a built-in — same
+	// selectors, same deterministic runner, content-keyed caching (two
+	// sessions' different "bassi-2x" specs could never share cached
+	// points, because keys hash the full spec).
+	pool := &runner.Pool{Workers: 8}
+	opts := experiments.Options{Runner: pool, Machines: reg}
+	figs, err := experiments.Sweep(context.Background(), opts,
+		[]string{"elbm3d"}, []string{"bassi", "bassi-2x"}, []int{64})
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, fig := range figs {
+		if err := fig.Render(os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	// Act 3: sensitivity. Perturb one knob at a time on the real Bassi
+	// and rank the knobs by how much of the run they move. At P=64 the
+	// collision kernel dominates, so peak out-swings every network knob
+	// by an order of magnitude — which is the answer act 2 hinted at:
+	// doubling bandwidth barely moved the sweep.
+	perturbs, err := whatif.ParsePerturbs("stream=±20%,latency=±50%,bandwidth=±20%,peak=±20%")
+	if err != nil {
+		log.Fatal(err)
+	}
+	plan, err := whatif.NewPlan("elbm3d", reg.All()[:1], []int{64}, perturbs, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	study, err := plan.Execute(context.Background(), pool)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := study.Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("(%s simulated across the whole walkthrough)\n", pool.Stats())
+}

@@ -24,6 +24,17 @@ import (
 	"repro/internal/runner"
 )
 
+// MachineFinder resolves machine selectors into specs — the seam that
+// lets sweeps see user-defined platforms. The machfile registry
+// implements it; a nil finder means the built-in Table 1 testbed.
+type MachineFinder interface {
+	// Find resolves one forgiving machine name.
+	Find(name string) (machine.Spec, error)
+	// All returns the full resolvable testbed — what an empty machine
+	// selector sweeps.
+	All() []machine.Spec
+}
+
 // Options control experiment scale and scheduling. The full paper
 // concurrencies take a while under simulation on one host; Quick caps
 // the processor counts, and Runner fans the independent points of each
@@ -39,6 +50,12 @@ type Options struct {
 	// identical either way, because every experiment assembles its
 	// output from results in deterministic job order.
 	Runner *runner.Pool
+	// Machines, if non-nil, resolves sweep machine selectors —
+	// typically a machfile.Registry carrying the session's custom
+	// platforms merged over the built-ins. Nil resolves built-ins only.
+	// The paper figures always run on their published built-in specs
+	// regardless.
+	Machines MachineFinder
 }
 
 // pool returns the scheduling pool, defaulting to a serial one.
@@ -47,6 +64,21 @@ func (o Options) pool() *runner.Pool {
 		return o.Runner
 	}
 	return &runner.Pool{}
+}
+
+// builtinMachines is the nil-Machines fallback: machine.Find over the
+// Table 1 testbed.
+type builtinMachines struct{}
+
+func (builtinMachines) Find(name string) (machine.Spec, error) { return machine.Find(name) }
+func (builtinMachines) All() []machine.Spec                    { return machine.All() }
+
+// machineFinder returns the machine resolver, defaulting to built-ins.
+func (o Options) machineFinder() MachineFinder {
+	if o.Machines != nil {
+		return o.Machines
+	}
+	return builtinMachines{}
 }
 
 func (o Options) capProcs(p int) bool {

@@ -60,7 +60,7 @@ func PlanSweep(opts Options, appNames, machineNames []string, procs []int) (*Swe
 	if err != nil {
 		return nil, err
 	}
-	machines, err := sweepMachines(machineNames)
+	machines, err := sweepMachines(opts.machineFinder(), machineNames)
 	if err != nil {
 		return nil, err
 	}
@@ -191,18 +191,32 @@ func sweepWorkloads(names []string) ([]apps.Workload, error) {
 	return out, nil
 }
 
-// sweepMachines resolves the -machine selector, defaulting to the Table 1
-// testbed. Repeats are dropped, keeping first-mention order.
-func sweepMachines(names []string) ([]machine.Spec, error) {
+// sweepMachines resolves the -machine selector through the options'
+// finder, wrapping selector errors with the sweep prefix.
+func sweepMachines(finder MachineFinder, names []string) ([]machine.Spec, error) {
+	out, err := ResolveMachines(finder, names)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	return out, nil
+}
+
+// ResolveMachines resolves a machine selector through the finder: an
+// empty selector means the finder's full testbed (the Table 1 built-ins
+// plus any registered custom platforms); otherwise each name resolves
+// with the forgiving lookup and repeats are dropped, keeping
+// first-mention order. The one selector rule shared by sweep, whatif,
+// the CLI, and the HTTP service.
+func ResolveMachines(finder MachineFinder, names []string) ([]machine.Spec, error) {
 	if len(names) == 0 {
-		return machine.All(), nil
+		return finder.All(), nil
 	}
 	seen := map[string]bool{}
 	var out []machine.Spec
 	for _, name := range names {
-		spec, err := machine.Find(name)
+		spec, err := finder.Find(name)
 		if err != nil {
-			return nil, fmt.Errorf("sweep: %w", err)
+			return nil, err
 		}
 		if !seen[spec.Name] {
 			seen[spec.Name] = true

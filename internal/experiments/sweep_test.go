@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"repro/internal/apps"
+	"repro/internal/machfile"
+	"repro/internal/machine"
 	"repro/internal/runner"
 )
 
@@ -88,6 +90,63 @@ func TestSweepDefaultsAndErrors(t *testing.T) {
 	}
 	if len(figs) != len(apps.Workloads()) {
 		t.Fatalf("%d sweep figures, want %d", len(figs), len(apps.Workloads()))
+	}
+}
+
+// TestSweepCustomMachine: a machfile-registered platform resolves
+// through the options' finder like a built-in, sweeps end to end, and
+// an empty machine selector includes it after the Table 1 testbed.
+func TestSweepCustomMachine(t *testing.T) {
+	reg := machfile.NewRegistry()
+	if _, err := reg.Load([]byte(`{"base": "bgl", "name": "bgl-fat", "stream_gbs": 1.8}`)); err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{Quick: true, Runner: &runner.Pool{Workers: 4}, Machines: reg}
+	figs, err := Sweep(context.Background(), opts, []string{"gtc"}, []string{"bgl-fat"}, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(figs) != 1 || len(figs[0].Results) != 1 {
+		t.Fatalf("custom-machine sweep produced %d figures", len(figs))
+	}
+	if got := figs[0].Results[0].Machine; got != "bgl-fat" {
+		t.Fatalf("point ran on %q, want bgl-fat", got)
+	}
+	// Empty selector: built-ins first, the custom platform appended.
+	plan, err := PlanSweep(opts, []string{"gtc"}, nil, []int{64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	series := plan.specs[0].series
+	if len(series) != len(machine.All())+1 {
+		t.Fatalf("default selector swept %d machines, want %d", len(series), len(machine.All())+1)
+	}
+	if series[len(series)-1].spec.Name != "bgl-fat" {
+		t.Fatalf("custom machine not appended: last series is %q", series[len(series)-1].spec.Name)
+	}
+}
+
+// TestResolveMachinesSharedRule pins the one selector rule every
+// surface (sweep, whatif, CLI, HTTP) goes through: forgiving lookup,
+// repeats dropped in first-mention order, empty selector = the
+// finder's full testbed.
+func TestResolveMachinesSharedRule(t *testing.T) {
+	got, err := ResolveMachines(builtinMachines{}, []string{"bgl", "BG/L", "bassi"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Name != "BG/L" || got[1].Name != "Bassi" {
+		t.Fatalf("resolved %+v, want deduped [BG/L Bassi]", got)
+	}
+	all, err := ResolveMachines(builtinMachines{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(machine.All()) {
+		t.Fatalf("empty selector resolved %d machines, want %d", len(all), len(machine.All()))
+	}
+	if _, err := ResolveMachines(builtinMachines{}, []string{"nosuch"}); err == nil {
+		t.Error("unknown machine resolved")
 	}
 }
 

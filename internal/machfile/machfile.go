@@ -1,0 +1,220 @@
+// Package machfile turns the closed Table 1 testbed into an open one:
+// user-defined platform models loaded from JSON spec files, validated and
+// canonicalised into machine.Spec values, and merged with the built-ins
+// through a session-scoped Registry so sweeps, what-if studies, the CLI,
+// and the HTTP service all resolve custom platforms exactly like the
+// paper's six.
+//
+// A spec file is either a full definition in machine's on-disk form (the
+// Table 1 units: Gflop/s, GB/s, microseconds, nanoseconds) or an overlay
+// on an existing platform, discriminated by a "base" key:
+//
+//	{"base": "bassi", "name": "bassi-2x", "stream_gbs": 13.6}
+//
+// Overlay fields replace the base's values (explicit zeros count as
+// present); everything else is inherited. The base is resolved with the
+// forgiving machine.Find rule against the registry the file is loaded
+// into, so an overlay may stack on an earlier custom platform as well as
+// on a built-in. Every loaded spec passes machine.Spec.Validate — the
+// same contract the built-ins are tested against — before it becomes
+// visible.
+//
+// Custom names may not collide with a built-in or an earlier custom
+// under the folded-name rule ("Bassi" and "bassi" are the same name):
+// hypothetical variants of a built-in belong in internal/whatif, not in
+// a shadowed registry entry. Cache safety does not depend on this,
+// though — runner content keys hash the full spec value, never the
+// machine name, so two sessions defining different platforms that share
+// a name can never serve each other's points from a shared disk cache.
+package machfile
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// ErrDuplicate marks a Register rejection caused by a name collision
+// (with a built-in or an earlier custom), so callers — the HTTP
+// service's 409 — can tell it from a validation failure.
+var ErrDuplicate = errors.New("machine name already taken")
+
+// builtins is the name-resolvable built-in set: the Table 1 testbed plus
+// the X1 variant, mirroring machine.Find.
+func builtins() []machine.Spec {
+	return append(machine.All(), machine.PhoenixX1)
+}
+
+// Registry is a session-scoped set of custom platforms merged over the
+// built-ins. The zero value and the nil pointer are both valid,
+// built-ins-only registries; Register requires a registry built with
+// NewRegistry. All methods are safe for concurrent use — the HTTP
+// service registers platforms from live requests while sweeps resolve
+// against the same registry.
+type Registry struct {
+	mu     sync.RWMutex
+	custom []machine.Spec
+	index  map[string]machine.Spec // folded name → spec
+}
+
+// NewRegistry returns an empty registry: built-ins only until Register
+// or Load adds custom platforms.
+func NewRegistry() *Registry {
+	return &Registry{index: map[string]machine.Spec{}}
+}
+
+// Register validates s and adds it to the registry. A name that folds to
+// a built-in's (or an already-registered custom's) is rejected: custom
+// platforms extend the testbed, they never shadow it.
+func (r *Registry) Register(s machine.Spec) error {
+	if err := s.Validate(); err != nil {
+		return fmt.Errorf("machfile: %w", err)
+	}
+	key := machine.FoldName(s.Name)
+	for _, b := range builtins() {
+		if machine.FoldName(b.Name) == key {
+			return fmt.Errorf("machfile: %w: %q collides with built-in machine %q (perturb built-ins with whatif instead of shadowing them)", ErrDuplicate, s.Name, b.Name)
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.index == nil {
+		r.index = map[string]machine.Spec{}
+	}
+	if prev, dup := r.index[key]; dup {
+		return fmt.Errorf("machfile: %w: %q already registered as %q", ErrDuplicate, s.Name, prev.Name)
+	}
+	r.index[key] = s
+	r.custom = append(r.custom, s)
+	return nil
+}
+
+// Customs returns the registered custom platforms sorted by name.
+func (r *Registry) Customs() []machine.Spec {
+	if r == nil {
+		return nil
+	}
+	r.mu.RLock()
+	out := append([]machine.Spec(nil), r.custom...)
+	r.mu.RUnlock()
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// All returns the merged testbed: the built-in Table 1 specs in the
+// paper's order, then the custom platforms sorted by name — a stable
+// listing whatever order a session registered them in. Built-ins always
+// come first, so merging can never reorder or reshape the built-in
+// prefix of /v1/machines.
+func (r *Registry) All() []machine.Spec {
+	return append(machine.All(), r.Customs()...)
+}
+
+// Find resolves a platform by forgiving name — custom platforms first,
+// then the built-ins via machine.Find — so every selector that accepts
+// "bgl" accepts a registered custom the same way.
+func (r *Registry) Find(name string) (machine.Spec, error) {
+	if r != nil {
+		r.mu.RLock()
+		s, ok := r.index[machine.FoldName(name)]
+		r.mu.RUnlock()
+		if ok {
+			return s, nil
+		}
+	}
+	s, err := machine.Find(name)
+	if customs := r.Customs(); err != nil && len(customs) > 0 {
+		names := make([]string, len(customs))
+		for i, c := range customs {
+			names[i] = c.Name
+		}
+		return machine.Spec{}, fmt.Errorf("%w (custom: %s)", err, strings.Join(names, ", "))
+	}
+	return s, err
+}
+
+// Parse decodes one spec file's bytes against the registry: a full
+// definition in the on-disk form, or a "base"-keyed overlay resolved
+// through r.Find (built-ins and earlier customs alike). The result is
+// validated but NOT registered — Load is Parse + Register.
+func (r *Registry) Parse(data []byte) (machine.Spec, error) {
+	var hdr struct {
+		Base string `json:"base"`
+	}
+	if err := json.Unmarshal(data, &hdr); err != nil {
+		return machine.Spec{}, fmt.Errorf("machfile: decoding spec file: %w", err)
+	}
+	if hdr.Base == "" {
+		return machine.FromJSON(bytes.NewReader(data))
+	}
+	base, err := r.Find(hdr.Base)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("machfile: overlay base: %w", err)
+	}
+	// Strip the discriminator; the remainder is a plain partial spec in
+	// the on-disk form.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return machine.Spec{}, fmt.Errorf("machfile: decoding spec file: %w", err)
+	}
+	delete(raw, "base")
+	rest, err := json.Marshal(raw)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("machfile: re-encoding overlay: %w", err)
+	}
+	merged, err := machine.OverlayJSON(base, rest)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("machfile: overlay on %q: %w", base.Name, err)
+	}
+	return merged, nil
+}
+
+// Load parses one spec file's bytes and registers the result, returning
+// the canonical spec that became visible.
+func (r *Registry) Load(data []byte) (machine.Spec, error) {
+	s, err := r.Parse(data)
+	if err != nil {
+		return machine.Spec{}, err
+	}
+	if err := r.Register(s); err != nil {
+		return machine.Spec{}, err
+	}
+	return s, nil
+}
+
+// LoadFile loads and registers one spec file by path — the CLI's -spec
+// flag. Files load in flag order, so a later overlay may build on an
+// earlier custom platform.
+func (r *Registry) LoadFile(path string) (machine.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("machfile: %w", err)
+	}
+	s, err := r.Load(data)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}
+
+// ParseFile decodes a spec file by path against the built-ins without
+// registering it anywhere — the one-shot form for tools that only need
+// the spec value.
+func ParseFile(path string) (machine.Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("machfile: %w", err)
+	}
+	s, err := NewRegistry().Parse(data)
+	if err != nil {
+		return machine.Spec{}, fmt.Errorf("%s: %w", path, err)
+	}
+	return s, nil
+}

@@ -1,0 +1,191 @@
+package machfile
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+	"repro/internal/runner"
+)
+
+// fullSpec is a complete definition in the on-disk form.
+const fullSpec = `{
+	"name": "MiniFat", "arch": "test", "network": "custom",
+	"topology": "fattree",
+	"total_procs": 256, "procs_per_node": 4,
+	"clock_ghz": 2.0, "peak_gflops": 8, "stream_gbs": 4,
+	"mpi_latency_us": 3, "mpi_bandwidth_gbs": 1,
+	"mem_latency_ns": 80, "mem_mlp": 4, "issue_eff": 1,
+	"math_libm_ns": 20, "math_scalar_ns": 9, "math_vector_ns": 2
+}`
+
+func TestLoadFullSpec(t *testing.T) {
+	r := NewRegistry()
+	s, err := r.Load([]byte(fullSpec))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "MiniFat" || s.PeakGFs != 8 || s.Topology != machine.FatTree {
+		t.Errorf("loaded spec mistranslated: %+v", s)
+	}
+	if got, err := r.Find("minifat"); err != nil || got.Name != "MiniFat" {
+		t.Errorf("Find(minifat) = %v, %v", got, err)
+	}
+}
+
+func TestLoadOverlay(t *testing.T) {
+	r := NewRegistry()
+	s, err := r.Load([]byte(`{"base": "bassi", "name": "bassi-2x", "stream_gbs": 13.6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name != "bassi-2x" {
+		t.Errorf("overlay name = %q", s.Name)
+	}
+	if s.StreamGBs != 13.6 {
+		t.Errorf("overlaid field StreamGBs = %g, want 13.6", s.StreamGBs)
+	}
+	// Everything not overlaid is inherited from the built-in.
+	if s.PeakGFs != machine.Bassi.PeakGFs || s.TotalProcs != machine.Bassi.TotalProcs {
+		t.Errorf("inherited fields lost: %+v", s)
+	}
+	if s.Topology != machine.Bassi.Topology || s.MemMLP != machine.Bassi.MemMLP {
+		t.Errorf("calibrated fields lost: %+v", s)
+	}
+}
+
+func TestOverlayExplicitZero(t *testing.T) {
+	// An explicit zero is an override, not an absence: zeroing Jaguar's
+	// per-hop latency must stick (and still validate).
+	r := NewRegistry()
+	s, err := r.Load([]byte(`{"base": "jaguar", "name": "jaguar-nohop", "per_hop_ns": 0}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PerHopLat != 0 {
+		t.Errorf("explicit zero ignored: PerHopLat = %g", s.PerHopLat)
+	}
+}
+
+func TestOverlayOnEarlierCustom(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Load([]byte(fullSpec)); err != nil {
+		t.Fatal(err)
+	}
+	s, err := r.Load([]byte(`{"base": "minifat", "name": "MiniFat-slow", "peak_gflops": 4}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.PeakGFs != 4 || s.StreamGBs != 4 {
+		t.Errorf("custom-base overlay wrong: %+v", s)
+	}
+}
+
+func TestLoadRejects(t *testing.T) {
+	cases := map[string]string{
+		"unknown base":    `{"base": "earthsimulator", "name": "x"}`,
+		"unknown field":   `{"base": "bassi", "name": "x", "frequency": 3}`,
+		"invalid overlay": `{"base": "bassi", "name": "x", "issue_eff": 2}`,
+		"builtin shadow":  `{"base": "bassi", "stream_gbs": 1}`, // inherits the name Bassi
+		"bad json":        `peak: 7.6`,
+		"invalid full":    `{"name": "x"}`,
+	}
+	for name, src := range cases {
+		r := NewRegistry()
+		if _, err := r.Load([]byte(src)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestRegisterRejectsDuplicates(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Load([]byte(fullSpec)); err != nil {
+		t.Fatal(err)
+	}
+	// Same folded name, different capitalisation: still a duplicate.
+	if _, err := r.Load([]byte(`{"base": "bassi", "name": "MINIFAT"}`)); err == nil {
+		t.Error("duplicate custom name accepted")
+	}
+	if err := r.Register(machine.Spec{}); err == nil {
+		t.Error("zero spec registered")
+	}
+}
+
+func TestRegistryMergeOrder(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Load([]byte(`{"base": "bgl", "name": "zz-late"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Load([]byte(`{"base": "bgl", "name": "aa-early"}`)); err != nil {
+		t.Fatal(err)
+	}
+	all := r.All()
+	builtin := machine.All()
+	if len(all) != len(builtin)+2 {
+		t.Fatalf("merged %d specs, want %d", len(all), len(builtin)+2)
+	}
+	// Built-ins keep the Table 1 prefix...
+	for i, b := range builtin {
+		if all[i].Name != b.Name {
+			t.Errorf("position %d: %q, want built-in %q", i, all[i].Name, b.Name)
+		}
+	}
+	// ...and customs follow sorted by name, not registration order.
+	if all[len(builtin)].Name != "aa-early" || all[len(builtin)+1].Name != "zz-late" {
+		t.Errorf("customs not sorted: %q, %q", all[len(builtin)].Name, all[len(builtin)+1].Name)
+	}
+}
+
+func TestNilRegistryIsBuiltinsOnly(t *testing.T) {
+	var r *Registry
+	if got := r.All(); len(got) != len(machine.All()) {
+		t.Errorf("nil registry lists %d machines", len(got))
+	}
+	if s, err := r.Find("bgl"); err != nil || s.Name != machine.BGL.Name {
+		t.Errorf("nil registry Find(bgl) = %v, %v", s, err)
+	}
+	if _, err := r.Find("nosuch"); err == nil {
+		t.Error("nil registry resolved an unknown machine")
+	}
+}
+
+// TestSameNameDistinctCacheKeys pins the cache-safety contract the
+// ISSUE demands: two different custom specs that share a name must
+// occupy distinct runner cache keys, because content keys hash the full
+// spec value — a shared disk cache can never serve one session's
+// "mymachine" points to a session whose "mymachine" means different
+// hardware.
+func TestSameNameDistinctCacheKeys(t *testing.T) {
+	a, err := NewRegistry().Parse([]byte(`{"base": "bassi", "name": "mymachine"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRegistry().Parse([]byte(`{"base": "bassi", "name": "mymachine", "stream_gbs": 13.6}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Name != b.Name {
+		t.Fatalf("specs should share a name: %q vs %q", a.Name, b.Name)
+	}
+	ka := runner.Key("Sweep GTC", "GTC", a, 64)
+	kb := runner.Key("Sweep GTC", "GTC", b, 64)
+	if ka == kb {
+		t.Fatal("distinct specs sharing a name hashed to the same cache key")
+	}
+	// And the same spec content keys identically, or caching would die.
+	if ka != runner.Key("Sweep GTC", "GTC", a, 64) {
+		t.Fatal("identical spec content hashed to different keys")
+	}
+}
+
+func TestFindErrorNamesCustoms(t *testing.T) {
+	r := NewRegistry()
+	if _, err := r.Load([]byte(fullSpec)); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Find("nosuch")
+	if err == nil || !strings.Contains(err.Error(), "MiniFat") {
+		t.Errorf("error should list custom machines: %v", err)
+	}
+}

@@ -1,6 +1,7 @@
 package machine
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -47,6 +48,27 @@ func FromJSON(r io.Reader) (Spec, error) {
 	if err := dec.Decode(&j); err != nil {
 		return Spec{}, fmt.Errorf("machine: decoding spec: %w", err)
 	}
+	return j.toSpec()
+}
+
+// OverlayJSON decodes a partial machine definition in the on-disk form
+// over base: fields present in data (including explicit zeros) replace
+// the base's values, absent fields keep them. The merged spec is
+// validated before being returned — the overlay path of machfile's
+// `base: <builtin>` spec files.
+func OverlayJSON(base Spec, data []byte) (Spec, error) {
+	j := toSpecJSON(base)
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&j); err != nil {
+		return Spec{}, fmt.Errorf("machine: decoding overlay: %w", err)
+	}
+	return j.toSpec()
+}
+
+// toSpec converts the on-disk form back to internal units and validates
+// it — the one conversion shared by the full-spec and overlay paths.
+func (j specJSON) toSpec() (Spec, error) {
 	s := Spec{
 		Name: j.Name, Site: j.Site, Arch: j.Arch, Network: j.Network,
 		Topology:     TopoKind(j.Topology),

@@ -5,11 +5,24 @@ import (
 	"testing"
 )
 
+// TestAllSpecsValidate is the shared-contract half of spec validation:
+// every built-in the registry can serve — the Table 1 testbed, the X1
+// variant, and the BG/L virtual-node overlay — passes the same
+// Spec.Validate that gates machfile-loaded custom specs and whatif
+// perturbations, and the zero Spec fails it. If Validate grows a rule a
+// built-in breaks, this fails before any loader does.
 func TestAllSpecsValidate(t *testing.T) {
-	for _, s := range append(All(), PhoenixX1) {
+	specs := append(All(), PhoenixX1, BGL.WithMode(VirtualNode), BGW.WithMode(VirtualNode))
+	if len(All()) != 6 {
+		t.Fatalf("All() returns %d specs, want the paper's six", len(All()))
+	}
+	for _, s := range specs {
 		if err := s.Validate(); err != nil {
 			t.Errorf("%s: %v", s.Name, err)
 		}
+	}
+	if err := (Spec{}).Validate(); err == nil {
+		t.Error("zero Spec validated; machfile would accept an empty spec file")
 	}
 }
 

@@ -19,16 +19,25 @@ import (
 // v2: the workload registry unified the Figure 8 point configurations
 // with the scaling figures (step counts, GTC's BG/L mapping), so points
 // simulated by v1 builds are stale.
-const cacheVersion = "petasim-cache-v2"
+// v3: parts render with %#v instead of %+v. %+v prefers a part's String
+// method, so a machine.Spec hashed as its short display line — name,
+// arch, network, procs, peak — and two specs differing only in, say,
+// STREAM bandwidth collided. With user-defined machines (and whatif
+// perturbations) that is no longer a theoretical hole; %#v renders the
+// full field content regardless of methods.
+const cacheVersion = "petasim-cache-v3"
 
 // Key builds the content key for one schedulable point from the
 // experiment identifier and the values that determine the point's
 // outcome: the machine spec, the concurrency, and any config knobs that
 // vary between points of the same experiment. Components are rendered
-// with %+v, so plain structs, slices and scalars hash deterministically.
-// Values containing pointers (or channels or funcs) would key on a
-// memory address and silently poison the cache, so Key walks each part
-// with reflect and panics on the first pointer-bearing component.
+// with %#v — never a part's own String method, which could (and, for
+// machine.Spec, did) hide distinguishing fields from the hash — so
+// plain structs, slices and scalars hash deterministically on their
+// full content. Values containing pointers (or channels or funcs) would
+// key on a memory address and silently poison the cache, so Key walks
+// each part with reflect and panics on the first pointer-bearing
+// component.
 func Key(experiment string, parts ...any) string {
 	h := sha256.New()
 	// Length-prefix every component so differently-split lists can never
@@ -54,7 +63,7 @@ func Key(experiment string, parts ...any) string {
 				assertHashable(fmt.Sprintf("part %d", i), v, 0)
 			}
 		}
-		writePart(fmt.Sprintf("%+v", p))
+		writePart(fmt.Sprintf("%#v", p))
 	}
 	return hex.EncodeToString(h.Sum(nil))
 }

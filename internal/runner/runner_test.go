@@ -166,6 +166,28 @@ func TestStatsAccumulateAcrossRuns(t *testing.T) {
 	}
 }
 
+// stringerSpec mimics machine.Spec's shape: a value type with a String
+// method that renders only some of its fields.
+type stringerSpec struct {
+	Name   string
+	Hidden float64
+}
+
+func (s stringerSpec) String() string { return s.Name }
+
+// TestKeySeesThroughStringer pins the v3 fix: a part's String method
+// must not hide fields from the hash. Before v3, keys rendered parts
+// with %+v, which prefers the Stringer — so two machine specs sharing a
+// display line but differing in, say, STREAM bandwidth collided in the
+// cache.
+func TestKeySeesThroughStringer(t *testing.T) {
+	a := Key("sweep", stringerSpec{Name: "mymachine", Hidden: 6.8}, 64)
+	b := Key("sweep", stringerSpec{Name: "mymachine", Hidden: 13.6}, 64)
+	if a == b {
+		t.Fatal("specs differing only in a non-String field hashed identically")
+	}
+}
+
 func TestKeyDiscriminatesAndIsStable(t *testing.T) {
 	type spec struct {
 		Name  string

@@ -1,0 +1,219 @@
+package server
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden files under testdata/")
+
+// post sends a JSON body and returns the response.
+func post(t *testing.T, url, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(url, "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var buf bytes.Buffer
+	if _, err := buf.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, buf.Bytes()
+}
+
+// TestMachinesGolden pins the GET /v1/machines body byte-for-byte
+// against a committed artifact, so custom-machine merging (or any other
+// refactor) can never silently reorder or reshape the built-in listing.
+// Regenerate with
+//
+//	go test ./internal/server -run TestMachinesGolden -update
+func TestMachinesGolden(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/v1/machines")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	path := filepath.Join("testdata", "machines.golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, body, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(body, want) {
+		t.Errorf("/v1/machines body diverged from golden:\n--- got ---\n%s--- want ---\n%s", body, want)
+	}
+}
+
+const customSpec = `{"base": "bgl", "name": "bgl-fat", "stream_gbs": 1.8}`
+
+func TestMachinesPostRegistersEphemerally(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := post(t, ts.URL+"/v1/machines", customSpec)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	// The response is the canonical (validated, overlay-resolved) spec.
+	created, err := machine.FromJSON(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("created body is not a canonical spec: %v\n%s", err, body)
+	}
+	if created.Name != "bgl-fat" || created.StreamGBs != 1.8 || created.TotalProcs != machine.BGL.TotalProcs {
+		t.Fatalf("canonical spec wrong: %+v", created)
+	}
+	// The listing now carries the built-ins unchanged, custom appended.
+	_, listing := get(t, ts.URL+"/v1/machines")
+	var specs []map[string]any
+	if err := json.Unmarshal(listing, &specs); err != nil {
+		t.Fatal(err)
+	}
+	if len(specs) != len(machine.All())+1 {
+		t.Fatalf("%d machines listed, want %d", len(specs), len(machine.All())+1)
+	}
+	for i, b := range machine.All() {
+		if specs[i]["name"] != b.Name {
+			t.Errorf("position %d: %v, want built-in %q", i, specs[i]["name"], b.Name)
+		}
+	}
+	if specs[len(specs)-1]["name"] != "bgl-fat" {
+		t.Errorf("custom machine not last: %v", specs[len(specs)-1]["name"])
+	}
+
+	// Duplicate name: 409. Invalid spec: 400.
+	if resp, _ := post(t, ts.URL+"/v1/machines", customSpec); resp.StatusCode != http.StatusConflict {
+		t.Errorf("duplicate registration: status %d, want 409", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/machines", `{"base": "bgl", "name": "x", "issue_eff": 2}`); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("invalid spec: status %d, want 400", resp.StatusCode)
+	}
+	if resp, _ := post(t, ts.URL+"/v1/machines", `{"base": "bassi"}`); resp.StatusCode != http.StatusConflict {
+		t.Errorf("builtin shadow: status %d, want 409", resp.StatusCode)
+	}
+}
+
+// TestCustomMachineSweepAllSurfaces runs one custom-machine point
+// through the batch and streaming sweep endpoints and checks the point
+// records agree — the server half of the ISSUE's three-surface
+// acceptance (the CLI surface is byte-compared in CI).
+func TestCustomMachineSweepAllSurfaces(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if resp, body := post(t, ts.URL+"/v1/machines", customSpec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	sel := "app=gtc&machine=bgl-fat&procs=64"
+	resp, batch := get(t, ts.URL+"/v1/sweep?"+sel)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("sweep: status %d: %s", resp.StatusCode, batch)
+	}
+	var results []map[string]any
+	if err := json.Unmarshal(batch, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 1 || results[0]["machine"] != "bgl-fat" {
+		t.Fatalf("batch sweep results: %s", batch)
+	}
+
+	resp, stream := get(t, ts.URL+"/v1/sweep/stream?"+sel)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("stream: status %d: %s", resp.StatusCode, stream)
+	}
+	lines := strings.Split(strings.TrimSpace(string(stream)), "\n")
+	if len(lines) != 2 { // one point + trailing stats
+		t.Fatalf("stream lines: %v", lines)
+	}
+	var line struct {
+		Point map[string]any `json:"point"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &line); err != nil {
+		t.Fatal(err)
+	}
+	// The streamed point record must agree field-for-field with the
+	// batch record: same simulation, same cache key, same JSON shape.
+	pointJSON, _ := json.Marshal(line.Point)
+	batchJSON, _ := json.Marshal(results[0])
+	if !bytes.Equal(pointJSON, batchJSON) {
+		t.Errorf("stream point %s != batch point %s", pointJSON, batchJSON)
+	}
+}
+
+func TestWhatifEndpoint(t *testing.T) {
+	ts, _ := newTestServer(t)
+	resp, body := get(t, ts.URL+"/v1/whatif?app=gtc&machine=bgl&procs=64&perturb=latency=50&steps=1")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var study struct {
+		App      string `json:"app"`
+		Points   []any  `json:"points"`
+		Tornados []struct {
+			Machine string `json:"machine"`
+			Bars    []struct {
+				Knob  string  `json:"knob"`
+				Swing float64 `json:"swing"`
+			} `json:"bars"`
+		} `json:"tornados"`
+		Frontier []any `json:"frontier"`
+	}
+	if err := json.Unmarshal(body, &study); err != nil {
+		t.Fatalf("invalid study JSON: %v\n%s", err, body)
+	}
+	if study.App != "GTC" || len(study.Points) != 3 || len(study.Tornados) != 1 {
+		t.Fatalf("study shape wrong: %s", body)
+	}
+	if study.Tornados[0].Machine != "BG/L" || len(study.Tornados[0].Bars) != 1 {
+		t.Fatalf("tornado wrong: %s", body)
+	}
+	if len(study.Frontier) != 1 {
+		t.Fatalf("frontier of one machine should keep its single baseline: %s", body)
+	}
+	if h := resp.Header.Get("X-Petasim-Points"); h != "3" {
+		t.Errorf("X-Petasim-Points = %q, want 3", h)
+	}
+
+	// Selector errors are 400s naming the problem.
+	for _, bad := range []string{
+		"",                        // no app
+		"app=gtc,elbm3d",          // two apps
+		"app=nosuch",              // unknown workload
+		"app=gtc&machine=nosuch",  // unknown machine
+		"app=gtc&perturb=clock=5", // unknown knob
+		"app=gtc&steps=x",         // malformed steps
+		"app=gtc&procs=0",         // bad concurrency
+	} {
+		if resp, _ := get(t, ts.URL+"/v1/whatif?"+bad); resp.StatusCode != http.StatusBadRequest {
+			t.Errorf("%q: status %d, want 400", bad, resp.StatusCode)
+		}
+	}
+}
+
+// TestWhatifCustomMachine: a freshly POSTed platform is immediately
+// perturbable.
+func TestWhatifCustomMachine(t *testing.T) {
+	ts, _ := newTestServer(t)
+	if resp, body := post(t, ts.URL+"/v1/machines", customSpec); resp.StatusCode != http.StatusCreated {
+		t.Fatalf("register: status %d: %s", resp.StatusCode, body)
+	}
+	resp, body := get(t, ts.URL+"/v1/whatif?app=gtc&machine=bgl-fat&procs=64&perturb=stream=20")
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	if !strings.Contains(string(body), "bgl-fat") {
+		t.Errorf("study does not mention the custom machine: %s", body)
+	}
+}

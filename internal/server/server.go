@@ -11,8 +11,10 @@
 //
 //	GET  /v1/workloads        registered workloads (Table 2 metadata)
 //	GET  /v1/machines         the modelled platforms (Table 1 form)
+//	POST /v1/machines         register a custom platform for this server's lifetime
 //	GET  /v1/sweep            workload × machine × procs cross-product
 //	POST /v1/sweep            same, selectors in query or form body
+//	GET  /v1/whatif           sensitivity study: knob perturbation grid → tornado + frontier
 //	GET  /v1/figures/{n}      paper figure n ∈ 2..8 (8 is the summary)
 //	GET  /v1/stats            lifetime pool statistics
 //	GET  /healthz             liveness probe
@@ -27,6 +29,25 @@
 // carries X-Petasim-* headers reporting what the request cost: points
 // dispatched, and how many were simulated, served from the memory or
 // disk tier, or deduplicated against another in-flight request.
+//
+// POST /v1/machines takes a machfile spec body (application/json): a
+// full definition in the Table 1 on-disk units, or a "base"-keyed
+// overlay on a built-in or previously registered platform. The spec is
+// validated and registered ephemerally — it lives in the server's
+// machfile registry until the process exits, and every machine selector
+// (sweeps, streams, whatif) resolves it like a built-in. A name
+// collision is 409; an invalid spec is 400; success is 201 with the
+// canonical spec body. Cached points are safe across name reuse between
+// server lifetimes because runner content keys hash the full spec
+// value, never the name.
+//
+// GET /v1/whatif runs an internal/whatif sensitivity study: selectors
+// app (one workload, required), machine (default: the full testbed
+// including customs), procs (default 64), perturb
+// ("stream=±20%,latency=±50%"; default every knob at ±10%) and steps
+// (grid points per side, default 1). The body is the whatif Study JSON:
+// every grid point in deterministic job order, per-machine tornado
+// rankings, and the cost-free Pareto frontier over the baselines.
 //
 // Every simulating handler runs under the request's context: a client
 // that disconnects (or a proxy that times the request out) cancels the
@@ -48,6 +69,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"mime"
 	"net/http"
 	"strconv"
@@ -55,33 +77,47 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/experiments"
+	"repro/internal/machfile"
 	"repro/internal/machine"
 	"repro/internal/runner"
+	"repro/internal/whatif"
 )
 
 // Server is the HTTP front end over one shared simulation pool. It
 // implements http.Handler.
 type Server struct {
-	opts experiments.Options
-	pool *runner.Pool
-	mux  *http.ServeMux
+	opts     experiments.Options
+	pool     *runner.Pool
+	machines *machfile.Registry
+	mux      *http.ServeMux
 }
 
 // New builds a server around opts. opts.Runner is the shared backend
 // pool — its Workers, memory tier, and disk cache serve every request;
 // a nil Runner gets a serial, uncached pool (fine for tests, not for
-// traffic).
+// traffic). opts.Machines, if it is a machfile.Registry (the CLI
+// preloads -spec files into one), becomes the server's machine
+// namespace — POST /v1/machines registers into it; anything else
+// (including nil) is replaced by a fresh registry so registration
+// always works.
 func New(opts experiments.Options) *Server {
 	if opts.Runner == nil {
 		opts.Runner = &runner.Pool{}
 	}
-	s := &Server{opts: opts, pool: opts.Runner}
+	reg, ok := opts.Machines.(*machfile.Registry)
+	if !ok || reg == nil {
+		reg = machfile.NewRegistry()
+		opts.Machines = reg
+	}
+	s := &Server{opts: opts, pool: opts.Runner, machines: reg}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
+	mux.HandleFunc("POST /v1/machines", s.handleMachinesPost)
 	mux.HandleFunc("GET /v1/sweep", s.handleSweep)
 	mux.HandleFunc("POST /v1/sweep", s.handleSweep)
 	mux.HandleFunc("GET /v1/sweep/stream", s.handleSweepStream)
+	mux.HandleFunc("GET /v1/whatif", s.handleWhatif)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -191,7 +227,86 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 
 func (s *Server) handleMachines(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
-	machine.SpecsToJSON(w, machine.All())
+	machine.SpecsToJSON(w, s.machines.All())
+}
+
+// maxSpecBody bounds a POSTed machine definition; real spec files are a
+// few hundred bytes.
+const maxSpecBody = 1 << 20
+
+func (s *Server) handleMachinesPost(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxSpecBody))
+	if err != nil {
+		writeError(w, http.StatusRequestEntityTooLarge, fmt.Errorf("reading spec body: %w", err))
+		return
+	}
+	spec, err := s.machines.Load(body)
+	if err != nil {
+		status := http.StatusBadRequest
+		if errors.Is(err, machfile.ErrDuplicate) {
+			status = http.StatusConflict
+		}
+		writeError(w, status, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(http.StatusCreated)
+	machine.ToJSON(w, spec)
+}
+
+// handleWhatif plans and runs a sensitivity study under the request's
+// context. All validation happens at plan time, so a bad selector is a
+// 400 before anything simulates.
+func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	appSel := experiments.SplitList(q.Get("app"))
+	if len(appSel) != 1 {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("whatif needs exactly one app= workload (got %d)", len(appSel)))
+		return
+	}
+	machines, err := experiments.ResolveMachines(s.machines, experiments.SplitList(q.Get("machine")))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	procs, err := experiments.ParseProcs(q.Get("procs"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	perturbs, err := whatif.ParsePerturbs(q.Get("perturb"))
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	steps := 0
+	if raw := q.Get("steps"); raw != "" {
+		if steps, err = strconv.Atoi(raw); err != nil {
+			writeError(w, http.StatusBadRequest, fmt.Errorf("bad steps %q: %w", raw, err))
+			return
+		}
+	}
+	plan, err := whatif.NewPlan(appSel[0], machines, procs, perturbs, steps)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	ctx, cancel, err := requestContext(r)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	defer cancel()
+	_, view := s.requestOptions()
+	study, err := plan.Execute(ctx, view)
+	if err != nil {
+		writeRunError(w, err)
+		return
+	}
+	writeStatsHeaders(w, view.Stats())
+	w.Header().Set("Content-Type", "application/json")
+	study.JSON(w)
 }
 
 func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
