@@ -27,8 +27,9 @@
 //	vnode     §3.1 BG/L virtual-node-mode efficiency
 //	machines  list the modelled platforms (built-ins plus -spec customs)
 //	workloads list the registered workloads (Table 2 metadata)
+//	bench     run the benchmark-trajectory suite; record/gate BENCH_*.json
 //	serve     long-running HTTP JSON service over the same engine
-//	all       everything above except sweep, whatif and serve
+//	all       everything above except sweep, whatif, bench and serve
 //
 // Flags:
 //
@@ -48,6 +49,21 @@
 //	-steps N      whatif: perturbation grid points per side of each half-range (default 1)
 //	-stream       whatif: emit NDJSON point lines as they complete
 //	-addr ADDR    serve: listen address (default :8080)
+//	-benchtime T  bench: per-benchmark budget, duration or Nx count (default 1s)
+//	-bench RE     bench: only run suite entries matching RE
+//	-against FILE bench: diff this run against a prior BENCH_*.json record
+//	-gate         bench: exit nonzero on regression past threshold
+//	-pr N         bench: trajectory point label (default: from -json filename)
+//
+// bench measures the curated suite in-process (the same bodies the root
+// bench_test.go benchmarks delegate to, plus simmpi-core
+// microbenchmarks), records per-benchmark ns/op, B/op and allocs/op
+// plus the headline cold-AllFigures wall time into a schema-versioned
+// JSON record (-json FILE), and diffs against a prior record
+// (-against, defaulting under -gate to the newest committed
+// BENCH_*.json) with noise-aware thresholds. CI runs
+// `petasim bench -gate` so a hot-path regression fails the build, and
+// every PR appends a BENCH_<pr>.json trajectory point.
 //
 // Custom machines: each -spec FILE is a JSON machine definition — a full
 // spec in the Table 1 on-disk units, or an overlay like
@@ -143,6 +159,11 @@ func main() {
 	perturb := flag.String("perturb", "", "whatif: comma-separated knob=±X% perturbations (default: every knob ±10%)")
 	steps := flag.Int("steps", 1, "whatif: perturbation grid points per side")
 	stream := flag.Bool("stream", false, "whatif: emit NDJSON point lines as they complete")
+	benchtime := flag.String("benchtime", "", "bench: per-benchmark budget, duration or Nx count (default: 1s)")
+	benchFilter := flag.String("bench", "", "bench: only run suite entries matching this regexp")
+	against := flag.String("against", "", "bench: diff the run against this BENCH_*.json record")
+	gate := flag.Bool("gate", false, "bench: exit nonzero on regression (default baseline: newest BENCH_*.json)")
+	pr := flag.Int("pr", 0, "bench: trajectory point label (default: inferred from the -json filename)")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -172,6 +193,8 @@ func main() {
 		apps:     experiments.SplitList(*appList),
 		machines: experiments.SplitList(*machineList),
 		perturb:  *perturb, steps: *steps, stream: *stream,
+		benchtime: *benchtime, benchFilter: *benchFilter,
+		against: *against, gate: *gate, pr: *pr,
 		reg: reg,
 	}
 	// Ctrl-C (or a supervisor's SIGTERM) cancels the whole run: sweeps
@@ -210,6 +233,11 @@ type cliConfig struct {
 	perturb         string
 	steps           int
 	stream          bool
+	benchtime       string
+	benchFilter     string
+	against         string
+	gate            bool
+	pr              int
 	reg             *machfile.Registry
 }
 
@@ -327,6 +355,10 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 		for _, r := range results {
 			fmt.Fprintln(out, r.Output)
 		}
+	case "bench":
+		// For bench, -json names the output record file (BENCH_<pr>.json),
+		// not an artifact directory.
+		return runBench(cli, out)
 	case "serve":
 		return serve(ctx, opts, cli.addr)
 	case "machines":

@@ -143,6 +143,19 @@ type State struct {
 	// original's CopyAssoc caching — recomputing them per ghost fill is
 	// exactly the §8.1 inefficiency).
 	pairCache map[string][]amr.Pair
+	// gen counts regrids. All ranks regrid in lockstep, so the counter is
+	// identical across ranks and scopes the world-level metadata memos:
+	// replicated derivations (global tag sets, cluster box lists,
+	// intersection pairs) are computed once per world per generation via
+	// simmpi.Memo instead of once per rank, while each rank still charges
+	// its own modelled cost.
+	gen int
+}
+
+// memoKey scopes a world-level metadata memo to the current regrid
+// generation.
+func (s *State) memoKey(what string) string {
+	return fmt.Sprintf("hclaw:%s@g%d", what, s.gen)
 }
 
 // cachedIntersect returns the intersection pairs under a cache key,
@@ -155,7 +168,7 @@ func (s *State) cachedIntersect(key string, a, b []amr.Box) []amr.Pair {
 	if pairs, ok := s.pairCache[key]; ok {
 		return pairs
 	}
-	pairs := s.intersect(a, b)
+	pairs := s.intersect(key, a, b)
 	s.pairCache[key] = pairs
 	return pairs
 }
@@ -224,16 +237,23 @@ func (s *State) nextTag() int {
 
 // intersect dispatches to the configured box-intersection algorithm and
 // charges its nominal cost (§8.1: O(N²) versus hashed O(N log N), with
-// nominal box counts scaled up from the actual hierarchy).
-func (s *State) intersect(a, b []amr.Box) []amr.Pair {
+// nominal box counts scaled up from the actual hierarchy). The box lists
+// are replicated metadata — identical on every rank — so the actual pair
+// computation runs once per world under key; the modelled cost is still
+// charged by every caller.
+func (s *State) intersect(key string, a, b []amr.Box) []amr.Pair {
 	nomBoxes := s.nominalBoxes(len(a) + len(b))
 	var ops float64
 	var pairs []amr.Pair
 	if s.cfg.NaiveIntersect {
-		pairs = amr.IntersectNaive(a, b)
+		pairs = s.r.Memo(s.memoKey("naive:"+key), func() any {
+			return amr.IntersectNaive(a, b)
+		}).([]amr.Pair)
 		ops = nomBoxes * nomBoxes
 	} else {
-		pairs = amr.IntersectHashed(a, b)
+		pairs = s.r.Memo(s.memoKey("hashed:"+key), func() any {
+			return amr.IntersectHashed(a, b)
+		}).([]amr.Pair)
 		ops = nomBoxes * (1 + math.Log2(math.Max(nomBoxes, 2))) * 4
 	}
 	s.r.Compute(RegridKernel, ops*12)
@@ -271,8 +291,10 @@ func (s *State) exchangePairs(pairs []amr.Pair, srcOwner, dstOwner []int,
 		case so == me && do == me:
 			apply(pr, pack(pr))
 		case so == me:
+			// pack builds a fresh buffer per pair, so ownership can
+			// transfer to the receiver without a defensive copy.
 			data := pack(pr)
-			s.r.SendNominal(do, baseTag+i+1, data, float64(len(data)*8)*s.nomSurf)
+			s.r.SendOwnedNominal(do, baseTag+i+1, data, float64(len(data)*8)*s.nomSurf)
 		}
 	}
 	for i, pr := range pairs {
@@ -372,6 +394,7 @@ func (s *State) averageDown() {
 // gathers all tags and computes identical box lists and ownership.
 func (s *State) regrid() {
 	t0 := s.r.Now()
+	s.gen++
 	nLevelsWanted := len(s.cfg.Ratios) + 1
 	// Rebuild from the finest existing coarse level.
 	for li := 1; li < nLevelsWanted; li++ {
@@ -390,36 +413,44 @@ func (s *State) regrid() {
 		}
 		all := s.r.AllgatherNominal(s.r.World(), packed,
 			float64(len(packed)*8)*s.nomSurf)
-		global := amr.NewTagSet()
-		for _, part := range all {
-			for i := 0; i+2 < len(part); i += 3 {
-				global.Add(int(part[i]), int(part[i+1]), int(part[i+2]))
+		// Every rank receives the identical allgather result, so the
+		// global tag set and the whole tags→boxes derivation below are
+		// replicated metadata: compute each once per world and share.
+		global := s.r.Memo(s.memoKey(fmt.Sprintf("gtags:l%d", li)), func() any {
+			g := amr.NewTagSet()
+			for _, part := range all {
+				for i := 0; i+2 < len(part); i += 3 {
+					g.Add(int(part[i]), int(part[i+1]), int(part[i+2]))
+				}
 			}
-		}
+			return g
+		}).(amr.TagSet)
 		var newBoxes []amr.Box
 		if global.Len() > 0 {
-			buffered := global.Buffer(1, parent.Domain)
-			clusters := amr.Cluster(buffered, 0.7, 0)
-			// Clip to the parent's region for proper nesting, then
-			// refine into the new level's index space.
-			var clipped []amr.Box
-			for _, pr := range amr.IntersectHashed(clusters, parent.Boxes) {
-				clipped = append(clipped, pr.Overlap)
-			}
-			refined := make([]amr.Box, len(clipped))
-			for i, b := range clipped {
-				refined[i] = b.Refine(ratio)
-			}
-			// Chop in the fine index space (ratio-aligned cuts), sizing
-			// boxes so each rank gets a few grains of this level: enough
-			// for the knapsack to balance, few enough that the
-			// replicated box metadata stays bounded.
-			total := amr.TotalCells(refined)
-			boxCells := total / (3 * s.r.N())
-			if min := ratio * ratio * ratio; boxCells < min {
-				boxCells = min
-			}
-			newBoxes = amr.ChopAllAligned(refined, boxCells, ratio)
+			newBoxes = s.r.Memo(s.memoKey(fmt.Sprintf("boxes:l%d", li)), func() any {
+				buffered := global.Buffer(1, parent.Domain)
+				clusters := amr.Cluster(buffered, 0.7, 0)
+				// Clip to the parent's region for proper nesting, then
+				// refine into the new level's index space.
+				var clipped []amr.Box
+				for _, pr := range amr.IntersectHashed(clusters, parent.Boxes) {
+					clipped = append(clipped, pr.Overlap)
+				}
+				refined := make([]amr.Box, len(clipped))
+				for i, b := range clipped {
+					refined[i] = b.Refine(ratio)
+				}
+				// Chop in the fine index space (ratio-aligned cuts),
+				// sizing boxes so each rank gets a few grains of this
+				// level: enough for the knapsack to balance, few enough
+				// that the replicated box metadata stays bounded.
+				total := amr.TotalCells(refined)
+				boxCells := total / (3 * s.r.N())
+				if min := ratio * ratio * ratio; boxCells < min {
+					boxCells = min
+				}
+				return amr.ChopAllAligned(refined, boxCells, ratio)
+			}).([]amr.Box)
 		}
 		// Charge the knapsack cost: the §8.1 copying variant scales with
 		// the square of the nominal box count, the pointer version is
@@ -440,7 +471,7 @@ func (s *State) regrid() {
 		for i, b := range newBoxes {
 			coarsened[i] = b.Coarsen(ratio)
 		}
-		pairs := s.intersect(parent.Boxes, coarsened)
+		pairs := s.intersect(fmt.Sprintf("seed:l%d", li), parent.Boxes, coarsened)
 		s.exchangePairs(pairs, parent.Owner, lvl.Owner,
 			func(pr amr.Pair) []float64 {
 				return parent.Patch[pr.A].PackRegion(pr.Overlap)
@@ -453,7 +484,7 @@ func (s *State) regrid() {
 			})
 		if li < len(s.levels) {
 			old := s.levels[li]
-			pairs := s.intersect(old.Boxes, newBoxes)
+			pairs := s.intersect(fmt.Sprintf("recopy:l%d", li), old.Boxes, newBoxes)
 			s.exchangePairs(pairs, old.Owner, lvl.Owner,
 				func(pr amr.Pair) []float64 {
 					return old.Patch[pr.A].PackRegion(pr.Overlap)

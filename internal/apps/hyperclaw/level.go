@@ -131,21 +131,44 @@ func clampInt(v, lo, hi int) int {
 // region (fine index space), reading from a packed coarse region buffer.
 // Cells inside skip (the patch interior) are left untouched when
 // interiorOnly ghost filling is requested.
+// Rows along x are processed as up to two contiguous segments (the row
+// minus the interior span when skipInterior applies), so the per-cell
+// Contains test happens once per row, not once per cell. Within a
+// segment the fine cells are walked coarse-cell by coarse-cell: each
+// coarse value covers a run of up to ratio fine cells, so the division
+// and the coarse load happen once per run.
 func prolongate(dst *Patch, fineRegion amr.Box, coarseRegion amr.Box, coarseData []float64, ratio int, skipInterior bool) {
 	cext := [3]int{coarseRegion.Extent(0), coarseRegion.Extent(1), coarseRegion.Extent(2)}
 	csize := cext[0] * cext[1] * cext[2]
-	for f := 0; f < NFields; f++ {
-		base := f * csize
-		for k := fineRegion.Lo[2]; k < fineRegion.Hi[2]; k++ {
-			ck := floorDiv(k, ratio) - coarseRegion.Lo[2]
-			for j := fineRegion.Lo[1]; j < fineRegion.Hi[1]; j++ {
-				cj := floorDiv(j, ratio) - coarseRegion.Lo[1]
-				for i := fineRegion.Lo[0]; i < fineRegion.Hi[0]; i++ {
-					if skipInterior && dst.Box.Contains([3]int{i, j, k}) {
-						continue
+	lo, hi := fineRegion.Lo[0], fineRegion.Hi[0]
+	fieldStride := dst.ex[0] * dst.ex[1] * dst.ex[2]
+	for k := fineRegion.Lo[2]; k < fineRegion.Hi[2]; k++ {
+		ck := floorDiv(k, ratio) - coarseRegion.Lo[2]
+		inK := k >= dst.Box.Lo[2] && k < dst.Box.Hi[2]
+		for j := fineRegion.Lo[1]; j < fineRegion.Hi[1]; j++ {
+			cj := floorDiv(j, ratio) - coarseRegion.Lo[1]
+			segs := [2][2]int{{lo, hi}}
+			if skipInterior && inK && j >= dst.Box.Lo[1] && j < dst.Box.Hi[1] {
+				segs[0] = [2]int{lo, min(hi, dst.Box.Lo[0])}
+				segs[1] = [2]int{max(lo, dst.Box.Hi[0]), hi}
+			}
+			crow := (ck*cext[1]+cj)*cext[0] - coarseRegion.Lo[0]
+			frow := dst.offset(0, 0, j, k)
+			for f := 0; f < NFields; f++ {
+				rowBase := f*csize + crow
+				rowOff := frow + f*fieldStride
+				for _, sg := range segs {
+					for i := sg[0]; i < sg[1]; {
+						ci := floorDiv(i, ratio)
+						run := (ci + 1) * ratio
+						if run > sg[1] {
+							run = sg[1]
+						}
+						v := coarseData[rowBase+ci]
+						for ; i < run; i++ {
+							dst.data[rowOff+i] = v
+						}
 					}
-					ci := floorDiv(i, ratio) - coarseRegion.Lo[0]
-					dst.Set(f, i, j, k, coarseData[base+(ck*cext[1]+cj)*cext[0]+ci])
 				}
 			}
 		}

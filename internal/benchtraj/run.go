@@ -1,0 +1,130 @@
+package benchtraj
+
+import (
+	"flag"
+	"fmt"
+	"regexp"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+)
+
+// RunOptions configure one suite recording.
+type RunOptions struct {
+	// PR labels the record's trajectory point (BENCH_<pr>.json).
+	PR int
+	// Benchtime overrides the per-entry measuring budget, in the
+	// testing flag's syntax: a duration ("100ms") or an iteration
+	// count ("1x"). Empty keeps the testing default (1s), which is
+	// what committed trajectory points should be recorded with.
+	Benchtime string
+	// Filter, if non-empty, restricts the suite to entries whose name
+	// matches this regular expression.
+	Filter string
+	// Suite overrides the measured suite (tests use tiny stand-ins);
+	// nil measures the real curated suite.
+	Suite []Entry
+	// Logf, if non-nil, receives one progress line per entry.
+	Logf func(format string, args ...any)
+	// Now stamps the record; nil uses time.Now.
+	Now func() time.Time
+}
+
+// benchtimeInit initialises the testing package exactly once: outside a
+// `go test` binary its flags (and the internals b.Fatal's logger reads)
+// only exist after testing.Init registers them.
+var benchtimeInit sync.Once
+
+func initTesting() {
+	benchtimeInit.Do(func() {
+		if flag.Lookup("test.benchtime") == nil {
+			testing.Init()
+		}
+	})
+}
+
+func setBenchtime(v string) error {
+	f := flag.Lookup("test.benchtime")
+	if f == nil {
+		return fmt.Errorf("benchtraj: testing flags unavailable")
+	}
+	return f.Value.Set(v)
+}
+
+// Run measures the suite in-process and assembles the trajectory
+// record. A failed entry (b.Fatal inside a body) fails the run.
+func Run(opts RunOptions) (*Record, error) {
+	suite := opts.Suite
+	if suite == nil {
+		suite = Suite()
+	}
+	if opts.Filter != "" {
+		pat, err := regexp.Compile(opts.Filter)
+		if err != nil {
+			return nil, fmt.Errorf("benchtraj: bad filter: %w", err)
+		}
+		var kept []Entry
+		for _, e := range suite {
+			if pat.MatchString(e.Name) {
+				kept = append(kept, e)
+			}
+		}
+		suite = kept
+	}
+	if len(suite) == 0 {
+		return nil, fmt.Errorf("benchtraj: no suite entries selected")
+	}
+	initTesting()
+	if opts.Benchtime != "" {
+		if err := setBenchtime(opts.Benchtime); err != nil {
+			return nil, err
+		}
+	}
+	now := opts.Now
+	if now == nil {
+		now = time.Now
+	}
+	logf := opts.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rec := &Record{
+		Schema:     SchemaVersion,
+		PR:         opts.PR,
+		CreatedAt:  now().UTC().Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Benchtime:  opts.Benchtime,
+	}
+	for _, e := range suite {
+		var failed string
+		res := testing.Benchmark(func(b *testing.B) {
+			defer func() {
+				if b.Failed() {
+					failed = e.Name
+				}
+			}()
+			e.Bench(b)
+		})
+		if failed != "" {
+			return nil, fmt.Errorf("benchtraj: benchmark %s failed", failed)
+		}
+		bm := Benchmark{
+			Name:        e.Name,
+			Iterations:  res.N,
+			NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+			BytesPerOp:  res.AllocedBytesPerOp(),
+			AllocsPerOp: res.AllocsPerOp(),
+		}
+		rec.Benchmarks = append(rec.Benchmarks, bm)
+		logf("benchtraj: %-20s %12.0f ns/op %12d B/op %8d allocs/op (%d iters)",
+			bm.Name, bm.NsPerOp, bm.BytesPerOp, bm.AllocsPerOp, bm.Iterations)
+		if e.Name == HeadlineEntry {
+			rec.Headline.ColdAllFiguresNs = bm.NsPerOp
+		}
+	}
+	return rec, nil
+}

@@ -5,6 +5,7 @@ import (
 	"context"
 	"path/filepath"
 	"reflect"
+	"runtime"
 	"testing"
 
 	"repro/internal/runner"
@@ -79,6 +80,52 @@ func TestAllFiguresPooledMatchesPerFigure(t *testing.T) {
 		}
 		if want.String() != got.String() {
 			t.Errorf("%s diverged between pooled and standalone builds", alone.ID)
+		}
+	}
+}
+
+// TestAllFiguresDeterministic is the whole-suite determinism contract:
+// the full figure set must render byte-identically with one worker,
+// with GOMAXPROCS workers, and when every point is served from a warm
+// cache. This is the property the benchmark-gated optimizations of the
+// simulator core must preserve — any scheduling- or cache-dependent
+// result shows up here as a byte diff.
+func TestAllFiguresDeterministic(t *testing.T) {
+	renderAll := func(pool *runner.Pool) []string {
+		t.Helper()
+		figs, err := AllFigures(context.Background(), Options{Quick: true, MaxProcs: 64, Runner: pool})
+		if err != nil {
+			t.Fatal(err)
+		}
+		out := make([]string, len(figs))
+		for i, fig := range figs {
+			var buf bytes.Buffer
+			if err := fig.Render(&buf); err != nil {
+				t.Fatal(err)
+			}
+			out[i] = buf.String()
+		}
+		return out
+	}
+	serial := renderAll(&runner.Pool{Workers: 1})
+	parallel := renderAll(&runner.Pool{Workers: runtime.GOMAXPROCS(0)})
+	cache, err := runner.OpenCache(filepath.Join(t.TempDir(), "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cold := &runner.Pool{Workers: runtime.GOMAXPROCS(0), Cache: cache}
+	renderAll(cold)
+	warmPool := &runner.Pool{Workers: runtime.GOMAXPROCS(0), Cache: cache}
+	warm := renderAll(warmPool)
+	if s := warmPool.Stats(); s.Simulated != 0 || s.Hits == 0 {
+		t.Fatalf("warm stats %+v, want every point served from cache", s)
+	}
+	for i := range serial {
+		if serial[i] != parallel[i] {
+			t.Errorf("figure %d diverged between Workers:1 and Workers:%d", i, runtime.GOMAXPROCS(0))
+		}
+		if serial[i] != warm[i] {
+			t.Errorf("figure %d diverged between simulated and cache-served renders", i)
 		}
 	}
 }

@@ -1,0 +1,95 @@
+package machfile
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/machine"
+)
+
+// FuzzParse feeds arbitrary spec-file bytes through Registry.Parse and
+// checks the parser's contract: it never panics, and anything it
+// accepts is a spec that passes machine.Spec.Validate — the invariant
+// every downstream consumer (sweeps, the HTTP service, the cache key)
+// relies on. Accepted specs must also survive a ToJSON/Parse round
+// trip unchanged, so registered platforms can be exported and reloaded.
+func FuzzParse(f *testing.F) {
+	// Committed seeds: a full definition in the on-disk form, overlays
+	// (valid, unknown base, unknown field), and malformed JSON.
+	var full bytes.Buffer
+	if err := machine.ToJSON(&full, machine.All()[0]); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(full.Bytes())
+	f.Add([]byte(`{"base": "bassi", "name": "bassi-2x", "stream_gbs": 13.6}`))
+	f.Add([]byte(`{"base": "bgl", "name": "bgl-lowlat", "mpi_latency_us": 1.0}`))
+	f.Add([]byte(`{"base": "nosuch", "name": "x"}`))
+	f.Add([]byte(`{"base": 3}`))
+	f.Add([]byte(`{"name": "incomplete"}`))
+	f.Add([]byte(`{`))
+	f.Add([]byte(``))
+	f.Add([]byte(`[1, 2, 3]`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRegistry()
+		s, err := r.Parse(data)
+		if err != nil {
+			return
+		}
+		if verr := s.Validate(); verr != nil {
+			t.Fatalf("Parse accepted a spec that fails Validate: %v\ninput: %q", verr, data)
+		}
+		var buf bytes.Buffer
+		if err := machine.ToJSON(&buf, s); err != nil {
+			t.Fatalf("accepted spec does not re-encode: %v", err)
+		}
+		back, err := NewRegistry().Parse(buf.Bytes())
+		if err != nil {
+			t.Fatalf("re-encoded spec does not re-parse: %v\nencoded: %s", err, buf.Bytes())
+		}
+		// Byte-level fixpoints are out of reach (the on-disk units convert
+		// to internal ones and back, drifting a few ULPs per cycle), but
+		// an exported spec must always reload to a valid spec of the same
+		// name — export never produces a file the loader rejects.
+		if verr := back.Validate(); verr != nil {
+			t.Fatalf("reloaded spec fails Validate: %v", verr)
+		}
+		if back.Name != s.Name {
+			t.Fatalf("name changed across export/reload: %q -> %q", s.Name, back.Name)
+		}
+	})
+}
+
+// FuzzLoad exercises the Parse+Register path: registration must reject
+// name collisions with built-ins but never corrupt the registry — after
+// any input, the built-in prefix of All() is intact.
+func FuzzLoad(f *testing.F) {
+	f.Add([]byte(`{"base": "bassi", "name": "custom-a", "stream_gbs": 9.9}`))
+	f.Add([]byte(`{"base": "bassi", "name": "bassi"}`)) // shadows a built-in
+	f.Add([]byte(`{"base": "jaguar", "name": "JAGUAR"}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRegistry()
+		s, err := r.Load(data)
+		builtin := machine.All()
+		all := r.All()
+		if len(all) < len(builtin) {
+			t.Fatalf("Load shrank the testbed: %d < %d", len(all), len(builtin))
+		}
+		for i, b := range builtin {
+			if all[i] != b {
+				t.Fatalf("Load disturbed built-in %q", b.Name)
+			}
+		}
+		if err != nil {
+			if len(all) != len(builtin) {
+				t.Fatalf("failed Load left %d platforms registered", len(all)-len(builtin))
+			}
+			return
+		}
+		// A registered platform must resolve under the forgiving rule.
+		got, ferr := r.Find(strings.ToUpper(s.Name))
+		if ferr != nil || got != s {
+			t.Fatalf("registered %q but Find returned %+v, %v", s.Name, got, ferr)
+		}
+	})
+}

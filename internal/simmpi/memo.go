@@ -1,0 +1,51 @@
+package simmpi
+
+import "sync"
+
+// memoEntry is one shared computation slot: the first rank to claim it
+// runs the computation, every other rank blocks on the Once and reuses
+// the result.
+type memoEntry struct {
+	once sync.Once
+	val  any
+}
+
+// Memo deduplicates replicated-metadata computation across the ranks of
+// a world: the first rank to reach key runs compute, all others reuse
+// its result. SPMD codes with replicated metadata (every rank deriving
+// identical box lists, ownership tables, or intersection pairs from
+// allgathered inputs) otherwise pay that derivation N times per world on
+// one host.
+//
+// Correctness constraints on compute, which the caller must uphold:
+//
+//   - It must be a pure function of inputs that are identical on every
+//     rank, and deterministic in its observable result — any rank
+//     computing it would produce the same value. Virtual-time results
+//     then cannot depend on which rank won the race.
+//   - It must not communicate (no sends, receives, or collectives):
+//     other ranks may be blocked inside Memo waiting for it, so a
+//     communicating compute can deadlock the world in host time.
+//   - The returned value is shared by reference across rank goroutines
+//     and must be treated as read-only by all of them.
+//
+// Memo never advances the virtual clock; ranks still charge their own
+// modelled Compute cost for the work the memo stands in for, exactly as
+// the real replicated computation would.
+func (r *Rank) Memo(key string, compute func() any) any {
+	w := r.w
+	w.memoMu.Lock()
+	if w.memos == nil {
+		w.memos = make(map[string]*memoEntry)
+	}
+	e := w.memos[key]
+	if e == nil {
+		e = &memoEntry{}
+		w.memos[key] = e
+	}
+	w.memoMu.Unlock()
+	e.once.Do(func() {
+		e.val = compute()
+	})
+	return e.val
+}

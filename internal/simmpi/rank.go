@@ -81,8 +81,18 @@ func (r *Rank) Send(dst, tag int, data []float64) {
 
 // SendNominal transmits data but charges the cost model nomBytes instead
 // of the actual payload size — the mechanism that lets scaled-down arrays
-// stand in for paper-scale problems.
+// stand in for paper-scale problems. The payload is copied, so the caller
+// may keep mutating data after the call, like a completed MPI_Send.
 func (r *Rank) SendNominal(dst, tag int, data []float64, nomBytes float64) {
+	r.SendOwnedNominal(dst, tag, append([]float64(nil), data...), nomBytes)
+}
+
+// SendOwnedNominal is SendNominal without the defensive payload copy:
+// ownership of data transfers to the receiver, so the caller must not
+// touch the slice afterwards. Use it when the payload is freshly built
+// for this one send (e.g. packed ghost regions) to avoid doubling the
+// allocation traffic of halo exchanges.
+func (r *Rank) SendOwnedNominal(dst, tag int, data []float64, nomBytes float64) {
 	r.checkAbort()
 	if dst < 0 || dst >= r.N() {
 		panic(fmt.Sprintf("simmpi: rank %d sends to invalid rank %d", r.id, dst))
@@ -96,7 +106,7 @@ func (r *Rank) SendNominal(dst, tag int, data []float64, nomBytes float64) {
 	if c := r.w.cfg.Collector; c != nil {
 		c.RecordP2P(r.id, dst, nomBytes)
 	}
-	msg := message{data: append([]float64(nil), data...), arrive: depart + delay}
+	msg := message{data: data, arrive: depart + delay}
 	mb := r.w.mail[dst]
 	mb.mu.Lock()
 	k := msgKey{src: r.id, tag: tag}

@@ -49,6 +49,9 @@ type World struct {
 	commList []*commShared
 	abortMu  sync.Mutex
 	abortErr error
+
+	memoMu sync.Mutex
+	memos  map[string]*memoEntry
 }
 
 type msgKey struct {

@@ -1,0 +1,59 @@
+package whatif
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// FuzzParsePerturbs checks the perturbation-selector parser: it never
+// panics, and every selector it accepts yields a well-formed list —
+// known knobs, no duplicates, half-ranges strictly inside (0,100) — that
+// survives a format/re-parse round trip. That canonicalisation is what
+// the CLI, the HTTP service, and the cache key all assume.
+func FuzzParsePerturbs(f *testing.F) {
+	f.Add("")
+	f.Add("stream=±20%,latency=±50%")
+	f.Add("bandwidth=30")
+	f.Add(" stream = 10% ")
+	f.Add("stream=10,stream=20")
+	f.Add("nosuchknob=10")
+	f.Add("stream=200%")
+	f.Add("stream=-5")
+	f.Add("stream=")
+	f.Add(",,,")
+	f.Add("stream=1e-9")
+	f.Add("stream=NaN")
+	f.Fuzz(func(t *testing.T, s string) {
+		out, err := ParsePerturbs(s)
+		if err != nil {
+			return
+		}
+		if len(out) == 0 {
+			t.Fatalf("accepted selector %q produced an empty list", s)
+		}
+		seen := map[Knob]bool{}
+		parts := make([]string, len(out))
+		for i, p := range out {
+			if !validKnob(p.Knob) {
+				t.Fatalf("accepted unknown knob %q from %q", p.Knob, s)
+			}
+			if seen[p.Knob] {
+				t.Fatalf("accepted duplicate knob %q from %q", p.Knob, s)
+			}
+			seen[p.Knob] = true
+			if !(p.Pct > 0 && p.Pct < 100) {
+				t.Fatalf("accepted half-range %g%% outside (0,100) from %q", p.Pct, s)
+			}
+			parts[i] = fmt.Sprintf("%s=%g%%", p.Knob, p.Pct)
+		}
+		again, err := ParsePerturbs(strings.Join(parts, ","))
+		if err != nil {
+			t.Fatalf("canonical form of %q does not re-parse: %v", s, err)
+		}
+		if !reflect.DeepEqual(again, out) {
+			t.Fatalf("round trip changed %q:\n got %+v\nwant %+v", s, again, out)
+		}
+	})
+}

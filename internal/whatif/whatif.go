@@ -154,7 +154,9 @@ func ParsePerturbs(s string) ([]Perturbation, error) {
 		if err != nil {
 			return nil, fmt.Errorf("whatif: bad half-range in %q: %w", part, err)
 		}
-		if pct <= 0 || pct >= 100 {
+		// Negated form so NaN (which fails every comparison) is rejected
+		// rather than slipping past both one-sided checks.
+		if !(pct > 0 && pct < 100) {
 			return nil, fmt.Errorf("whatif: half-range %g%% outside (0,100) in %q", pct, part)
 		}
 		out = append(out, Perturbation{Knob: k, Pct: pct})
