@@ -19,6 +19,7 @@ import (
 	"context"
 	"testing"
 
+	"repro/internal/apps/hyperclaw"
 	"repro/internal/benchtraj"
 	"repro/internal/experiments"
 	"repro/internal/runner"
@@ -75,6 +76,7 @@ func BenchmarkFig8Summary(b *testing.B) { suite(b, "Fig8Summary")(b) }
 func BenchmarkAllFiguresSerial(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		hyperclaw.ResetTrajectoryCache()
 		opts := experiments.Options{Quick: true, MaxProcs: 64,
 			Runner: &runner.Pool{Workers: 1}}
 		if figs, err := experiments.AllFigures(context.Background(), opts); err != nil || len(figs) != 6 {

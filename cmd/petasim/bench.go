@@ -6,6 +6,8 @@ import (
 	"os"
 	"path/filepath"
 	"regexp"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 
 	"repro/internal/benchtraj"
@@ -23,7 +25,33 @@ var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 //	petasim bench -gate -against BENCH_5.json     # CI regression gate
 //	petasim bench -gate                           # gate vs newest BENCH_*.json
 //	petasim -benchtime 1x -bench 'Sim' bench      # quick, filtered
+//	petasim -bench 'AllFigures' -cpuprofile cpu.pb.gz bench   # profile it
 func runBench(cli cliConfig, out io.Writer) error {
+	if cli.cpuProfile != "" {
+		f, err := os.Create(cli.cpuProfile)
+		if err != nil {
+			return fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("bench: -cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if cli.memProfile != "" {
+		defer func() {
+			f, err := os.Create(cli.memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "petasim: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap so the profile shows retention
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "petasim: -memprofile: %v\n", err)
+			}
+		}()
+	}
 	rec, err := benchtraj.Run(benchtraj.RunOptions{
 		PR:        benchPR(cli),
 		Benchtime: cli.benchtime,

@@ -161,6 +161,8 @@ func main() {
 	stream := flag.Bool("stream", false, "whatif: emit NDJSON point lines as they complete")
 	benchtime := flag.String("benchtime", "", "bench: per-benchmark budget, duration or Nx count (default: 1s)")
 	benchFilter := flag.String("bench", "", "bench: only run suite entries matching this regexp")
+	cpuProfile := flag.String("cpuprofile", "", "bench: write a CPU profile of the measured suite to this file")
+	memProfile := flag.String("memprofile", "", "bench: write a post-run heap profile to this file")
 	against := flag.String("against", "", "bench: diff the run against this BENCH_*.json record")
 	gate := flag.Bool("gate", false, "bench: exit nonzero on regression (default baseline: newest BENCH_*.json)")
 	pr := flag.Int("pr", 0, "bench: trajectory point label (default: inferred from the -json filename)")
@@ -194,6 +196,7 @@ func main() {
 		machines: experiments.SplitList(*machineList),
 		perturb:  *perturb, steps: *steps, stream: *stream,
 		benchtime: *benchtime, benchFilter: *benchFilter,
+		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		against: *against, gate: *gate, pr: *pr,
 		reg: reg,
 	}
@@ -235,6 +238,8 @@ type cliConfig struct {
 	stream          bool
 	benchtime       string
 	benchFilter     string
+	cpuProfile      string
+	memProfile      string
 	against         string
 	gate            bool
 	pr              int

@@ -47,6 +47,16 @@ func (b Box) Contains(pt [3]int) bool {
 	return true
 }
 
+// ContainsBox reports whether o lies entirely inside b.
+func (b Box) ContainsBox(o Box) bool {
+	for d := 0; d < 3; d++ {
+		if o.Lo[d] < b.Lo[d] || o.Hi[d] > b.Hi[d] {
+			return false
+		}
+	}
+	return true
+}
+
 // Intersect returns the overlap of two boxes and whether it is non-empty.
 func (b Box) Intersect(o Box) (Box, bool) {
 	var out Box

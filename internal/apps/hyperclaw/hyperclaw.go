@@ -142,7 +142,7 @@ type State struct {
 	// Cached intersection pair lists, rebuilt after each regrid (the
 	// original's CopyAssoc caching — recomputing them per ghost fill is
 	// exactly the §8.1 inefficiency).
-	pairCache map[string][]amr.Pair
+	pairCache map[pairKey][]amr.Pair
 	// gen counts regrids. All ranks regrid in lockstep, so the counter is
 	// identical across ranks and scopes the world-level metadata memos:
 	// replicated derivations (global tag sets, cluster box lists,
@@ -150,26 +150,77 @@ type State struct {
 	// simmpi.Memo instead of once per rank, while each rank still charges
 	// its own modelled cost.
 	gen int
+	// traj, when non-nil, is a recorded trajectory this run replays:
+	// levels carry no patch data and every field-array operation is
+	// skipped, while the simmpi operation sequence stays identical.
+	traj *trajectory
+	// rec, when non-nil, collects the trajectory (rank 0 appends; all
+	// ranks observe identical values in identical order).
+	rec *trajectory
+	// trajVmax and trajTag are this rank's replay cursors.
+	trajVmax int
+	trajTag  int
 }
 
-// memoKey scopes a world-level metadata memo to the current regrid
-// generation.
-func (s *State) memoKey(what string) string {
-	return fmt.Sprintf("hclaw:%s@g%d", what, s.gen)
+// pairKey identifies one intersection pair list of the hierarchy. The
+// fill and sweep loops look these up several times per step, so the key
+// is a small comparable struct rather than a formatted string (Sprintf
+// keys showed up in profiles of the per-step hot path).
+type pairKey struct {
+	kind pairKind
+	lvl  int
+}
+
+type pairKind uint8
+
+const (
+	pairProlong pairKind = iota // coarse boxes × coarsened fine ghost boxes
+	pairSame                    // level interiors × grown level boxes
+	pairAvg                     // coarsened fine boxes × coarse boxes
+	pairSeed                    // parent boxes × coarsened new boxes
+	pairRecopy                  // old level boxes × new level boxes
+)
+
+// hclawMemoKey scopes a world-level metadata memo (tag sets, box lists,
+// intersection pairs) to the current regrid generation.
+type hclawMemoKey struct {
+	what  pairKind
+	naive bool
+	lvl   int
+	gen   int
+}
+
+// regridMemoKey scopes the regrid pipeline's replicated derivations.
+type regridMemoKey struct {
+	what byte // 't' = global tag set, 'b' = clustered box list
+	lvl  int
+	gen  int
 }
 
 // cachedIntersect returns the intersection pairs under a cache key,
 // computing and charging them only on the first use since the last
-// regrid.
-func (s *State) cachedIntersect(key string, a, b []amr.Box) []amr.Pair {
+// regrid. Same-level lists drop their self pairs (box i ∩ grown(i)):
+// copying a patch's interior onto itself is a no-op the exchange loop
+// would otherwise pack in full before discarding. Every rank derives the
+// identical filtered list, so tags stay aligned.
+func (s *State) cachedIntersect(k pairKey, a, b []amr.Box) []amr.Pair {
 	if s.pairCache == nil {
-		s.pairCache = make(map[string][]amr.Pair)
+		s.pairCache = make(map[pairKey][]amr.Pair)
 	}
-	if pairs, ok := s.pairCache[key]; ok {
+	if pairs, ok := s.pairCache[k]; ok {
 		return pairs
 	}
-	pairs := s.intersect(key, a, b)
-	s.pairCache[key] = pairs
+	pairs := s.intersect(k, a, b)
+	if k.kind == pairSame {
+		trimmed := make([]amr.Pair, 0, len(pairs))
+		for _, pr := range pairs {
+			if pr.A != pr.B {
+				trimmed = append(trimmed, pr)
+			}
+		}
+		pairs = trimmed
+	}
+	s.pairCache[k] = pairs
 	return pairs
 }
 
@@ -179,10 +230,16 @@ func (s *State) invalidatePairCache() { s.pairCache = nil }
 // base level covering the domain, then initial refinement levels from
 // tagging the initial conditions.
 func NewState(r *simmpi.Rank, cfg Config) (*State, error) {
+	return newState(r, cfg, nil, nil)
+}
+
+// newState is NewState with replay/record wiring: traj non-nil replays a
+// recorded trajectory without field data, rec non-nil records one.
+func newState(r *simmpi.Rank, cfg Config, traj, rec *trajectory) (*State, error) {
 	if err := cfg.validate(); err != nil {
 		return nil, err
 	}
-	s := &State{cfg: cfg, r: r}
+	s := &State{cfg: cfg, r: r, traj: traj, rec: rec}
 	actCells := float64(cfg.ActBase[0]) * float64(cfg.ActBase[1]) * float64(cfg.ActBase[2])
 	s.nomBaseCells = float64(cfg.NomBase[0]) * float64(cfg.NomBase[1]) * float64(cfg.NomBase[2])
 	s.nomSurf = math.Pow(s.nomBaseCells/actCells, 2.0/3.0)
@@ -190,7 +247,9 @@ func NewState(r *simmpi.Rank, cfg Config) (*State, error) {
 	domain := amr.NewBox([3]int{0, 0, 0}, cfg.ActBase)
 	base := amr.ChopAll([]amr.Box{domain}, cfg.MaxBoxCells)
 	l0 := newLevel(0, 1, domain, base, r.N(), cfg.CopyingKnapsack, 1.0/float64(cfg.ActBase[0]))
-	l0.allocate(r.ID())
+	if s.traj == nil {
+		l0.allocate(r.ID())
+	}
 	s.levels = []*Level{l0}
 	s.initPatches(l0)
 	s.fillGhosts(0)
@@ -241,17 +300,18 @@ func (s *State) nextTag() int {
 // are replicated metadata — identical on every rank — so the actual pair
 // computation runs once per world under key; the modelled cost is still
 // charged by every caller.
-func (s *State) intersect(key string, a, b []amr.Box) []amr.Pair {
+func (s *State) intersect(k pairKey, a, b []amr.Box) []amr.Pair {
 	nomBoxes := s.nominalBoxes(len(a) + len(b))
+	mk := hclawMemoKey{what: k.kind, naive: s.cfg.NaiveIntersect, lvl: k.lvl, gen: s.gen}
 	var ops float64
 	var pairs []amr.Pair
 	if s.cfg.NaiveIntersect {
-		pairs = s.r.Memo(s.memoKey("naive:"+key), func() any {
+		pairs = s.r.Memo(mk, func() any {
 			return amr.IntersectNaive(a, b)
 		}).([]amr.Pair)
 		ops = nomBoxes * nomBoxes
 	} else {
-		pairs = s.r.Memo(s.memoKey("hashed:"+key), func() any {
+		pairs = s.r.Memo(mk, func() any {
 			return amr.IntersectHashed(a, b)
 		}).([]amr.Pair)
 		ops = nomBoxes * (1 + math.Log2(math.Max(nomBoxes, 2))) * 4
@@ -282,25 +342,55 @@ func (s *State) exchangePairs(pairs []amr.Pair, srcOwner, dstOwner []int,
 	me := s.r.ID()
 	baseTag := s.tag
 	s.tag += len(pairs)
+	if s.traj != nil {
+		// Replay: the payload of every pair is NFields·|overlap| values —
+		// pure box metadata — so the messages fly with nil bodies and the
+		// identical nominal byte counts, and pack/apply never run.
+		for i, pr := range pairs {
+			if srcOwner[pr.A] == me && dstOwner[pr.B] != me {
+				s.r.SendOwnedNominal(dstOwner[pr.B], baseTag+i+1, nil,
+					float64(NFields*pr.Overlap.Size()*8)*s.nomSurf)
+			}
+		}
+		for i, pr := range pairs {
+			if dstOwner[pr.B] == me && srcOwner[pr.A] != me {
+				s.r.Recv(srcOwner[pr.A], baseTag+i+1)
+			}
+		}
+		return
+	}
 	// Like the original's nonblocking FillBoundary, all sends are posted
 	// before any receive is waited on; interleaving them would serialise
 	// the exchange in virtual time across the whole pair list.
+	//
+	// Pack buffers come from the world's pooled payload allocator and go
+	// back to it the moment apply has consumed them: locally-applied and
+	// received buffers are freed here, sent buffers transfer ownership to
+	// the receiver (who frees them in its own loop). No apply callback
+	// retains its data argument.
 	for i, pr := range pairs {
 		so, do := srcOwner[pr.A], dstOwner[pr.B]
 		switch {
 		case so == me && do == me:
-			apply(pr, pack(pr))
-		case so == me:
-			// pack builds a fresh buffer per pair, so ownership can
-			// transfer to the receiver without a defensive copy.
 			data := pack(pr)
-			s.r.SendOwnedNominal(do, baseTag+i+1, data, float64(len(data)*8)*s.nomSurf)
+			apply(pr, data)
+			s.r.FreeBuf(data)
+		case so == me:
+			// pack builds a fresh or pooled buffer per pair, so ownership
+			// can transfer to the receiver without a defensive copy. Every
+			// pack produces exactly NFields·|overlap| values; charging from
+			// the metadata keeps full and replay runs byte-identical.
+			data := pack(pr)
+			s.r.SendOwnedNominal(do, baseTag+i+1, data,
+				float64(NFields*pr.Overlap.Size()*8)*s.nomSurf)
 		}
 	}
 	for i, pr := range pairs {
 		so, do := srcOwner[pr.A], dstOwner[pr.B]
 		if do == me && so != me {
-			apply(pr, s.r.Recv(so, baseTag+i+1))
+			data := s.r.Recv(so, baseTag+i+1)
+			apply(pr, data)
+			s.r.FreeBuf(data)
 		}
 	}
 }
@@ -323,10 +413,11 @@ func (s *State) fillGhosts(li int) {
 			}
 			ghostBoxes[i] = g.Coarsen(l.Ratio)
 		}
-		pairs := s.cachedIntersect(fmt.Sprintf("prolong%d", li), coarse.Boxes, ghostBoxes)
+		pairs := s.cachedIntersect(pairKey{pairProlong, li}, coarse.Boxes, ghostBoxes)
 		s.exchangePairs(pairs, coarse.Owner, l.Owner,
 			func(pr amr.Pair) []float64 {
-				return coarse.Patch[pr.A].PackRegion(pr.Overlap)
+				return coarse.Patch[pr.A].PackRegionInto(pr.Overlap,
+					s.r.GetBuf(NFields*pr.Overlap.Size()))
 			},
 			func(pr amr.Pair, data []float64) {
 				fineRegion, ok := pr.Overlap.Refine(l.Ratio).Intersect(l.Boxes[pr.B].Grow(ghostWidth))
@@ -341,15 +432,15 @@ func (s *State) fillGhosts(li int) {
 	for i, b := range l.Boxes {
 		grown[i] = b.Grow(ghostWidth)
 	}
-	pairs := s.cachedIntersect(fmt.Sprintf("same%d", li), l.Boxes, grown)
+	// Self pairs (a box's interior onto itself) are filtered out of the
+	// cached list, so every remaining pair moves real data.
+	pairs := s.cachedIntersect(pairKey{pairSame, li}, l.Boxes, grown)
 	s.exchangePairs(pairs, l.Owner, l.Owner,
 		func(pr amr.Pair) []float64 {
-			return l.Patch[pr.A].PackRegion(pr.Overlap)
+			return l.Patch[pr.A].PackRegionInto(pr.Overlap,
+				s.r.GetBuf(NFields*pr.Overlap.Size()))
 		},
 		func(pr amr.Pair, data []float64) {
-			if pr.A == pr.B {
-				return // own interior
-			}
 			l.Patch[pr.B].UnpackRegion(pr.Overlap, data)
 		})
 	for _, p := range l.Patch {
@@ -376,11 +467,12 @@ func (s *State) averageDown() {
 		for i, b := range fine.Boxes {
 			coarsened[i] = b.Coarsen(fine.Ratio)
 		}
-		pairs := s.cachedIntersect(fmt.Sprintf("avg%d", li), coarsened, coarse.Boxes)
+		pairs := s.cachedIntersect(pairKey{pairAvg, li}, coarsened, coarse.Boxes)
 		// Here A indexes fine boxes (coarsened) and B coarse boxes.
 		s.exchangePairs(pairs, fine.Owner, coarse.Owner,
 			func(pr amr.Pair) []float64 {
-				return restrictRegion(fine.Patch[pr.A], pr.Overlap, fine.Ratio)
+				return restrictRegionInto(fine.Patch[pr.A], pr.Overlap, fine.Ratio,
+					s.r.GetBuf(NFields*pr.Overlap.Size()))
 			},
 			func(pr amr.Pair, data []float64) {
 				coarse.Patch[pr.B].UnpackRegion(pr.Overlap, data)
@@ -400,34 +492,53 @@ func (s *State) regrid() {
 	for li := 1; li < nLevelsWanted; li++ {
 		parent := s.levels[li-1]
 		ratio := s.cfg.Ratios[li-1]
-		// Tag locally on the parent level.
-		tags := amr.NewTagSet()
-		for _, p := range parent.Patch {
-			p.TagCells(tags, s.cfg.TagThreshold)
-		}
-		// Exchange tags globally (metadata allgather, as the original's
-		// grid generation step).
-		packed := make([]float64, 0, 3*tags.Len())
-		for c := range tags {
-			packed = append(packed, float64(c[0]), float64(c[1]), float64(c[2]))
-		}
-		all := s.r.AllgatherNominal(s.r.World(), packed,
-			float64(len(packed)*8)*s.nomSurf)
-		// Every rank receives the identical allgather result, so the
-		// global tag set and the whole tags→boxes derivation below are
-		// replicated metadata: compute each once per world and share.
-		global := s.r.Memo(s.memoKey(fmt.Sprintf("gtags:l%d", li)), func() any {
-			g := amr.NewTagSet()
-			for _, part := range all {
-				for i := 0; i+2 < len(part); i += 3 {
-					g.Add(int(part[i]), int(part[i+1]), int(part[i+2]))
-				}
+		// Tag locally on the parent level, then exchange tags globally
+		// (metadata allgather, as the original's grid generation step).
+		// A replay run has no field data to tag: it re-issues the
+		// allgather with the recorded payload length (which sets the
+		// nominal bytes) and takes the recorded global tag set.
+		var global amr.TagSet
+		if s.traj != nil {
+			packedLen := s.traj.tagLens[s.trajTag][s.r.ID()]
+			s.r.AllgatherNominal(s.r.World(), nil,
+				float64(packedLen*8)*s.nomSurf)
+			global = s.traj.tags[s.trajTag]
+			s.trajTag++
+		} else {
+			tags := amr.NewTagSet()
+			for _, p := range parent.Patch {
+				p.TagCells(tags, s.cfg.TagThreshold)
 			}
-			return g
-		}).(amr.TagSet)
+			packed := make([]float64, 0, 3*tags.Len())
+			for c := range tags {
+				packed = append(packed, float64(c[0]), float64(c[1]), float64(c[2]))
+			}
+			all := s.r.AllgatherNominal(s.r.World(), packed,
+				float64(len(packed)*8)*s.nomSurf)
+			// Every rank receives the identical allgather result, so the
+			// global tag set and the whole tags→boxes derivation below are
+			// replicated metadata: compute each once per world and share.
+			global = s.r.Memo(regridMemoKey{'t', li, s.gen}, func() any {
+				g := amr.NewTagSet()
+				for _, part := range all {
+					for i := 0; i+2 < len(part); i += 3 {
+						g.Add(int(part[i]), int(part[i+1]), int(part[i+2]))
+					}
+				}
+				return g
+			}).(amr.TagSet)
+			if s.rec != nil && s.r.ID() == 0 {
+				lens := make([]int, len(all))
+				for i, part := range all {
+					lens[i] = len(part)
+				}
+				s.rec.tagLens = append(s.rec.tagLens, lens)
+				s.rec.tags = append(s.rec.tags, global)
+			}
+		}
 		var newBoxes []amr.Box
 		if global.Len() > 0 {
-			newBoxes = s.r.Memo(s.memoKey(fmt.Sprintf("boxes:l%d", li)), func() any {
+			newBoxes = s.r.Memo(regridMemoKey{'b', li, s.gen}, func() any {
 				buffered := global.Buffer(1, parent.Domain)
 				clusters := amr.Cluster(buffered, 0.7, 0)
 				// Clip to the parent's region for proper nesting, then
@@ -464,17 +575,20 @@ func (s *State) regrid() {
 		domain := parent.Domain.Refine(ratio)
 		lvl := newLevel(li, ratio, domain, newBoxes, s.r.N(), s.cfg.CopyingKnapsack,
 			parent.H/float64(ratio))
-		lvl.allocate(s.r.ID())
+		if s.traj == nil {
+			lvl.allocate(s.r.ID())
+		}
 		// Fill new patches: prolongation from the parent everywhere,
 		// then overwrite with old same-level data where it exists.
 		coarsened := make([]amr.Box, len(newBoxes))
 		for i, b := range newBoxes {
 			coarsened[i] = b.Coarsen(ratio)
 		}
-		pairs := s.intersect(fmt.Sprintf("seed:l%d", li), parent.Boxes, coarsened)
+		pairs := s.intersect(pairKey{pairSeed, li}, parent.Boxes, coarsened)
 		s.exchangePairs(pairs, parent.Owner, lvl.Owner,
 			func(pr amr.Pair) []float64 {
-				return parent.Patch[pr.A].PackRegion(pr.Overlap)
+				return parent.Patch[pr.A].PackRegionInto(pr.Overlap,
+					s.r.GetBuf(NFields*pr.Overlap.Size()))
 			},
 			func(pr amr.Pair, data []float64) {
 				fineRegion := pr.Overlap.Refine(ratio)
@@ -484,10 +598,11 @@ func (s *State) regrid() {
 			})
 		if li < len(s.levels) {
 			old := s.levels[li]
-			pairs := s.intersect(fmt.Sprintf("recopy:l%d", li), old.Boxes, newBoxes)
+			pairs := s.intersect(pairKey{pairRecopy, li}, old.Boxes, newBoxes)
 			s.exchangePairs(pairs, old.Owner, lvl.Owner,
 				func(pr amr.Pair) []float64 {
-					return old.Patch[pr.A].PackRegion(pr.Overlap)
+					return old.Patch[pr.A].PackRegionInto(pr.Overlap,
+						s.r.GetBuf(NFields*pr.Overlap.Size()))
 				},
 				func(pr amr.Pair, data []float64) {
 					lvl.Patch[pr.B].UnpackRegion(pr.Overlap, data)
@@ -512,7 +627,16 @@ func (s *State) computeDt() float64 {
 			}
 		}
 	}
+	// The reduce's modelled cost is value-independent, so a replay run
+	// issues it with a placeholder and substitutes the recorded global
+	// maximum (patch-less levels contribute nothing to local).
 	vmax := s.r.AllreduceScalar(s.r.World(), local, simmpi.OpMax)
+	if s.traj != nil {
+		vmax = s.traj.vmax[s.trajVmax]
+		s.trajVmax++
+	} else if s.rec != nil && s.r.ID() == 0 {
+		s.rec.vmax = append(s.rec.vmax, vmax)
+	}
 	finest := s.levels[len(s.levels)-1]
 	return s.cfg.CFL * finest.H / vmax
 }
@@ -583,16 +707,28 @@ func (s *State) ProbeDensity(i, j, k int) float64 {
 	return 0
 }
 
-// Run executes the HyperCLaw benchmark.
+// Run executes the HyperCLaw benchmark. The first run at a given
+// (config, nprocs) point records its physics trajectory; repeat runs —
+// Figure 8's per-machine columns, study ladders re-costing the same
+// problem — replay it metadata-only with a bit-identical Report.
 func Run(ctx context.Context, sim simmpi.Config, cfg Config) (*simmpi.Report, error) {
-	return simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
-		st, err := NewState(r, cfg)
-		if err != nil {
-			panic(err)
+	traj, rec := acquireTrajectory(ctx, trajKey(cfg, sim.Procs))
+	var recTraj *trajectory
+	if rec != nil {
+		recTraj = rec.traj
+	}
+	rep, err := simmpi.RunContext(ctx, sim, func(r *simmpi.Rank) {
+		st, serr := newState(r, cfg, traj, recTraj)
+		if serr != nil {
+			panic(serr)
 		}
 		for i := 0; i < cfg.Steps; i++ {
 			st.Step()
 		}
 		r.AllreduceScalar(r.World(), st.GlobalTotals()[QRho], simmpi.OpSum)
 	})
+	if rec != nil {
+		rec.publish(err == nil)
+	}
+	return rep, err
 }

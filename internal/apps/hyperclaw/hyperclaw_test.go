@@ -313,3 +313,43 @@ func TestManyCommunicatingPartners(t *testing.T) {
 		t.Fatal("no point-to-point traffic recorded")
 	}
 }
+
+// TestTrajectoryReplayBitIdentical pins the trajectory cache's hard
+// contract: a metadata-only replay at a (config, nprocs) point produces
+// exactly the Report a full-physics run produces. A run on Bassi records
+// the trajectory; the Jaguar run then replays it; resetting the cache
+// and re-running Jaguar full-physics must match the replayed Report in
+// every field.
+func TestTrajectoryReplayBitIdentical(t *testing.T) {
+	cfg := DefaultConfig(8)
+	cfg.Steps = 3
+	run := func(spec machine.Spec) *simmpi.Report {
+		rep, err := Run(context.Background(), simmpi.Config{Machine: spec, Procs: 8}, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep
+	}
+	ResetTrajectoryCache()
+	run(machine.Bassi)              // records
+	replayed := run(machine.Jaguar) // replays
+	ResetTrajectoryCache()
+	fresh := run(machine.Jaguar) // records from scratch
+	if replayed.Wall != fresh.Wall ||
+		replayed.TotalFlops != fresh.TotalFlops ||
+		replayed.CommFrac != fresh.CommFrac ||
+		replayed.MaxCommFrac != fresh.MaxCommFrac ||
+		replayed.BytesSent != fresh.BytesSent ||
+		replayed.Messages != fresh.Messages ||
+		replayed.LoadImbalance != fresh.LoadImbalance {
+		t.Fatalf("replayed report diverges from full run:\nreplay: %+v\nfresh:  %+v", replayed, fresh)
+	}
+	if len(replayed.Phases) != len(fresh.Phases) {
+		t.Fatalf("phase sets differ: %v vs %v", replayed.Phases, fresh.Phases)
+	}
+	for name, v := range fresh.Phases {
+		if replayed.Phases[name] != v {
+			t.Fatalf("phase %q: replay %v, fresh %v", name, replayed.Phases[name], v)
+		}
+	}
+}

@@ -71,6 +71,9 @@ func (l *Level) LocalCells(me int) int {
 // domain.
 func applyDomainBC(p *Patch, domain amr.Box, bc BCType) {
 	gb := p.GhostBox()
+	if domain.ContainsBox(gb) {
+		return // no ghost cell leaves the domain: nothing to fill
+	}
 	for k := gb.Lo[2]; k < gb.Hi[2]; k++ {
 		for j := gb.Lo[1]; j < gb.Hi[1]; j++ {
 			for i := gb.Lo[0]; i < gb.Hi[0]; i++ {
@@ -178,9 +181,18 @@ func prolongate(dst *Patch, fineRegion amr.Box, coarseRegion amr.Box, coarseData
 // restrictRegion averages fine patch data down onto the coarse cells of
 // coarseRegion (coarse index space), returning the packed averages.
 func restrictRegion(src *Patch, coarseRegion amr.Box, ratio int) []float64 {
+	return restrictRegionInto(src, coarseRegion, ratio,
+		make([]float64, 0, NFields*coarseRegion.Size()))
+}
+
+// restrictRegionInto is restrictRegion writing into a caller-supplied
+// buffer (typically a pooled simmpi payload buffer), which must be empty
+// with sufficient capacity. Every element is written, so the buffer need
+// not be zeroed.
+func restrictRegionInto(src *Patch, coarseRegion amr.Box, ratio int, buf []float64) []float64 {
 	cext := [3]int{coarseRegion.Extent(0), coarseRegion.Extent(1), coarseRegion.Extent(2)}
 	csize := cext[0] * cext[1] * cext[2]
-	out := make([]float64, NFields*csize)
+	out := buf[:NFields*csize]
 	inv := 1.0 / float64(ratio*ratio*ratio)
 	for f := 0; f < NFields; f++ {
 		base := f * csize

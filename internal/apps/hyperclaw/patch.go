@@ -72,10 +72,14 @@ func (p *Patch) Fill(fn func(i, j, k int) [NFields]float64) {
 // the patch's ghost-inclusive bounds) field-major. Rows along x are
 // contiguous in the patch layout, so each is copied as a block.
 func (p *Patch) PackRegion(region amr.Box) []float64 {
+	return p.PackRegionInto(region, make([]float64, 0, NFields*region.Size()))
+}
+
+// PackRegionInto is PackRegion appending into a caller-supplied buffer
+// (typically a pooled simmpi payload buffer), which must be empty with
+// sufficient capacity.
+func (p *Patch) PackRegionInto(region amr.Box, out []float64) []float64 {
 	nx := region.Hi[0] - region.Lo[0]
-	// Append into capacity rather than make-then-copy: the fresh array is
-	// filled by the row copies, never zeroed first.
-	out := make([]float64, 0, NFields*region.Size())
 	for f := 0; f < NFields; f++ {
 		for k := region.Lo[2]; k < region.Hi[2]; k++ {
 			for j := region.Lo[1]; j < region.Hi[1]; j++ {

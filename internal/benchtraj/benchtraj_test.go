@@ -7,6 +7,9 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/machine"
+	"repro/internal/pingpong"
 )
 
 // sink keeps tinySuite's allocation observable by -benchmem accounting.
@@ -245,10 +248,62 @@ func TestGateCatchesAllocRegression(t *testing.T) {
 	}
 }
 
+// TestGateSimAllocsHaveNoFloor pins the simmpi-substrate alloc gate: a
+// Sim*-prefixed entry regressing >20% in allocs/op fails even below the
+// general MinAllocs=64 exemption, while an equally small non-Sim entry
+// stays exempt. The pooled core's 3-alloc world spawn must not creep
+// back under cover of the noise floor.
+func TestGateSimAllocsHaveNoFloor(t *testing.T) {
+	old := &Record{
+		Schema:   SchemaVersion,
+		Headline: Headline{ColdAllFiguresNs: 10e9},
+		Benchmarks: []Benchmark{
+			{Name: "SimWorldSpawn1024", NsPerOp: 1e5, AllocsPerOp: 3},
+			{Name: "Micro", NsPerOp: 100, AllocsPerOp: 3},
+		},
+	}
+	bad := &Record{
+		Schema:   SchemaVersion,
+		Headline: Headline{ColdAllFiguresNs: 10e9},
+		Benchmarks: []Benchmark{
+			{Name: "SimWorldSpawn1024", NsPerOp: 1e5, AllocsPerOp: 4}, // +33%
+			{Name: "Micro", NsPerOp: 100, AllocsPerOp: 4},             // +33%, exempt
+		},
+	}
+	deltas, err := Compare(old, bad, DefaultThresholds())
+	if err != nil {
+		t.Fatal(err)
+	}
+	regs := Regressions(deltas)
+	if len(regs) != 1 || regs[0].Name != "SimWorldSpawn1024" || regs[0].Metric != "allocs/op" {
+		t.Fatalf("want exactly the Sim* allocs/op regression, got %v", regs)
+	}
+}
+
 func TestCompareRejectsSchemaMismatch(t *testing.T) {
 	old := baselineRecord()
 	old.Schema = SchemaVersion + 1
 	if _, err := Compare(old, baselineRecord(), DefaultThresholds()); err == nil {
 		t.Fatal("cross-schema comparison must fail")
+	}
+}
+
+// TestPingPongAllocsBounded pins the pooled-messaging win on the
+// Table 1 body: one full ping-pong sweep across every machine must stay
+// under 100 allocations (the goroutine-per-rank core needed ~2.5k).
+func TestPingPongAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("race instrumentation allocates per sync event")
+	}
+	body := func() {
+		for _, m := range machine.All() {
+			if _, err := pingpong.Measure(m); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	body() // warm the scheduler's host pool and the worlds' arenas
+	if allocs := testing.AllocsPerRun(5, body); allocs >= 100 {
+		t.Errorf("Table 1 ping-pong sweep allocates %.0f/op, want < 100", allocs)
 	}
 }

@@ -3,6 +3,7 @@ package benchtraj
 import (
 	"fmt"
 	"io"
+	"strings"
 )
 
 // Thresholds define when a new measurement counts as a regression
@@ -23,6 +24,12 @@ type Thresholds struct {
 	// MinAllocs exempts benchmarks allocating fewer than this many
 	// objects per op from allocation gating.
 	MinAllocs int64
+	// SimAllocFrac fails a Sim*-prefixed benchmark whose allocs/op grew
+	// by more than this fraction, with no MinAllocs exemption. The
+	// simmpi substrate entries are exactly the ones whose allocation
+	// counts the pooled core pins down — a world spawn at 3 allocs/op
+	// must not silently creep back to 300 under the general floor.
+	SimAllocFrac float64
 	// HeadlineFrac fails the record when the cold AllFigures wall time
 	// grew by more than this fraction.
 	HeadlineFrac float64
@@ -37,6 +44,7 @@ func DefaultThresholds() Thresholds {
 		MinNs:        50_000, // 50µs
 		AllocFrac:    0.15,
 		MinAllocs:    64,
+		SimAllocFrac: 0.20,
 		HeadlineFrac: 0.30,
 	}
 }
@@ -98,7 +106,11 @@ func Compare(old, new *Record, th Thresholds) ([]Delta, error) {
 			d := Delta{Name: nb.Name, Metric: "allocs/op",
 				Old: float64(ob.AllocsPerOp), New: float64(nb.AllocsPerOp)}
 			d.Frac = (d.New - d.Old) / d.Old
-			d.Regressed = th.AllocFrac > 0 && ob.AllocsPerOp >= th.MinAllocs && d.Frac > th.AllocFrac
+			frac, floor := th.AllocFrac, th.MinAllocs
+			if th.SimAllocFrac > 0 && strings.HasPrefix(nb.Name, "Sim") {
+				frac, floor = th.SimAllocFrac, 0
+			}
+			d.Regressed = frac > 0 && ob.AllocsPerOp >= floor && d.Frac > frac
 			out = append(out, d)
 		}
 	}

@@ -1,0 +1,6 @@
+//go:build !race
+
+package benchtraj
+
+// raceEnabled is false in uninstrumented builds; see race_test.go.
+const raceEnabled = false

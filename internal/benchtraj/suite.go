@@ -210,6 +210,7 @@ func benchFig8Summary(b *testing.B) {
 func benchAllFiguresCold(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
+		hyperclaw.ResetTrajectoryCache()
 		opts := experiments.Options{Quick: true, MaxProcs: 64,
 			Runner: &runner.Pool{Workers: runtime.GOMAXPROCS(0)}}
 		if figs, err := experiments.AllFigures(context.Background(), opts); err != nil || len(figs) != 6 {

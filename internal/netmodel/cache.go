@@ -1,0 +1,55 @@
+package netmodel
+
+import (
+	"sync"
+
+	"repro/internal/machine"
+)
+
+// Models are pure after construction (value-receiver topology and
+// mapping math, no internal state), so identical (spec, procs) pairs can
+// share one instance. Sweeps re-simulate the same few dozen pairs
+// thousands of times; memoizing the construction removes the per-world
+// topology setup entirely.
+
+type cacheKey struct {
+	spec  machine.Spec
+	procs int
+}
+
+var (
+	cacheMu    sync.Mutex
+	modelCache map[cacheKey]*Model
+)
+
+// cacheLimit bounds the memo for workloads that churn distinct specs
+// (what-if perturbation sweeps generate one spec per knob setting).
+// Eviction drops the whole map: the steady-state working set is tiny,
+// so rebuilding it costs a handful of constructions.
+const cacheLimit = 512
+
+// Cached returns a shared Model for (spec, procs) with the default block
+// mapping, constructing and memoizing it on first use. The returned
+// model must be treated as read-only, which all Model methods uphold.
+func Cached(spec machine.Spec, procs int) (*Model, error) {
+	k := cacheKey{spec: spec, procs: procs}
+	cacheMu.Lock()
+	if m, ok := modelCache[k]; ok {
+		cacheMu.Unlock()
+		return m, nil
+	}
+	cacheMu.Unlock()
+	m, err := New(spec, procs)
+	if err != nil {
+		return nil, err
+	}
+	cacheMu.Lock()
+	if modelCache == nil {
+		modelCache = make(map[cacheKey]*Model)
+	} else if len(modelCache) >= cacheLimit {
+		clear(modelCache)
+	}
+	modelCache[k] = m
+	cacheMu.Unlock()
+	return m, nil
+}

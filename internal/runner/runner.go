@@ -11,6 +11,8 @@ import (
 	"reflect"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/simslot"
 )
 
 // cacheVersion salts every content key. Bump it when a change to the
@@ -571,5 +573,12 @@ func (p *Pool) simulate(ctx context.Context, j Job) (Result, error) {
 		return Result{}, ctx.Err()
 	}
 	defer func() { <-sem }()
+	// Tell the simulation core how much host parallelism this job may
+	// spend on intra-world sharding: its own slot plus whatever is idle
+	// at dispatch. A saturated pool runs each world single-sharded; a
+	// lone big world fans out. Shard count never changes virtual-time
+	// results (the determinism stress test pins this), so a dynamic
+	// budget cannot perturb artifacts.
+	ctx = simslot.With(ctx, 1+cap(sem)-len(sem))
 	return j.Run(ctx)
 }

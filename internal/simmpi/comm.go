@@ -47,33 +47,67 @@ func (o Op) combine(dst, src []float64) {
 type Comm struct {
 	w      *World
 	ranks  []int       // ranks[i] = world id of communicator rank i
-	pos    map[int]int // world id → communicator rank
+	pos    map[int]int // world id → communicator rank (nil for world comm)
 	shared *commShared
+	world  bool // world communicator: ranks[i] == i, no pos map needed
+}
+
+// slot is one member's contribution to (or result from) a collective.
+// The typed fields replace interface{} boxing, which cost an allocation
+// per member per collective.
+type slot struct {
+	vec   []float64
+	parts [][]float64
+	ck    [2]int // Split's (color, key)
+	cm    *Comm  // Split's result
 }
 
 type commShared struct {
 	mu       sync.Mutex
-	cond     *sync.Cond
 	gen      uint64
 	arrived  int
 	maxClock vtime.Seconds
 	nomBytes float64
-	inputs   []any
-	outputs  []any
+	inputs   []slot
+	outputs  []slot
 	finish   vtime.Seconds
 }
 
-func newCommShared(w *World, n int) *commShared {
-	s := &commShared{
-		maxClock: math.Inf(-1),
-		inputs:   make([]any, n),
-		outputs:  make([]any, n),
+// ensure sizes and resets the rendezvous state for n members (pooled
+// world communicator reuse).
+func (s *commShared) ensure(n int) {
+	s.gen = 0
+	s.arrived = 0
+	s.maxClock = math.Inf(-1)
+	s.nomBytes = 0
+	s.finish = 0
+	if cap(s.inputs) < n {
+		s.inputs = make([]slot, n)
+		s.outputs = make([]slot, n)
+		return
 	}
-	s.cond = sync.NewCond(&s.mu)
-	w.commMu.Lock()
-	w.commList = append(w.commList, s)
-	w.commMu.Unlock()
-	return s
+	s.inputs = s.inputs[:n]
+	s.outputs = s.outputs[:n]
+	s.clearRefs()
+}
+
+// clearRefs drops payload references so pooled worlds do not pin
+// application data.
+func (s *commShared) clearRefs() {
+	for i := range s.inputs {
+		s.inputs[i] = slot{}
+	}
+	for i := range s.outputs {
+		s.outputs[i] = slot{}
+	}
+}
+
+func newCommShared(n int) *commShared {
+	return &commShared{
+		maxClock: math.Inf(-1),
+		inputs:   make([]slot, n),
+		outputs:  make([]slot, n),
+	}
 }
 
 func newComm(w *World, ranks []int) *Comm {
@@ -81,15 +115,7 @@ func newComm(w *World, ranks []int) *Comm {
 	for i, wr := range ranks {
 		pos[wr] = i
 	}
-	return &Comm{w: w, ranks: ranks, pos: pos, shared: newCommShared(w, len(ranks))}
-}
-
-func newWorldComm(w *World) *Comm {
-	ranks := make([]int, w.cfg.Procs)
-	for i := range ranks {
-		ranks[i] = i
-	}
-	return newComm(w, ranks)
+	return &Comm{w: w, ranks: ranks, pos: pos, shared: newCommShared(len(ranks))}
 }
 
 // Size returns the number of ranks in the communicator.
@@ -97,6 +123,12 @@ func (c *Comm) Size() int { return len(c.ranks) }
 
 // Rank returns r's rank within the communicator, or -1 if not a member.
 func (c *Comm) Rank(r *Rank) int {
+	if c.world {
+		if r.id >= 0 && r.id < len(c.ranks) {
+			return r.id
+		}
+		return -1
+	}
 	if i, ok := c.pos[r.id]; ok {
 		return i
 	}
@@ -107,16 +139,19 @@ func (c *Comm) Rank(r *Rank) int {
 func (c *Comm) WorldRank(commRank int) int { return c.ranks[commRank] }
 
 // collect is the generation-numbered rendezvous at the heart of every
-// collective. The last arriver runs fin (under the lock) to fill outputs
-// and the finish time; everyone leaves with their output and their clock
-// advanced to the finish instant.
-func (c *Comm) collect(r *Rank, input any, nomBytes float64, fin func(s *commShared)) any {
+// collective. Arrivers park; the last arriver runs fin (under the lock)
+// to fill outputs and the finish time, then wakes every other member —
+// all of which are parked right here, by the lock ordering argument in
+// sched.go. Everyone leaves with their output and their clock advanced
+// to the finish instant.
+func (c *Comm) collect(r *Rank, input slot, nomBytes float64, fin func(s *commShared)) slot {
 	r.checkAbort()
 	me := c.Rank(r)
 	if me < 0 {
 		panic(fmt.Sprintf("simmpi: rank %d is not a member of the communicator", r.id))
 	}
 	entry := r.clock.Now()
+	w := r.w
 	s := c.shared
 	s.mu.Lock()
 	g := s.gen
@@ -134,26 +169,49 @@ func (c *Comm) collect(r *Rank, input any, nomBytes float64, fin func(s *commSha
 		s.maxClock = math.Inf(-1)
 		s.nomBytes = 0
 		for i := range s.inputs {
-			s.inputs[i] = nil
+			s.inputs[i] = slot{}
 		}
 		s.gen++
-		s.cond.Broadcast()
+		w.wakeMembers(c.ranks, r)
 	} else {
 		for s.gen == g {
-			if err := r.w.aborted(); err != nil {
+			if w.abortFlag.Load() {
 				s.mu.Unlock()
-				panic(abortedPanic{err})
+				panic(abortedPanic{w.aborted()})
 			}
-			s.cond.Wait()
+			r.park(s.mu.Unlock)
+			s.mu.Lock()
 		}
 	}
 	out := s.outputs[me]
+	s.outputs[me] = slot{}
 	finish := s.finish
 	s.mu.Unlock()
 
 	r.clock.AdvanceTo(finish)
 	r.commT += r.clock.Now() - entry
 	return out
+}
+
+// fanOutVec hands every member its own copy of src, carved from one
+// backing allocation instead of one per member. The copies go to
+// application code (a rank may mutate its result in place), so they
+// must not overlap — full-capacity subslices guarantee that even
+// through append.
+func fanOutVec(outputs []slot, src []float64) {
+	k := len(src)
+	if k == 0 {
+		for i := range outputs {
+			outputs[i].vec = nil
+		}
+		return
+	}
+	backing := make([]float64, k*len(outputs))
+	for i := range outputs {
+		dst := backing[i*k : (i+1)*k : (i+1)*k]
+		copy(dst, src)
+		outputs[i].vec = dst
+	}
 }
 
 func (c *Comm) record(kind string, b float64) {
@@ -175,7 +233,7 @@ func (c *Comm) record(kind string, b float64) {
 // Barrier synchronises all members of the communicator.
 func (r *Rank) Barrier(c *Comm) {
 	c.record("barrier", 0)
-	c.collect(r, nil, 0, func(s *commShared) {
+	c.collect(r, slot{}, 0, func(s *commShared) {
 		s.finish = s.maxClock + r.w.net.Barrier(len(c.ranks))
 	})
 }
@@ -190,25 +248,22 @@ func (r *Rank) Bcast(c *Comm, root int, data []float64) []float64 {
 // (nomBytes < 0 charges the actual payload size).
 func (r *Rank) BcastNominal(c *Comm, root int, data []float64, nomBytes float64) []float64 {
 	c.record("bcast", nomBytes)
-	var in []float64
+	var in slot
 	if c.Rank(r) == root {
-		in = data
+		in.vec = data
 	}
 	out := c.collect(r, in, nomBytes, func(s *commShared) {
-		src, _ := s.inputs[root].([]float64)
+		src := s.inputs[root].vec
 		b := s.nomBytes
 		if b <= 0 {
 			// Same fallback as every other collective: a zero or negative
 			// nominal size charges the actual payload.
 			b = float64(len(src) * 8)
 		}
-		for i := range s.outputs {
-			s.outputs[i] = append([]float64(nil), src...)
-		}
+		fanOutVec(s.outputs, src)
 		s.finish = s.maxClock + r.w.net.Bcast(len(c.ranks), b)
 	})
-	res, _ := out.([]float64)
-	return res
+	return out.vec
 }
 
 // Allreduce combines data elementwise across all members with op and
@@ -220,19 +275,16 @@ func (r *Rank) Allreduce(c *Comm, data []float64, op Op) []float64 {
 // AllreduceNominal is Allreduce charging an explicit nominal byte count.
 func (r *Rank) AllreduceNominal(c *Comm, data []float64, op Op, nomBytes float64) []float64 {
 	c.record("allreduce", nomBytes)
-	out := c.collect(r, data, nomBytes, func(s *commShared) {
+	out := c.collect(r, slot{vec: data}, nomBytes, func(s *commShared) {
 		acc := reduceInputs(s.inputs, op)
 		b := s.nomBytes
 		if b <= 0 {
 			b = float64(len(acc) * 8)
 		}
-		for i := range s.outputs {
-			s.outputs[i] = append([]float64(nil), acc...)
-		}
+		fanOutVec(s.outputs, acc)
 		s.finish = s.maxClock + r.w.net.Allreduce(len(c.ranks), b)
 	})
-	res, _ := out.([]float64)
-	return res
+	return out.vec
 }
 
 // AllreduceScalar reduces a single value across the communicator.
@@ -245,22 +297,21 @@ func (r *Rank) AllreduceScalar(c *Comm, v float64, op Op) float64 {
 // receives a non-nil result.
 func (r *Rank) Reduce(c *Comm, root int, data []float64, op Op) []float64 {
 	c.record("reduce", float64(len(data)*8))
-	out := c.collect(r, data, float64(len(data)*8), func(s *commShared) {
+	out := c.collect(r, slot{vec: data}, float64(len(data)*8), func(s *commShared) {
 		acc := reduceInputs(s.inputs, op)
 		for i := range s.outputs {
-			s.outputs[i] = nil
+			s.outputs[i].vec = nil
 		}
-		s.outputs[root] = acc
+		s.outputs[root].vec = acc
 		s.finish = s.maxClock + r.w.net.Reduce(len(c.ranks), s.nomBytes)
 	})
-	res, _ := out.([]float64)
-	return res
+	return out.vec
 }
 
-func reduceInputs(inputs []any, op Op) []float64 {
+func reduceInputs(inputs []slot, op Op) []float64 {
 	var acc []float64
-	for _, in := range inputs {
-		v, _ := in.([]float64)
+	for i := range inputs {
+		v := inputs[i].vec
 		if v == nil {
 			continue
 		}
@@ -283,41 +334,39 @@ func (r *Rank) Allgather(c *Comm, data []float64) [][]float64 {
 // byte count.
 func (r *Rank) AllgatherNominal(c *Comm, data []float64, nomBytes float64) [][]float64 {
 	c.record("allgather", nomBytes)
-	out := c.collect(r, append([]float64(nil), data...), nomBytes, func(s *commShared) {
+	out := c.collect(r, slot{vec: append([]float64(nil), data...)}, nomBytes, func(s *commShared) {
 		all := make([][]float64, len(s.inputs))
-		for i, in := range s.inputs {
-			all[i], _ = in.([]float64)
+		for i := range s.inputs {
+			all[i] = s.inputs[i].vec
 		}
 		b := s.nomBytes
 		if b <= 0 {
 			b = maxInputBytes(s.inputs)
 		}
 		for i := range s.outputs {
-			s.outputs[i] = all
+			s.outputs[i].parts = all
 		}
 		s.finish = s.maxClock + r.w.net.Allgather(len(c.ranks), b)
 	})
-	res, _ := out.([][]float64)
-	return res
+	return out.parts
 }
 
 // Gather collects every member's contribution at the root; only the root
 // receives a non-nil result (read-only slices).
 func (r *Rank) Gather(c *Comm, root int, data []float64) [][]float64 {
 	c.record("gather", float64(len(data)*8))
-	out := c.collect(r, append([]float64(nil), data...), float64(len(data)*8), func(s *commShared) {
+	out := c.collect(r, slot{vec: append([]float64(nil), data...)}, float64(len(data)*8), func(s *commShared) {
 		all := make([][]float64, len(s.inputs))
-		for i, in := range s.inputs {
-			all[i], _ = in.([]float64)
+		for i := range s.inputs {
+			all[i] = s.inputs[i].vec
 		}
 		for i := range s.outputs {
-			s.outputs[i] = nil
+			s.outputs[i].parts = nil
 		}
-		s.outputs[root] = all
+		s.outputs[root].parts = all
 		s.finish = s.maxClock + r.w.net.Gather(len(c.ranks), s.nomBytes)
 	})
-	res, _ := out.([][]float64)
-	return res
+	return out.parts
 }
 
 // Alltoall performs a complete exchange: parts[i] is sent to communicator
@@ -340,7 +389,7 @@ func (r *Rank) AlltoallNominal(c *Comm, parts [][]float64, nomBytesPerPair float
 	for i, p := range parts {
 		snap[i] = append([]float64(nil), p...)
 	}
-	out := c.collect(r, snap, nomBytesPerPair, func(s *commShared) {
+	out := c.collect(r, slot{parts: snap}, nomBytesPerPair, func(s *commShared) {
 		n := len(s.inputs)
 		b := s.nomBytes
 		if b <= 0 {
@@ -349,38 +398,33 @@ func (r *Rank) AlltoallNominal(c *Comm, parts [][]float64, nomBytesPerPair float
 		for j := 0; j < n; j++ {
 			recvd := make([][]float64, n)
 			for i := 0; i < n; i++ {
-				if in, ok := s.inputs[i].([][]float64); ok {
+				if in := s.inputs[i].parts; in != nil {
 					recvd[i] = in[j]
 				}
 			}
-			s.outputs[j] = recvd
+			s.outputs[j].parts = recvd
 		}
 		s.finish = s.maxClock + r.w.net.Alltoall(n, b)
 	})
-	res, _ := out.([][]float64)
-	return res
+	return out.parts
 }
 
-func maxInputBytes(inputs []any) float64 {
+func maxInputBytes(inputs []slot) float64 {
 	var b float64
-	for _, in := range inputs {
-		if v, ok := in.([]float64); ok {
-			if s := float64(len(v) * 8); s > b {
-				b = s
-			}
+	for i := range inputs {
+		if s := float64(len(inputs[i].vec) * 8); s > b {
+			b = s
 		}
 	}
 	return b
 }
 
-func maxPartBytes(inputs []any) float64 {
+func maxPartBytes(inputs []slot) float64 {
 	var b float64
-	for _, in := range inputs {
-		if parts, ok := in.([][]float64); ok {
-			for _, p := range parts {
-				if s := float64(len(p) * 8); s > b {
-					b = s
-				}
+	for i := range inputs {
+		for _, p := range inputs[i].parts {
+			if s := float64(len(p) * 8); s > b {
+				b = s
 			}
 		}
 	}
@@ -390,17 +434,17 @@ func maxPartBytes(inputs []any) float64 {
 // Scatter distributes root's parts: member i receives parts[i]. Only the
 // root's parts argument is consulted.
 func (r *Rank) Scatter(c *Comm, root int, parts [][]float64) []float64 {
-	var in any
+	var in slot
 	if c.Rank(r) == root {
 		snap := make([][]float64, len(parts))
 		for i, p := range parts {
 			snap[i] = append([]float64(nil), p...)
 		}
-		in = snap
+		in.parts = snap
 	}
 	c.record("scatter", 0)
 	out := c.collect(r, in, 0, func(s *commShared) {
-		rootParts, _ := s.inputs[root].([][]float64)
+		rootParts := s.inputs[root].parts
 		var b float64
 		for i := range s.outputs {
 			var part []float64
@@ -410,13 +454,12 @@ func (r *Rank) Scatter(c *Comm, root int, parts [][]float64) []float64 {
 			if v := float64(len(part) * 8); v > b {
 				b = v
 			}
-			s.outputs[i] = part
+			s.outputs[i].vec = part
 		}
 		// A scatter is a gather run in reverse: same root bottleneck.
 		s.finish = s.maxClock + r.w.net.Gather(len(c.ranks), b)
 	})
-	res, _ := out.([]float64)
-	return res
+	return out.vec
 }
 
 // ReduceScatter combines data elementwise across members, then scatters
@@ -427,19 +470,18 @@ func (r *Rank) ReduceScatter(c *Comm, data []float64, op Op) []float64 {
 		panic(fmt.Sprintf("simmpi: reduce-scatter of %d elements over %d ranks", len(data), len(c.ranks)))
 	}
 	c.record("reducescatter", float64(len(data)*8))
-	out := c.collect(r, data, float64(len(data)*8), func(s *commShared) {
+	out := c.collect(r, slot{vec: data}, float64(len(data)*8), func(s *commShared) {
 		acc := reduceInputs(s.inputs, op)
 		n := len(c.ranks)
 		chunk := len(acc) / n
 		for i := 0; i < n; i++ {
-			s.outputs[i] = append([]float64(nil), acc[i*chunk:(i+1)*chunk]...)
+			s.outputs[i].vec = append([]float64(nil), acc[i*chunk:(i+1)*chunk]...)
 		}
 		// Rabenseifner's allreduce is reduce-scatter + allgather; charge
 		// the first half plus combining.
 		s.finish = s.maxClock + r.w.net.Allreduce(n, s.nomBytes)/2
 	})
-	res, _ := out.([]float64)
-	return res
+	return out.vec
 }
 
 // ChargeAlltoallN synchronises the communicator once and advances every
@@ -454,9 +496,9 @@ func (r *Rank) ChargeAlltoallN(c *Comm, bytesPerPair float64, n int) {
 		return
 	}
 	c.record("alltoall", bytesPerPair)
-	c.collect(r, nil, bytesPerPair, func(s *commShared) {
+	c.collect(r, slot{}, bytesPerPair, func(s *commShared) {
 		for i := range s.outputs {
-			s.outputs[i] = nil
+			s.outputs[i] = slot{}
 		}
 		s.finish = s.maxClock + float64(n)*r.w.net.Alltoall(len(c.ranks), bytesPerPair)
 	})
@@ -467,11 +509,11 @@ func (r *Rank) ChargeAlltoallN(c *Comm, bytesPerPair float64, n int) {
 // passing a negative color receive nil.
 func (r *Rank) Split(c *Comm, color, key int) *Comm {
 	c.record("split", 0)
-	out := c.collect(r, [2]int{color, key}, 0, func(s *commShared) {
+	out := c.collect(r, slot{ck: [2]int{color, key}}, 0, func(s *commShared) {
 		type member struct{ color, key, world, idx int }
 		var ms []member
-		for i, in := range s.inputs {
-			ck := in.([2]int)
+		for i := range s.inputs {
+			ck := s.inputs[i].ck
 			ms = append(ms, member{color: ck[0], key: ck[1], world: c.ranks[i], idx: i})
 		}
 		sort.Slice(ms, func(a, b int) bool {
@@ -500,16 +542,15 @@ func (r *Rank) Split(c *Comm, color, key int) *Comm {
 			start = end
 		}
 		for i := range s.outputs {
-			s.outputs[i] = nil
+			s.outputs[i].cm = nil
 		}
 		for _, m := range ms {
 			if m.color >= 0 {
-				s.outputs[m.idx] = children[m.color]
+				s.outputs[m.idx].cm = children[m.color]
 			}
 		}
 		// A split costs roughly an allgather of the (color, key) pairs.
 		s.finish = s.maxClock + r.w.net.Allgather(len(c.ranks), 8)
 	})
-	res, _ := out.(*Comm)
-	return res
+	return out.cm
 }

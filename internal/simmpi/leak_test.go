@@ -104,13 +104,18 @@ func TestCancelSplitCommNoLeak(t *testing.T) {
 	go func() {
 		_, err := RunContext(ctx, Config{Machine: machine.Bassi, Procs: 8}, func(r *Rank) {
 			sub := r.Split(r.World(), r.ID()%2, r.ID())
-			if r.ID() == 1 {
+			switch {
+			case r.ID() == 1:
 				close(entered)
-			}
-			if r.ID()%2 == 1 && r.ID() != 7 {
+				// Nudge rank 7 out of its Recv only after `entered` is
+				// closed, so the host-side block below cannot starve the
+				// cooperative scheduler before cancellation is unlocked.
+				r.Send(7, 99, nil)
 				r.Barrier(sub) // blocks: rank 7 never arrives
-			}
-			if r.ID() == 7 {
+			case r.ID()%2 == 1 && r.ID() != 7:
+				r.Barrier(sub) // blocks: rank 7 never arrives
+			case r.ID() == 7:
+				r.Recv(1, 99)
 				<-ctx.Done()
 			}
 		})

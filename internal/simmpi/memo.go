@@ -17,6 +17,10 @@ type memoEntry struct {
 // allgathered inputs) otherwise pay that derivation N times per world on
 // one host.
 //
+// key may be any comparable value; prefer small structs over formatted
+// strings — a struct key costs nothing to build, while fmt.Sprintf in a
+// per-step hot path shows up in profiles.
+//
 // Correctness constraints on compute, which the caller must uphold:
 //
 //   - It must be a pure function of inputs that are identical on every
@@ -26,17 +30,17 @@ type memoEntry struct {
 //   - It must not communicate (no sends, receives, or collectives):
 //     other ranks may be blocked inside Memo waiting for it, so a
 //     communicating compute can deadlock the world in host time.
-//   - The returned value is shared by reference across rank goroutines
-//     and must be treated as read-only by all of them.
+//   - The returned value is shared by reference across ranks and must be
+//     treated as read-only by all of them.
 //
 // Memo never advances the virtual clock; ranks still charge their own
 // modelled Compute cost for the work the memo stands in for, exactly as
 // the real replicated computation would.
-func (r *Rank) Memo(key string, compute func() any) any {
+func (r *Rank) Memo(key any, compute func() any) any {
 	w := r.w
 	w.memoMu.Lock()
 	if w.memos == nil {
-		w.memos = make(map[string]*memoEntry)
+		w.memos = make(map[any]*memoEntry)
 	}
 	e := w.memos[key]
 	if e == nil {

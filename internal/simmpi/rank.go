@@ -9,27 +9,35 @@ import (
 )
 
 // Rank is one simulated MPI process. All methods must be called from the
-// rank's own goroutine (the body function passed to Run).
+// rank's body function (which the scheduler runs as a coroutine).
 type Rank struct {
 	id    int
 	w     *World
 	world *Comm
 
-	clock   vtime.Clock
-	flops   float64
-	compT   vtime.Seconds
-	commT   vtime.Seconds
-	sent    float64 // nominal bytes sent point-to-point
-	nmsgs   int64
-	phases  map[string]vtime.Seconds
-	stopped bool
+	// Scheduler state (see sched.go). state and ready are guarded by
+	// sh.mu; resume is the 1-buffered dispatch token channel, allocated
+	// once and reused across pooled worlds.
+	sh      *shard
+	state   int32
+	ready   bool
+	readyAt vtime.Seconds
+	resume  chan struct{}
+
+	clock  vtime.Clock
+	flops  float64
+	compT  vtime.Seconds
+	commT  vtime.Seconds
+	sent   float64 // nominal bytes sent point-to-point
+	nmsgs  int64
+	phases map[string]vtime.Seconds // lazy; reused across pooled worlds
 }
 
 // ID returns the world rank number.
 func (r *Rank) ID() int { return r.id }
 
 // N returns the world size.
-func (r *Rank) N() int { return r.w.cfg.Procs }
+func (r *Rank) N() int { return r.w.procs }
 
 // Machine returns the platform spec of the run.
 func (r *Rank) Machine() machine.Spec { return r.w.cfg.Machine }
@@ -42,8 +50,8 @@ func (r *Rank) Now() vtime.Seconds { return r.clock.Now() }
 
 // checkAbort unwinds this rank if another rank has failed.
 func (r *Rank) checkAbort() {
-	if err := r.w.aborted(); err != nil {
-		panic(abortedPanic{err})
+	if r.w.abortFlag.Load() {
+		panic(abortedPanic{r.w.aborted()})
 	}
 }
 
@@ -69,8 +77,24 @@ func (r *Rank) Elapse(d vtime.Seconds) {
 
 // AddPhase attributes a duration to a named phase for reporting.
 func (r *Rank) AddPhase(name string, d vtime.Seconds) {
+	if r.phases == nil {
+		r.phases = make(map[string]vtime.Seconds)
+	}
 	r.phases[name] += d
 }
+
+// GetBuf returns a zero-length scratch slice with capacity ≥ n from the
+// world's payload pool. Pair with FreeBuf once the buffer's last use is
+// done (typically after handing a packed payload to SendOwnedNominal's
+// receiver has consumed it, or after unpacking a received region).
+// Buffers never freed are simply garbage-collected; only explicitly
+// freed buffers are recycled, so retained results can never be aliased.
+func (r *Rank) GetBuf(n int) []float64 { return r.w.getBuf(n) }
+
+// FreeBuf recycles a buffer previously obtained from GetBuf (or any
+// world-scoped buffer the caller owns outright). The contents become
+// invalid immediately.
+func (r *Rank) FreeBuf(p []float64) { r.w.freeBuf(p) }
 
 // Send transmits data to rank dst with the given tag. The nominal charged
 // size is len(data)*8 bytes. Send never blocks: the sender pays only its
@@ -97,21 +121,32 @@ func (r *Rank) SendOwnedNominal(dst, tag int, data []float64, nomBytes float64) 
 	if dst < 0 || dst >= r.N() {
 		panic(fmt.Sprintf("simmpi: rank %d sends to invalid rank %d", r.id, dst))
 	}
-	occ, delay := r.w.net.P2P(r.id, dst, nomBytes)
+	w := r.w
+	occ, delay := w.net.P2P(r.id, dst, nomBytes)
 	depart := r.clock.Now()
 	r.clock.Advance(occ)
 	r.commT += occ
 	r.sent += nomBytes
 	r.nmsgs++
-	if c := r.w.cfg.Collector; c != nil {
+	if c := w.cfg.Collector; c != nil {
 		c.RecordP2P(r.id, dst, nomBytes)
 	}
 	msg := message{data: data, arrive: depart + delay}
-	mb := r.w.mail[dst]
-	mb.mu.Lock()
 	k := msgKey{src: r.id, tag: tag}
-	mb.q[k] = append(mb.q[k], msg)
-	mb.cond.Broadcast()
+	mb := &w.mail[dst]
+	mb.mu.Lock()
+	if mb.q == nil {
+		mb.q = make(map[msgKey]*msgq)
+	}
+	q := mb.q[k]
+	if q == nil {
+		q = w.getMsgq()
+		mb.q[k] = q
+	}
+	q.push(msg)
+	if mb.waiting && mb.waitKey == k {
+		w.wake(mb.owner)
+	}
 	mb.mu.Unlock()
 }
 
@@ -123,30 +158,39 @@ func (r *Rank) Recv(src, tag int) []float64 {
 	if src < 0 || src >= r.N() {
 		panic(fmt.Sprintf("simmpi: rank %d receives from invalid rank %d", r.id, src))
 	}
-	mb := r.w.mail[r.id]
+	w := r.w
+	mb := &w.mail[r.id]
 	k := msgKey{src: src, tag: tag}
 	mb.mu.Lock()
-	for len(mb.q[k]) == 0 {
-		if err := r.w.aborted(); err != nil {
+	for {
+		if q := mb.q[k]; q != nil && !q.empty() {
+			msg := q.pop()
+			if q.empty() {
+				// Recycle drained queues eagerly: halo exchanges use
+				// monotone tags, so most (src, tag) keys carry exactly one
+				// message and would otherwise pin a fresh msgq until world
+				// teardown. Deleting the key keeps the map's buckets for
+				// reuse; a steady key (ping-pong) re-inserts allocation-free.
+				delete(mb.q, k)
+				w.putMsgq(q)
+			}
 			mb.mu.Unlock()
-			panic(abortedPanic{err})
+			before := r.clock.Now()
+			r.clock.AdvanceTo(msg.arrive)
+			r.clock.Advance(w.net.RecvOverhead())
+			r.commT += r.clock.Now() - before
+			return msg.data
 		}
-		mb.cond.Wait()
+		if w.abortFlag.Load() {
+			mb.mu.Unlock()
+			panic(abortedPanic{w.aborted()})
+		}
+		mb.waiting = true
+		mb.waitKey = k
+		r.park(mb.mu.Unlock)
+		mb.mu.Lock()
+		mb.waiting = false
 	}
-	msg := mb.q[k][0]
-	rest := mb.q[k][1:]
-	if len(rest) == 0 {
-		delete(mb.q, k)
-	} else {
-		mb.q[k] = rest
-	}
-	mb.mu.Unlock()
-
-	before := r.clock.Now()
-	r.clock.AdvanceTo(msg.arrive)
-	r.clock.Advance(r.w.net.RecvOverhead())
-	r.commT += r.clock.Now() - before
-	return msg.data
 }
 
 // Sendrecv performs a simultaneous exchange: send to dst, receive from

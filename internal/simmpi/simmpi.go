@@ -1,14 +1,17 @@
 // Package simmpi is a deterministic virtual-time MPI runtime: the
 // substrate that replaces the paper's production MPI installations.
 //
-// Each simulated rank runs as a goroutine with a private virtual clock.
-// Computation advances the clock through the processor performance model
-// (internal/perfmodel); messages carry virtual departure timestamps and
-// arrive after delays computed by the network model (internal/netmodel).
-// Because point-to-point matching is (source, tag, FIFO) with no
-// wildcards, and reductions are applied in rank order, a simulation's
-// virtual-time results are bit-reproducible regardless of how the host
-// schedules the goroutines.
+// Ranks are cooperative coroutines driven by a discrete-event calendar
+// (see sched.go): each rank runs until it blocks on a communication op,
+// parks, and the scheduler dispatches the next ready rank in (virtual
+// time, rank id) order. Computation advances a rank's private virtual
+// clock through the processor performance model (internal/perfmodel);
+// messages carry virtual departure timestamps and arrive after delays
+// computed by the network model (internal/netmodel). Because
+// point-to-point matching is (source, tag, FIFO) with no wildcards, and
+// reductions are applied in rank order, a simulation's virtual-time
+// results are bit-reproducible regardless of host scheduling, shard
+// count, or GOMAXPROCS.
 //
 // The runtime separates nominal from actual payloads: cost models charge
 // the nominal byte counts of the paper-scale problem, while the Go slices
@@ -18,10 +21,13 @@ package simmpi
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/simslot"
 	"repro/internal/topology"
 	"repro/internal/trace"
 	"repro/internal/vtime"
@@ -37,21 +43,51 @@ type Config struct {
 	Mapping topology.Mapping
 	// Collector, if non-nil, records the communication matrix.
 	Collector *trace.Collector
+	// Shards optionally fixes the number of scheduler shards (parallel
+	// event calendars) inside the world. 0 picks automatically: 1 on a
+	// single-CPU host or when the runner has no spare simulation slots,
+	// more for large worlds with idle CPUs. Virtual-time results are
+	// identical for every value; only host-time parallelism changes.
+	Shards int
 }
 
-// World holds the shared state of one simulated run.
+// World holds the shared state of one simulated run. Worlds are pooled
+// arenas: ranks, mailboxes, message queues, shard calendars, and payload
+// buffers are recycled across runs (see sched.go).
 type World struct {
-	cfg  Config
-	net  *netmodel.Model
-	mail []*mailbox
+	cfg   Config
+	net   *netmodel.Model
+	body  func(*Rank)
+	procs int
 
-	commMu   sync.Mutex
-	commList []*commShared
-	abortMu  sync.Mutex
-	abortErr error
+	rankStore  []Rank
+	ranks      []*Rank
+	mail       []mailbox
+	worldIDs   []int
+	shardStore []shard
+	nshards    int
+
+	world   Comm
+	wshared commShared
+
+	done     chan struct{}
+	finished atomic.Int64
+
+	loopWG sync.WaitGroup // hosts currently serving this world's shards
+
+	idleMu     sync.Mutex
+	idleShards int
+
+	abortFlag atomic.Bool
+	abortMu   sync.Mutex
+	abortErr  error
+
+	poolMu   sync.Mutex
+	bufs     [numClasses][][]float64
+	msgqFree []*msgq
 
 	memoMu sync.Mutex
-	memos  map[string]*memoEntry
+	memos  map[any]*memoEntry
 }
 
 type msgKey struct {
@@ -63,44 +99,20 @@ type message struct {
 	arrive vtime.Seconds
 }
 
+// mailbox is one rank's incoming message store. Only the owner ever
+// waits on it, so the wait state is a single (key, flag) pair rather
+// than a condition variable.
 type mailbox struct {
-	mu   sync.Mutex
-	cond *sync.Cond
-	q    map[msgKey][]message
+	mu      sync.Mutex
+	owner   *Rank
+	q       map[msgKey]*msgq // lazy: nil until the first message
+	waiting bool
+	waitKey msgKey
 }
 
-func newMailbox() *mailbox {
-	mb := &mailbox{q: make(map[msgKey][]message)}
-	mb.cond = sync.NewCond(&mb.mu)
-	return mb
-}
-
-// errAborted is the sentinel panic value used to unwind ranks after a
+// abortedPanic is the sentinel panic value used to unwind ranks after a
 // failure elsewhere in the world.
 type abortedPanic struct{ err error }
-
-// abort records the first error and wakes every blocked rank so the run
-// can unwind instead of deadlocking.
-func (w *World) abort(err error) {
-	w.abortMu.Lock()
-	if w.abortErr == nil {
-		w.abortErr = err
-	}
-	w.abortMu.Unlock()
-	for _, mb := range w.mail {
-		mb.mu.Lock()
-		mb.cond.Broadcast()
-		mb.mu.Unlock()
-	}
-	w.commMu.Lock()
-	comms := append([]*commShared(nil), w.commList...)
-	w.commMu.Unlock()
-	for _, s := range comms {
-		s.mu.Lock()
-		s.cond.Broadcast()
-		s.mu.Unlock()
-	}
-}
 
 func (w *World) aborted() error {
 	w.abortMu.Lock()
@@ -110,6 +122,27 @@ func (w *World) aborted() error {
 
 // Net exposes the network model (for reporting).
 func (w *World) Net() *netmodel.Model { return w.net }
+
+// defaultShards picks the shard count for a world: 1 unless the host
+// has idle CPUs to spend on intra-world parallelism, the runner's slot
+// budget (propagated via simslot) permits it, and the world is large
+// enough to amortise cross-shard handoffs.
+func defaultShards(ctx context.Context, procs int) int {
+	avail := runtime.GOMAXPROCS(0)
+	if n, ok := simslot.FromContext(ctx); ok && n < avail {
+		avail = n
+	}
+	if avail < 1 {
+		avail = 1
+	}
+	if lim := procs / 64; avail > lim {
+		avail = lim
+	}
+	if avail < 1 {
+		avail = 1
+	}
+	return avail
+}
 
 // Run executes body on every rank of a fresh world and aggregates the
 // results. It returns an error if the configuration is invalid or any
@@ -131,56 +164,68 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Report, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	net, err := netmodel.NewWithMapping(cfg.Machine, cfg.Procs, cfg.Mapping)
+	var net *netmodel.Model
+	var err error
+	if cfg.Mapping == nil {
+		net, err = netmodel.Cached(cfg.Machine, cfg.Procs)
+	} else {
+		net, err = netmodel.NewWithMapping(cfg.Machine, cfg.Procs, cfg.Mapping)
+	}
 	if err != nil {
 		return nil, err
 	}
-	w := &World{cfg: cfg, net: net}
-	w.mail = make([]*mailbox, cfg.Procs)
-	for i := range w.mail {
-		w.mail[i] = newMailbox()
+	nshards := cfg.Shards
+	if nshards <= 0 {
+		nshards = defaultShards(ctx, cfg.Procs)
 	}
-	world := newWorldComm(w)
+	if nshards > cfg.Procs {
+		nshards = cfg.Procs
+	}
+	w := acquireWorld(cfg.Procs, nshards)
+	w.cfg = cfg
+	w.net = net
+	w.body = body
+	w.initRanks()
 
 	// A cancelled ctx aborts the world exactly like a rank failure:
-	// blocked ranks wake, see the abort error, and unwind. Ranks in a
-	// pure-compute stretch notice at their next communication op, so
-	// cancellation is prompt without perturbing any completed result.
-	stop := context.AfterFunc(ctx, func() {
-		w.abort(ctx.Err())
-	})
-	defer stop()
-
-	ranks := make([]*Rank, cfg.Procs)
-	var wg sync.WaitGroup
-	wg.Add(cfg.Procs)
-	for i := 0; i < cfg.Procs; i++ {
-		r := &Rank{id: i, w: w, world: world, phases: make(map[string]vtime.Seconds)}
-		ranks[i] = r
-		go func() {
-			defer wg.Done()
-			defer func() {
-				if rec := recover(); rec != nil {
-					if ap, ok := rec.(abortedPanic); ok {
-						_ = ap // secondary unwind; first error already recorded
-						return
-					}
-					w.abort(fmt.Errorf("simmpi: rank %d panicked: %v", r.id, rec))
-				}
-			}()
-			body(r)
-		}()
+	// blocked ranks wake, see the abort, and unwind; ranks in a
+	// pure-compute stretch notice at their next communication op. The
+	// callback is skipped entirely for non-cancellable contexts. When
+	// stop() reports the callback already started, the arena must not be
+	// recycled until the callback's sweep has finished with it.
+	var stop func() bool
+	var abortFnDone chan struct{}
+	if ctx.Done() != nil {
+		abortFnDone = make(chan struct{})
+		stop = context.AfterFunc(ctx, func() {
+			defer close(abortFnDone)
+			w.abort(context.Cause(ctx))
+		})
 	}
-	wg.Wait()
+
+	w.start()
+
+	if stop != nil && !stop() {
+		<-abortFnDone
+	}
 	if err := w.aborted(); err != nil {
+		releaseWorld(w)
 		return nil, err
 	}
-	return buildReport(cfg, net, ranks), nil
+	rep := buildReport(cfg, net, w.ranks)
+	releaseWorld(w)
+	return rep, nil
 }
 
 // MustRun is Run but panics on error; convenient in examples and benches.
 func MustRun(cfg Config, body func(*Rank)) *Report {
-	rep, err := Run(cfg, body)
+	return MustRunContext(context.Background(), cfg, body)
+}
+
+// MustRunContext is RunContext but panics on error — the context-first
+// twin of MustRun for examples and benches that already carry a ctx.
+func MustRunContext(ctx context.Context, cfg Config, body func(*Rank)) *Report {
+	rep, err := RunContext(ctx, cfg, body)
 	if err != nil {
 		panic(err)
 	}

@@ -1,0 +1,30 @@
+// Package simslot propagates the runner's spare simulation-slot budget
+// to the simulation core through a context value. The runner caps
+// concurrent simulations with a semaphore; when it dispatches a job it
+// records how many slots are idle, and simmpi's scheduler uses that as
+// the upper bound on intra-world shard parallelism — so a saturated
+// worker pool runs each world single-sharded instead of oversubscribing
+// the host, while a lone big world may fan out across idle CPUs.
+//
+// The tiny package exists to break an import cycle: runner imports the
+// app layers which import simmpi, so simmpi cannot import runner.
+package simslot
+
+import "context"
+
+type key struct{}
+
+// With returns a context carrying n as the available-slot budget.
+// Non-positive budgets are clamped to 1.
+func With(ctx context.Context, n int) context.Context {
+	if n < 1 {
+		n = 1
+	}
+	return context.WithValue(ctx, key{}, n)
+}
+
+// FromContext reports the slot budget carried by ctx, if any.
+func FromContext(ctx context.Context) (int, bool) {
+	n, ok := ctx.Value(key{}).(int)
+	return n, ok
+}
