@@ -16,7 +16,6 @@
 package repro
 
 import (
-	"context"
 	"testing"
 
 	"repro/internal/apps/hyperclaw"
@@ -25,13 +24,15 @@ import (
 	"repro/internal/runner"
 )
 
-// suite returns the shared benchmark body for one trajectory entry.
+// suite returns the shared benchmark body for one trajectory entry,
+// bound to the test's context (go test cancels it on interrupt/timeout,
+// which aborts the in-flight simulations cleanly).
 func suite(tb testing.TB, name string) func(b *testing.B) {
 	e, ok := benchtraj.Lookup(name)
 	if !ok {
 		tb.Fatalf("benchtraj suite has no entry %q", name)
 	}
-	return e.Bench
+	return func(b *testing.B) { e.Bench(b.Context(), b) }
 }
 
 // BenchmarkTable1Stream regenerates the EP-STREAM triad column.
@@ -79,7 +80,7 @@ func BenchmarkAllFiguresSerial(b *testing.B) {
 		hyperclaw.ResetTrajectoryCache()
 		opts := experiments.Options{Quick: true, MaxProcs: 64,
 			Runner: &runner.Pool{Workers: 1}}
-		if figs, err := experiments.AllFigures(context.Background(), opts); err != nil || len(figs) != 6 {
+		if figs, err := experiments.AllFigures(b.Context(), opts); err != nil || len(figs) != 6 {
 			b.Fatalf("figs=%d err=%v", len(figs), err)
 		}
 	}

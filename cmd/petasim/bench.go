@@ -1,6 +1,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -26,7 +27,7 @@ var benchFile = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
 //	petasim bench -gate                           # gate vs newest BENCH_*.json
 //	petasim -benchtime 1x -bench 'Sim' bench      # quick, filtered
 //	petasim -bench 'AllFigures' -cpuprofile cpu.pb.gz bench   # profile it
-func runBench(cli cliConfig, out io.Writer) error {
+func runBench(ctx context.Context, cli cliConfig, out io.Writer) error {
 	if cli.cpuProfile != "" {
 		f, err := os.Create(cli.cpuProfile)
 		if err != nil {
@@ -52,7 +53,7 @@ func runBench(cli cliConfig, out io.Writer) error {
 			}
 		}()
 	}
-	rec, err := benchtraj.Run(benchtraj.RunOptions{
+	rec, err := benchtraj.Run(ctx, benchtraj.RunOptions{
 		PR:        benchPR(cli),
 		Benchtime: cli.benchtime,
 		Filter:    cli.benchFilter,

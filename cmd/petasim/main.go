@@ -363,7 +363,7 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 	case "bench":
 		// For bench, -json names the output record file (BENCH_<pr>.json),
 		// not an artifact directory.
-		return runBench(cli, out)
+		return runBench(ctx, cli, out)
 	case "serve":
 		return serve(ctx, opts, cli.addr)
 	case "machines":
@@ -492,6 +492,7 @@ func serve(ctx context.Context, opts experiments.Options, addr string) error {
 	case <-ctx.Done():
 	}
 	fmt.Fprintf(os.Stderr, "petasim: shutting down, draining for up to %s\n", drainTimeout)
+	//petavet:ignore ctxfirst the parent ctx is already canceled here; the drain deadline needs a fresh context or Shutdown would hard-close immediately
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
 	if err := hs.Shutdown(drainCtx); err != nil {

@@ -1,0 +1,104 @@
+// Command petavet runs the repo's contract checkers (internal/lint):
+// static analyzers that enforce the simulator's determinism, pooling,
+// caching, and cancellation invariants at compile time.
+//
+// Standalone (the usual way — delegates to `go vet` for build planning):
+//
+//	go run ./cmd/petavet ./...
+//
+// Or explicitly as a vet tool, which is what the standalone mode does
+// under the hood:
+//
+//	go build -o petavet ./cmd/petavet
+//	go vet -vettool=./petavet ./...
+//
+// petavet speaks the `go vet -vettool` unit-checker protocol directly
+// (the -V=full / -flags handshake plus per-package vet.cfg files), so
+// the go command does all dependency planning and hands each package
+// over with ready-made export data — no golang.org/x/tools dependency,
+// which the build environment cannot add. Diagnostics print one per
+// line as file:line:col: message [petavet/analyzer]; the exit status is
+// nonzero when any diagnostic is reported.
+//
+// Suppress a finding with a trailing (or preceding-line) comment:
+//
+//	//petavet:ignore <analyzer> <reason>
+//
+// The reason is mandatory, and a directive naming an unknown analyzer is
+// itself a diagnostic. `go run ./cmd/petavet help` lists the analyzers.
+package main
+
+import (
+	"fmt"
+	"os"
+	"os/exec"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	args := os.Args[1:]
+	if len(args) == 1 {
+		switch {
+		case args[0] == "-V=full" || args[0] == "-V":
+			printVersion()
+			return
+		case args[0] == "-flags":
+			// The go command asks which analyzer flags the tool
+			// supports; petavet has none.
+			fmt.Println("[]")
+			return
+		case args[0] == "help" || args[0] == "-help" || args[0] == "--help":
+			printHelp()
+			return
+		case strings.HasSuffix(args[0], ".cfg"):
+			os.Exit(unitcheck(args[0]))
+		}
+	}
+	if len(args) == 0 {
+		args = []string{"./..."}
+	}
+	os.Exit(standalone(args))
+}
+
+// printVersion answers the go command's -V=full probe. The output must
+// be three fields with "version" second; embedding a content hash of the
+// executable gives `go vet` a cache key that changes exactly when the
+// analyzers do.
+func printVersion() {
+	fmt.Printf("petavet version %s\n", selfHash())
+}
+
+func printHelp() {
+	fmt.Println("petavet statically enforces the simulator's contracts. Analyzers:")
+	fmt.Println()
+	for _, a := range lint.Analyzers() {
+		fmt.Printf("  %-14s %s\n", a.Name, a.Doc)
+	}
+	fmt.Println()
+	fmt.Println("usage: petavet [packages]   (defaults to ./...)")
+	fmt.Println("suppress: //petavet:ignore <analyzer> <reason>")
+}
+
+// standalone re-invokes the go command with this executable as the vet
+// tool: `go vet` plans the build, compiles export data, and calls back
+// into unitcheck once per package.
+func standalone(patterns []string) int {
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "petavet: cannot locate own executable: %v\n", err)
+		return 1
+	}
+	cmd := exec.Command("go", append([]string{"vet", "-vettool=" + self}, patterns...)...)
+	cmd.Stdout = os.Stdout
+	cmd.Stderr = os.Stderr
+	if err := cmd.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); ok {
+			return ee.ExitCode()
+		}
+		fmt.Fprintf(os.Stderr, "petavet: %v\n", err)
+		return 1
+	}
+	return 0
+}

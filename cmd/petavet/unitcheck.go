@@ -1,0 +1,189 @@
+package main
+
+import (
+	"crypto/sha256"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"runtime"
+	"strings"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysis"
+)
+
+// vetConfig is the subset of the go command's per-package vet.cfg that
+// petavet needs. The go command writes one of these for every package in
+// the build graph and invokes the vet tool with its path.
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ModulePath                string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// unitcheck analyzes one package unit described by a vet.cfg and returns
+// the process exit code: 0 clean, 1 internal failure, 2 diagnostics
+// reported (the unit-checker convention go vet expects).
+func unitcheck(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "petavet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "petavet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// go vet runs the tool over the entire dependency graph (each unit
+	// could export facts to its importers). petavet keeps no facts, so
+	// only units of the module under analysis are inspected; everything
+	// else writes its (empty) facts file and exits. VetxOnly units are
+	// dependencies vetted for facts alone — same shortcut.
+	inModule := cfg.ModulePath != "" &&
+		(cfg.ImportPath == cfg.ModulePath || strings.HasPrefix(cfg.ImportPath, cfg.ModulePath+"/"))
+	if !inModule || cfg.VetxOnly {
+		writeVetx(cfg)
+		return 0
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	var parseErrs []error
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			parseErrs = append(parseErrs, err)
+			continue
+		}
+		files = append(files, f)
+	}
+	if len(parseErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			return 0
+		}
+		for _, err := range parseErrs {
+			fmt.Fprintf(os.Stderr, "petavet: %v\n", err)
+		}
+		return 1
+	}
+
+	return check(cfg, fset, files)
+}
+
+// check type-checks the parsed unit against its prebuilt export data and
+// runs the analyzer suite.
+func check(cfg vetConfig, fset *token.FileSet, files []*ast.File) int {
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	var typeErrs []error
+	conf := types.Config{
+		Importer:  newCfgImporter(cfg, fset),
+		GoVersion: cfg.GoVersion,
+		Sizes:     types.SizesFor("gc", goarch()),
+		Error:     func(err error) { typeErrs = append(typeErrs, err) },
+	}
+	pkg, _ := conf.Check(cfg.ImportPath, fset, files, info)
+	if len(typeErrs) > 0 {
+		if cfg.SucceedOnTypecheckFailure {
+			writeVetx(cfg)
+			return 0
+		}
+		for _, err := range typeErrs {
+			fmt.Fprintf(os.Stderr, "petavet: %v\n", err)
+		}
+		return 1
+	}
+	diags, err := analysis.RunPackage(fset, files, pkg, info, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "petavet: %v\n", err)
+		return 1
+	}
+	writeVetx(cfg)
+	if len(diags) == 0 {
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s: %s [petavet/%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+	}
+	return 2
+}
+
+// writeVetx writes the (empty) serialized-facts file the go command
+// expects every vetted unit to produce for its importers.
+func writeVetx(cfg vetConfig) {
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "petavet: %v\n", err)
+		}
+	}
+}
+
+// newCfgImporter builds an importer that resolves every import of the
+// unit from the export data the go command already compiled, listed in
+// the cfg's PackageFile map (keyed by canonical path; ImportMap
+// translates source-level paths, e.g. vendored ones).
+func newCfgImporter(cfg vetConfig, fset *token.FileSet) types.Importer {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("petavet: no export data for %q in vet config %s", path, cfg.ImportPath)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}
+
+func goarch() string {
+	if a := os.Getenv("GOARCH"); a != "" {
+		return a
+	}
+	return runtime.GOARCH
+}
+
+// selfHash fingerprints the running executable for the go command's
+// tool-ID cache key.
+func selfHash() string {
+	self, err := os.Executable()
+	if err != nil {
+		return "unknown"
+	}
+	f, err := os.Open(self)
+	if err != nil {
+		return "unknown"
+	}
+	defer f.Close()
+	h := sha256.New()
+	if _, err := io.Copy(h, f); err != nil {
+		return "unknown"
+	}
+	return fmt.Sprintf("%x", h.Sum(nil)[:12])
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"sort"
 
 	"repro/internal/amr"
 	"repro/internal/apps"
@@ -509,8 +510,26 @@ func (s *State) regrid() {
 			for _, p := range parent.Patch {
 				p.TagCells(tags, s.cfg.TagThreshold)
 			}
-			packed := make([]float64, 0, 3*tags.Len())
+			// Pack in sorted cell order: map iteration order is
+			// randomized, and the packed payload is simulation input
+			// (allgathered, replayed, recorded), so it must be
+			// byte-identical across runs.
+			cells := make([][3]int, 0, tags.Len())
 			for c := range tags {
+				cells = append(cells, c)
+			}
+			sort.Slice(cells, func(a, b int) bool {
+				ca, cb := cells[a], cells[b]
+				if ca[0] != cb[0] {
+					return ca[0] < cb[0]
+				}
+				if ca[1] != cb[1] {
+					return ca[1] < cb[1]
+				}
+				return ca[2] < cb[2]
+			})
+			packed := make([]float64, 0, 3*len(cells))
+			for _, c := range cells {
 				packed = append(packed, float64(c[0]), float64(c[1]), float64(c[2]))
 			}
 			all := s.r.AllgatherNominal(s.r.World(), packed,

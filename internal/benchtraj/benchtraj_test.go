@@ -1,6 +1,7 @@
 package benchtraj
 
 import (
+	"context"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -19,13 +20,13 @@ var sink []byte
 // can be tested without simulating figures.
 func tinySuite() []Entry {
 	return []Entry{
-		{"Alpha", func(b *testing.B) {
+		{"Alpha", func(_ context.Context, b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				sink = make([]byte, 128)
 			}
 		}},
-		{HeadlineEntry, func(b *testing.B) {
+		{HeadlineEntry, func(_ context.Context, b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
 				time.Sleep(time.Microsecond)
@@ -35,7 +36,7 @@ func tinySuite() []Entry {
 }
 
 func TestRunRecordsSuite(t *testing.T) {
-	rec, err := Run(RunOptions{
+	rec, err := Run(context.Background(), RunOptions{
 		PR: 6, Benchtime: "10x", Suite: tinySuite(),
 		Now: func() time.Time { return time.Unix(0, 0) },
 	})
@@ -68,7 +69,7 @@ func TestRunRecordsSuite(t *testing.T) {
 }
 
 func TestRunFilter(t *testing.T) {
-	rec, err := Run(RunOptions{Benchtime: "5x", Suite: tinySuite(), Filter: "^Alpha$"})
+	rec, err := Run(context.Background(), RunOptions{Benchtime: "5x", Suite: tinySuite(), Filter: "^Alpha$"})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -78,8 +79,18 @@ func TestRunFilter(t *testing.T) {
 	if rec.Headline.ColdAllFiguresNs != 0 {
 		t.Fatal("filtered-out headline entry still set the headline")
 	}
-	if _, err := Run(RunOptions{Suite: tinySuite(), Filter: "NoSuchEntry"}); err == nil {
+	if _, err := Run(context.Background(), RunOptions{Suite: tinySuite(), Filter: "NoSuchEntry"}); err == nil {
 		t.Fatal("empty selection should fail, not record an empty trajectory point")
+	}
+}
+
+// TestRunHonorsCancellation pins the ctx plumbing: a cancelled recording
+// stops at the entry boundary instead of measuring the rest of the suite.
+func TestRunHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(ctx, RunOptions{Benchtime: "1x", Suite: tinySuite()}); err == nil {
+		t.Fatal("cancelled recording should fail, not silently measure the suite")
 	}
 }
 

@@ -1,6 +1,7 @@
 package benchtraj
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"regexp"
@@ -53,8 +54,11 @@ func setBenchtime(v string) error {
 }
 
 // Run measures the suite in-process and assembles the trajectory
-// record. A failed entry (b.Fatal inside a body) fails the run.
-func Run(opts RunOptions) (*Record, error) {
+// record. A failed entry (b.Fatal inside a body) fails the run. The ctx
+// reaches every bench body (cancelling aborts the in-flight simulations)
+// and is re-checked between entries, so an interrupted recording stops at
+// the next entry boundary instead of measuring the rest of the suite.
+func Run(ctx context.Context, opts RunOptions) (*Record, error) {
 	suite := opts.Suite
 	if suite == nil {
 		suite = Suite()
@@ -100,6 +104,9 @@ func Run(opts RunOptions) (*Record, error) {
 		Benchtime:  opts.Benchtime,
 	}
 	for _, e := range suite {
+		if err := ctx.Err(); err != nil {
+			return nil, fmt.Errorf("benchtraj: recording cancelled before %s: %w", e.Name, err)
+		}
 		var failed string
 		res := testing.Benchmark(func(b *testing.B) {
 			defer func() {
@@ -107,9 +114,14 @@ func Run(opts RunOptions) (*Record, error) {
 					failed = e.Name
 				}
 			}()
-			e.Bench(b)
+			e.Bench(ctx, b)
 		})
 		if failed != "" {
+			// A cancelled ctx aborts the in-flight simulation and fails the
+			// entry; report that as cancellation, not a benchmark bug.
+			if err := ctx.Err(); err != nil {
+				return nil, fmt.Errorf("benchtraj: recording cancelled during %s: %w", failed, err)
+			}
 			return nil, fmt.Errorf("benchtraj: benchmark %s failed", failed)
 		}
 		bm := Benchmark{

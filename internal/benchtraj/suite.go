@@ -27,7 +27,7 @@ import (
 // never drift apart.
 type Entry struct {
 	Name  string
-	Bench func(b *testing.B)
+	Bench func(ctx context.Context, b *testing.B)
 }
 
 // Suite returns the curated benchmark suite in recording order: the
@@ -78,7 +78,7 @@ func Lookup(name string) (Entry, bool) {
 // headline cold-AllFigures wall time.
 const HeadlineEntry = "AllFiguresCold"
 
-func benchTable1Stream(b *testing.B) {
+func benchTable1Stream(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, m := range machine.All() {
@@ -89,7 +89,7 @@ func benchTable1Stream(b *testing.B) {
 	}
 }
 
-func benchTable1PingPong(b *testing.B) {
+func benchTable1PingPong(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		for _, m := range machine.All() {
@@ -100,7 +100,7 @@ func benchTable1PingPong(b *testing.B) {
 	}
 }
 
-func benchTable2(b *testing.B) {
+func benchTable2(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if rows := experiments.Table2(); len(rows) != 6 {
@@ -109,96 +109,96 @@ func benchTable2(b *testing.B) {
 	}
 }
 
-func benchFig1CommTopo(b *testing.B) {
+func benchFig1CommTopo(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.Fig1CommTopos(context.Background(), 16); err != nil {
+		if _, err := experiments.Fig1CommTopos(ctx, 16); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFig2GTC(b *testing.B) {
+func benchFig2GTC(ctx context.Context, b *testing.B) {
 	cfg := gtc.DefaultConfig(machine.Jaguar, 64)
 	cfg.ActualParticlesPerRank = 500
 	cfg.Steps = 2
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := gtc.Run(context.Background(), simmpi.Config{Machine: machine.Jaguar, Procs: 64}, cfg); err != nil {
+		if _, err := gtc.Run(ctx, simmpi.Config{Machine: machine.Jaguar, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFig3ELBM3D(b *testing.B) {
+func benchFig3ELBM3D(ctx context.Context, b *testing.B) {
 	cfg := elbm3d.DefaultConfig(64)
 	cfg.ActualN = 16
 	cfg.Steps = 2
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := elbm3d.Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
+		if _, err := elbm3d.Run(ctx, simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFig4Cactus(b *testing.B) {
+func benchFig4Cactus(ctx context.Context, b *testing.B) {
 	cfg := cactus.DefaultConfig(64)
 	cfg.ActualPerProc = 6
 	cfg.Steps = 2
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := cactus.Run(context.Background(), simmpi.Config{Machine: machine.BGW, Procs: 64}, cfg); err != nil {
+		if _, err := cactus.Run(ctx, simmpi.Config{Machine: machine.BGW, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFig5BeamBeam3D(b *testing.B) {
+func benchFig5BeamBeam3D(ctx context.Context, b *testing.B) {
 	cfg := beambeam3d.DefaultConfig(64)
 	cfg.ParticlesPerRank = 200
 	cfg.Steps = 2
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := beambeam3d.Run(context.Background(), simmpi.Config{Machine: machine.Phoenix, Procs: 64}, cfg); err != nil {
+		if _, err := beambeam3d.Run(ctx, simmpi.Config{Machine: machine.Phoenix, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFig6PARATEC(b *testing.B) {
+func benchFig6PARATEC(ctx context.Context, b *testing.B) {
 	cfg := paratec.DefaultConfig(false)
 	cfg.Iters = 1
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := paratec.Run(context.Background(), simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
+		if _, err := paratec.Run(ctx, simmpi.Config{Machine: machine.Bassi, Procs: 64}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFig7HyperCLaw(b *testing.B) {
+func benchFig7HyperCLaw(ctx context.Context, b *testing.B) {
 	cfg := hyperclaw.DefaultConfig(16)
 	cfg.Steps = 2
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := hyperclaw.Run(context.Background(), simmpi.Config{Machine: machine.Jacquard, Procs: 16}, cfg); err != nil {
+		if _, err := hyperclaw.Run(ctx, simmpi.Config{Machine: machine.Jacquard, Procs: 16}, cfg); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchFig8Summary(b *testing.B) {
+func benchFig8Summary(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opts := experiments.Options{Quick: true, MaxProcs: 32}
-		if _, err := experiments.Fig8Summary(context.Background(), opts); err != nil {
+		if _, err := experiments.Fig8Summary(ctx, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -207,13 +207,13 @@ func benchFig8Summary(b *testing.B) {
 // benchAllFiguresCold is the headline body: Figures 2–7 regenerated
 // through a fresh, uncached pool each iteration, so every iteration
 // pays the full cold simulation cost.
-func benchAllFiguresCold(b *testing.B) {
+func benchAllFiguresCold(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		hyperclaw.ResetTrajectoryCache()
 		opts := experiments.Options{Quick: true, MaxProcs: 64,
 			Runner: &runner.Pool{Workers: runtime.GOMAXPROCS(0)}}
-		if figs, err := experiments.AllFigures(context.Background(), opts); err != nil || len(figs) != 6 {
+		if figs, err := experiments.AllFigures(ctx, opts); err != nil || len(figs) != 6 {
 			b.Fatalf("figs=%d err=%v", len(figs), err)
 		}
 	}
@@ -221,20 +221,20 @@ func benchAllFiguresCold(b *testing.B) {
 
 // benchAllFiguresCached measures a fully warm cache: every point served
 // from disk (via the memory tier), bounding per-point cache overhead.
-func benchAllFiguresCached(b *testing.B) {
+func benchAllFiguresCached(ctx context.Context, b *testing.B) {
 	cache, err := runner.OpenCache(b.TempDir())
 	if err != nil {
 		b.Fatal(err)
 	}
 	opts := experiments.Options{Quick: true, MaxProcs: 64,
 		Runner: &runner.Pool{Workers: runtime.GOMAXPROCS(0), Cache: cache}}
-	if _, err := experiments.AllFigures(context.Background(), opts); err != nil {
+	if _, err := experiments.AllFigures(ctx, opts); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiments.AllFigures(context.Background(), opts); err != nil {
+		if _, err := experiments.AllFigures(ctx, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -252,43 +252,43 @@ func whatIfBenchPlan(b *testing.B) *whatif.Plan {
 	return plan
 }
 
-func benchWhatIfPlan(b *testing.B) {
+func benchWhatIfPlan(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		whatIfBenchPlan(b)
 	}
 }
 
-func benchWhatIfWarm(b *testing.B) {
+func benchWhatIfWarm(ctx context.Context, b *testing.B) {
 	plan := whatIfBenchPlan(b)
 	pool := &runner.Pool{Workers: runtime.GOMAXPROCS(0), Mem: runner.NewMemCache(256)}
-	if _, err := plan.Execute(context.Background(), pool); err != nil {
+	if _, err := plan.Execute(ctx, pool); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := plan.Execute(context.Background(), pool); err != nil {
+		if _, err := plan.Execute(ctx, pool); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchGTCOptStudy(b *testing.B) {
+func benchGTCOptStudy(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opts := experiments.Options{Quick: true}
-		if _, err := experiments.GTCOptStudy(context.Background(), opts); err != nil {
+		if _, err := experiments.GTCOptStudy(ctx, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
 }
 
-func benchAMROptStudy(b *testing.B) {
+func benchAMROptStudy(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		opts := experiments.Options{Quick: true}
-		if _, err := experiments.AMROptStudy(context.Background(), opts); err != nil {
+		if _, err := experiments.AMROptStudy(ctx, opts); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -296,10 +296,10 @@ func benchAMROptStudy(b *testing.B) {
 
 // benchSimP2PThroughput measures the host cost of the virtual-time
 // point-to-point path: 2 ranks, 1000 tagged messages.
-func benchSimP2PThroughput(b *testing.B) {
+func benchSimP2PThroughput(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := simmpi.Run(simmpi.Config{Machine: machine.Jaguar, Procs: 2}, func(r *simmpi.Rank) {
+		_, err := simmpi.RunContext(ctx, simmpi.Config{Machine: machine.Jaguar, Procs: 2}, func(r *simmpi.Rank) {
 			const msgs = 1000
 			payload := make([]float64, 16)
 			if r.ID() == 0 {
@@ -320,10 +320,10 @@ func benchSimP2PThroughput(b *testing.B) {
 
 // benchSimAllreduce256 measures the collective rendezvous machinery at
 // width: 256 ranks, 4 rounds of a 64-element allreduce.
-func benchSimAllreduce256(b *testing.B) {
+func benchSimAllreduce256(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := simmpi.Run(simmpi.Config{Machine: machine.BGW, Procs: 256}, func(r *simmpi.Rank) {
+		_, err := simmpi.RunContext(ctx, simmpi.Config{Machine: machine.BGW, Procs: 256}, func(r *simmpi.Rank) {
 			buf := make([]float64, 64)
 			for it := 0; it < 4; it++ {
 				r.Allreduce(r.World(), buf, simmpi.OpSum)
@@ -337,10 +337,10 @@ func benchSimAllreduce256(b *testing.B) {
 
 // benchSimCollectives64 exercises the full collective family on one
 // 64-rank world — the mix the AMR ghost-fill and regrid paths lean on.
-func benchSimCollectives64(b *testing.B) {
+func benchSimCollectives64(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := simmpi.Run(simmpi.Config{Machine: machine.Bassi, Procs: 64}, func(r *simmpi.Rank) {
+		_, err := simmpi.RunContext(ctx, simmpi.Config{Machine: machine.Bassi, Procs: 64}, func(r *simmpi.Rank) {
 			w := r.World()
 			// 64 elements so ReduceScatter divides evenly across 64 ranks.
 			buf := make([]float64, 64)
@@ -364,10 +364,10 @@ func benchSimCollectives64(b *testing.B) {
 
 // benchSimWorldSpawn1024 measures world startup/teardown: per-run
 // allocation of mailboxes, ranks, and the world communicator.
-func benchSimWorldSpawn1024(b *testing.B) {
+func benchSimWorldSpawn1024(ctx context.Context, b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		_, err := simmpi.Run(simmpi.Config{Machine: machine.BGW, Procs: 1024}, func(r *simmpi.Rank) {
+		_, err := simmpi.RunContext(ctx, simmpi.Config{Machine: machine.BGW, Procs: 1024}, func(r *simmpi.Rank) {
 			r.Elapse(1e-6)
 		})
 		if err != nil {

@@ -1,0 +1,92 @@
+// Package analysis is a self-contained miniature of the golang.org/x/tools
+// go/analysis framework: just enough Analyzer/Pass/Diagnostic surface for
+// the petavet contract checkers, built purely on the standard library's
+// go/ast and go/types (the container this repo grows in cannot add module
+// dependencies, so vendoring x/tools is not an option).
+//
+// The deliberate omissions, relative to the real framework, are facts
+// (cross-package analysis state — none of the petavet contracts need
+// them), the Requires/ResultOf analyzer graph, and SuggestedFixes. The
+// shapes that remain mirror x/tools closely enough that porting an
+// analyzer in either direction is mechanical.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named contract checker.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and in
+	// //petavet:ignore suppression comments. It must be a single word.
+	Name string
+	// Doc is the one-paragraph description shown by `petavet help`.
+	Doc string
+	// Run inspects one type-checked package and reports findings via
+	// pass.Reportf. The returned error aborts the whole run (reserved
+	// for internal failures, not findings).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package through one analyzer.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	report func(Diagnostic)
+}
+
+// Reportf records one finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{Pos: pos, Analyzer: p.Analyzer.Name, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding: a position, the analyzer that produced it,
+// and a human-readable message.
+type Diagnostic struct {
+	Pos      token.Pos
+	Analyzer string
+	Message  string
+}
+
+// RunPackage applies every analyzer to one type-checked package,
+// filters the findings through //petavet:ignore suppressions, and
+// returns the survivors sorted by position. Malformed or unknown
+// suppression directives are themselves returned as diagnostics (from
+// the pseudo-analyzer "petavet"), so a typo cannot silently disable a
+// checker.
+func RunPackage(fset *token.FileSet, files []*ast.File, pkg *types.Package, info *types.Info, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer: a, Fset: fset, Files: files, Pkg: pkg, TypesInfo: info,
+			report: func(d Diagnostic) { diags = append(diags, d) },
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+	}
+	known := make(map[string]bool, len(analyzers))
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	diags = Filter(fset, files, diags, known)
+	sort.SliceStable(diags, func(i, j int) bool {
+		pi, pj := fset.Position(diags[i].Pos), fset.Position(diags[j].Pos)
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		if pi.Line != pj.Line {
+			return pi.Line < pj.Line
+		}
+		return pi.Column < pj.Column
+	})
+	return diags, nil
+}

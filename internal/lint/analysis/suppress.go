@@ -1,0 +1,74 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignoreDirective is the suppression comment syntax:
+//
+//	//petavet:ignore <analyzer> <reason>
+//
+// placed either on the same line as the finding or alone on the line
+// directly above it. The analyzer name scopes the suppression (one
+// directive never mutes a different checker) and the reason is
+// mandatory — an unexplained suppression is a finding of its own.
+const ignoreDirective = "//petavet:ignore"
+
+// ignoreKey identifies the lines one directive covers.
+type ignoreKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// Filter drops diagnostics covered by a well-formed //petavet:ignore
+// directive and appends a "petavet" diagnostic for every malformed one
+// (missing analyzer, missing reason, or naming an analyzer that does
+// not exist — the typo that would otherwise silently disable nothing).
+func Filter(fset *token.FileSet, files []*ast.File, diags []Diagnostic, known map[string]bool) []Diagnostic {
+	covered := map[ignoreKey]bool{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, ignoreDirective) {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				rest := strings.TrimPrefix(c.Text, ignoreDirective)
+				fields := strings.Fields(rest)
+				switch {
+				case len(fields) == 0:
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: "petavet",
+						Message: "malformed //petavet:ignore: want \"//petavet:ignore <analyzer> <reason>\""})
+					continue
+				case !known[fields[0]]:
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: "petavet",
+						Message: "//petavet:ignore names unknown analyzer " + fields[0]})
+					continue
+				case len(fields) < 2:
+					diags = append(diags, Diagnostic{Pos: c.Pos(), Analyzer: "petavet",
+						Message: "//petavet:ignore " + fields[0] + " needs a reason"})
+					continue
+				}
+				// The directive covers its own line and the next one, so
+				// it works both trailing a statement and on the line above.
+				covered[ignoreKey{pos.Filename, pos.Line, fields[0]}] = true
+				covered[ignoreKey{pos.Filename, pos.Line + 1, fields[0]}] = true
+			}
+		}
+	}
+	if len(covered) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if covered[ignoreKey{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept
+}

@@ -1,0 +1,99 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+const suppressSrc = `package p
+
+func a() int { return 1 } //petavet:ignore simdet covered same line
+
+//petavet:ignore simdet covered next line
+func b() int { return 2 }
+
+func c() int { return 3 } //petavet:ignore cachekey wrong analyzer does not mute simdet
+
+func d() int { return 4 } //petavet:ignore
+
+func e() int { return 5 } //petavet:ignore nosuchanalyzer because of a typo
+
+func f() int { return 6 } //petavet:ignore simdet
+`
+
+func parseSuppressSrc(t *testing.T) (*token.FileSet, *ast.File) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "p.go", suppressSrc, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fset, f
+}
+
+// lineDiag fabricates a simdet diagnostic on the declaration of the named
+// function.
+func lineDiag(f *ast.File, name string) Diagnostic {
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == name {
+			return Diagnostic{Pos: fd.Pos(), Analyzer: "simdet", Message: "violation in " + name}
+		}
+	}
+	panic("no decl " + name)
+}
+
+func TestFilterSuppression(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	known := map[string]bool{"simdet": true, "cachekey": true}
+	diags := []Diagnostic{lineDiag(f, "a"), lineDiag(f, "b"), lineDiag(f, "c")}
+	got := Filter(fset, []*ast.File{f}, diags, known)
+
+	var kept, malformed []string
+	for _, d := range got {
+		if d.Analyzer == "petavet" {
+			malformed = append(malformed, d.Message)
+		} else {
+			kept = append(kept, d.Message)
+		}
+	}
+	// a (same-line) and b (line-above) are suppressed; c's directive names
+	// a different analyzer and must not mute the simdet finding.
+	if len(kept) != 1 || kept[0] != "violation in c" {
+		t.Errorf("kept %v, want only the c violation", kept)
+	}
+	// d (no fields), e (unknown analyzer), f (no reason) each yield a
+	// malformed-directive diagnostic.
+	if len(malformed) != 3 {
+		t.Fatalf("got %d malformed-directive diagnostics, want 3: %v", len(malformed), malformed)
+	}
+	for i, wantSub := range []string{
+		"malformed //petavet:ignore",
+		"unknown analyzer nosuchanalyzer",
+		"needs a reason",
+	} {
+		if !strings.Contains(malformed[i], wantSub) {
+			t.Errorf("malformed[%d] = %q, want substring %q", i, malformed[i], wantSub)
+		}
+	}
+}
+
+func TestFilterKeepsUncoveredLines(t *testing.T) {
+	fset, f := parseSuppressSrc(t)
+	known := map[string]bool{"simdet": true}
+	// A directive covers its own line and the next — not two lines down.
+	d := lineDiag(f, "c")
+	d.Pos = f.Decls[len(f.Decls)-1].End() // past every directive's reach
+	got := Filter(fset, []*ast.File{f}, []Diagnostic{d}, known)
+	n := 0
+	for _, g := range got {
+		if g.Analyzer != "petavet" {
+			n++
+		}
+	}
+	if n != 1 {
+		t.Errorf("uncovered diagnostic was dropped: %v", got)
+	}
+}

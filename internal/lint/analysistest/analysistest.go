@@ -1,0 +1,289 @@
+// Package analysistest runs petavet analyzers over small GOPATH-style
+// source trees and checks their diagnostics against inline expectations —
+// a stdlib-only miniature of golang.org/x/tools/go/analysis/analysistest,
+// which the build environment cannot depend on.
+//
+// Layout: each analyzer owns testdata/<analyzer>/src/<importpath>/*.go.
+// A package whose import path matches a real module package (say a stub
+// repro/internal/simmpi) shadows it for the duration of the test, so
+// scope-sensitive analyzers can be exercised without dragging in the real
+// simulator.
+//
+// Expectations ride on the offending line as comments:
+//
+//	time.Now() // want `time\.Now`
+//
+// Every diagnostic must be matched by a want on its line, and every want
+// must be matched by a diagnostic; either mismatch fails the test. The
+// regexp matches anywhere in the diagnostic message.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"io/fs"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/lint/analysis"
+)
+
+// Run checks every package under testdata/<dir>/src against the
+// analyzers' diagnostics and the files' want expectations. All analyzers
+// run together so //petavet:ignore directives naming any of them are
+// legal; expectations match on message text alone.
+func Run(t *testing.T, dir string, analyzers ...*analysis.Analyzer) {
+	t.Helper()
+	src := filepath.Join("testdata", dir, "src")
+	pkgs, err := packageDirs(src)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages under %s", src)
+	}
+	imp := &treeImporter{src: src, loaded: map[string]*loadedPkg{}, fset: token.NewFileSet()}
+	for _, importPath := range pkgs {
+		checkPackage(t, imp, importPath, analyzers)
+	}
+}
+
+// packageDirs lists the import paths (relative to src) of every directory
+// holding .go files.
+func packageDirs(src string) ([]string, error) {
+	var paths []string
+	err := filepath.WalkDir(src, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || !d.IsDir() {
+			return err
+		}
+		ents, err := os.ReadDir(path)
+		if err != nil {
+			return err
+		}
+		for _, e := range ents {
+			if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+				rel, err := filepath.Rel(src, path)
+				if err != nil {
+					return err
+				}
+				paths = append(paths, filepath.ToSlash(rel))
+				break
+			}
+		}
+		return nil
+	})
+	return paths, err
+}
+
+// checkPackage type-checks one testdata package, runs the analyzers, and
+// reconciles diagnostics with want expectations.
+func checkPackage(t *testing.T, imp *treeImporter, importPath string, analyzers []*analysis.Analyzer) {
+	t.Helper()
+	lp, err := imp.load(importPath)
+	if err != nil {
+		t.Fatalf("analysistest: %s: %v", importPath, err)
+	}
+	diags, err := analysis.RunPackage(imp.fset, lp.files, lp.pkg, lp.info, analyzers)
+	if err != nil {
+		t.Fatalf("analysistest: %s: %v", importPath, err)
+	}
+	wants := collectWants(t, imp.fset, lp.files)
+	for _, d := range diags {
+		pos := imp.fset.Position(d.Pos)
+		key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+		matched := false
+		for _, w := range wants[key] {
+			if !w.used && w.re.MatchString(d.Message) {
+				w.used = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for key, ws := range wants {
+		for _, w := range ws {
+			if !w.used {
+				t.Errorf("%s: no diagnostic matching %q", key, w.re)
+			}
+		}
+	}
+}
+
+// want is one expectation: a regexp that some diagnostic on its line must
+// match.
+type want struct {
+	re   *regexp.Regexp
+	used bool
+}
+
+// wantRE parses the quoted regexps of a want comment: double- or
+// back-quoted Go strings separated by spaces.
+var wantRE = regexp.MustCompile("`[^`]*`|\"(?:[^\"\\\\]|\\\\.)*\"")
+
+// collectWants scans the files' comments for `// want` expectations,
+// keyed by "filename:line".
+func collectWants(t *testing.T, fset *token.FileSet, files []*ast.File) map[string][]*want {
+	t.Helper()
+	wants := map[string][]*want{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "// want ")
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				key := fmt.Sprintf("%s:%d", pos.Filename, pos.Line)
+				lits := wantRE.FindAllString(text, -1)
+				if len(lits) == 0 {
+					t.Fatalf("%s: malformed want comment %q", pos, c.Text)
+				}
+				for _, lit := range lits {
+					re, err := regexp.Compile(unquote(lit))
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %s: %v", pos, lit, err)
+					}
+					wants[key] = append(wants[key], &want{re: re})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unquote(lit string) string {
+	if len(lit) >= 2 {
+		return lit[1 : len(lit)-1]
+	}
+	return lit
+}
+
+// treeImporter resolves imports for testdata packages: paths present
+// under the src root load (and analyze) from source; anything else is
+// assumed to be stdlib and resolved from the build cache's export data.
+type treeImporter struct {
+	src    string
+	fset   *token.FileSet
+	loaded map[string]*loadedPkg
+}
+
+// loadedPkg is one type-checked testdata package.
+type loadedPkg struct {
+	pkg   *types.Package
+	files []*ast.File
+	info  *types.Info
+}
+
+func (im *treeImporter) Import(path string) (*types.Package, error) {
+	if dir := filepath.Join(im.src, filepath.FromSlash(path)); dirExists(dir) {
+		lp, err := im.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return lp.pkg, nil
+	}
+	return StdImporter(im.fset).Import(path)
+}
+
+// load parses and type-checks the testdata package at importPath,
+// memoizing so a package reached both directly and as a sibling's import
+// checks once.
+func (im *treeImporter) load(importPath string) (*loadedPkg, error) {
+	if lp, ok := im.loaded[importPath]; ok {
+		return lp, nil
+	}
+	dir := filepath.Join(im.src, filepath.FromSlash(importPath))
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var files []*ast.File
+	for _, e := range ents {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(im.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+		Scopes:     make(map[ast.Node]*types.Scope),
+	}
+	conf := types.Config{Importer: im}
+	pkg, err := conf.Check(importPath, im.fset, files, info)
+	if err != nil {
+		return nil, err
+	}
+	lp := &loadedPkg{pkg: pkg, files: files, info: info}
+	im.loaded[importPath] = lp
+	return lp, nil
+}
+
+func dirExists(dir string) bool {
+	fi, err := os.Stat(dir)
+	return err == nil && fi.IsDir()
+}
+
+// stdExports caches the `go list -export` results: stdlib import path →
+// build-cache export file.
+var (
+	stdExportsOnce sync.Once
+	stdExports     map[string]string
+	stdExportsErr  error
+)
+
+// StdImporter returns a types.Importer for standard-library packages,
+// backed by the export data the go command keeps in its build cache. The
+// first call shells out to `go list -export std` once; everything after
+// is a map lookup. Shared with the key-class agreement test, which needs
+// real stdlib types (time.Time) on the go/types side.
+func StdImporter(fset *token.FileSet) types.Importer {
+	stdExportsOnce.Do(func() {
+		stdExports = map[string]string{}
+		out, err := exec.Command("go", "list", "-export", "-f", "{{.ImportPath}}\t{{.Export}}", "std").Output()
+		if err != nil {
+			if ee, ok := err.(*exec.ExitError); ok {
+				err = fmt.Errorf("%v: %s", err, ee.Stderr)
+			}
+			stdExportsErr = err
+			return
+		}
+		for _, line := range strings.Split(string(out), "\n") {
+			path, file, ok := strings.Cut(line, "\t")
+			if ok && file != "" {
+				stdExports[path] = file
+			}
+		}
+	})
+	lookup := func(path string) (io.ReadCloser, error) {
+		if stdExportsErr != nil {
+			return nil, stdExportsErr
+		}
+		file, ok := stdExports[path]
+		if !ok {
+			return nil, fmt.Errorf("analysistest: %q is neither a testdata package nor stdlib", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
+}

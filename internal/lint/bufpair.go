@@ -1,0 +1,235 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// simmpiPkg is the package owning the pooled payload allocator.
+const simmpiPkg = "repro/internal/simmpi"
+
+// BufPair enforces the explicit-free contract of the world payload pool:
+// a buffer obtained from Rank.GetBuf must either reach Rank.FreeBuf in
+// the same function or be handed off (sent, returned, stored) to an
+// owner who will. The runtime complements are the poison-on-put test
+// hook and the allocation-bound leak tests in internal/simmpi, which can
+// only probe the paths a test happens to execute; this analyzer reads
+// every path.
+//
+// The approximation is deliberately one-sided: a buffer that is freed
+// somewhere, or escapes the function at all, is trusted. What cannot
+// pass is the silent leak class — a GetBuf result used purely as local
+// scratch (indexed, ranged, appended to) and then dropped, or discarded
+// outright. A function that genuinely retains a buffer for the world's
+// lifetime annotates the call with //petavet:ignore bufpair <why>.
+var BufPair = &analysis.Analyzer{
+	Name: "bufpair",
+	Doc: "a Rank.GetBuf result must reach Rank.FreeBuf or escape to a new owner; " +
+		"locally-dropped pool buffers leak from the payload pool",
+	Run: runBufPair,
+}
+
+func runBufPair(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			checkBufPairs(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isRankMethod reports whether fn is simmpi.(*Rank).name.
+func isRankMethod(fn *types.Func, name string) bool {
+	if fn == nil || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[:i]
+	}
+	if p != simmpiPkg {
+		return false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return false
+	}
+	t := recv.Type()
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	return ok && named.Obj().Name() == "Rank"
+}
+
+func checkBufPairs(pass *analysis.Pass, fd *ast.FuncDecl) {
+	info := pass.TypesInfo
+	inspectStack(fd, func(n ast.Node, stack []ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || !isRankMethod(calleeFunc(info, call), "GetBuf") {
+			return true
+		}
+		parent := ast.Node(nil)
+		if len(stack) > 0 {
+			parent = stack[len(stack)-1]
+		}
+		switch p := parent.(type) {
+		case *ast.ExprStmt:
+			pass.Reportf(call.Pos(), "GetBuf result discarded: the pooled buffer can never reach FreeBuf")
+		case *ast.AssignStmt:
+			// Find which LHS receives this call. Pool calls are
+			// single-valued, so position i of a parallel assignment
+			// lines up when counts match.
+			for i, rhs := range p.Rhs {
+				if ast.Unparen(rhs) != call || i >= len(p.Lhs) {
+					continue
+				}
+				checkAssignedBuf(pass, fd, call, p.Lhs[i])
+			}
+		case *ast.ValueSpec:
+			for i, v := range p.Values {
+				if ast.Unparen(v) != call || i >= len(p.Names) {
+					continue
+				}
+				checkBufVar(pass, fd, call, objOf(info, p.Names[i]))
+			}
+		default:
+			// The buffer flows straight into another expression — a call
+			// argument (PackRegionInto(..., r.GetBuf(n))), a return, a
+			// composite literal. Ownership moved; the new owner frees it
+			// or sends it on.
+		}
+		return true
+	})
+}
+
+func checkAssignedBuf(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, lhs ast.Expr) {
+	switch l := ast.Unparen(lhs).(type) {
+	case *ast.Ident:
+		if l.Name == "_" {
+			pass.Reportf(call.Pos(), "GetBuf result assigned to _: the pooled buffer can never reach FreeBuf")
+			return
+		}
+		checkBufVar(pass, fd, call, objOf(pass.TypesInfo, l))
+	default:
+		// Stored into a field, index, or dereference: escapes to a
+		// longer-lived owner.
+	}
+}
+
+// checkBufVar scans the enclosing function for what happens to the
+// buffer variable: freed, escaped, or silently dropped.
+func checkBufVar(pass *analysis.Pass, fd *ast.FuncDecl, call *ast.CallExpr, obj types.Object) {
+	if obj == nil {
+		return
+	}
+	info := pass.TypesInfo
+	freed, escaped := false, false
+	inspectStack(fd, func(n ast.Node, stack []ast.Node) bool {
+		if freed || escaped {
+			return false
+		}
+		id, ok := n.(*ast.Ident)
+		if !ok || objOf(info, id) != obj || id.Pos() <= call.Pos() {
+			return true
+		}
+		switch classifyBufUse(info, id, stack) {
+		case bufFreed:
+			freed = true
+		case bufEscaped:
+			escaped = true
+		}
+		return true
+	})
+	if !freed && !escaped {
+		pass.Reportf(call.Pos(),
+			"GetBuf result %s is used only as local scratch and never freed: pooled buffer leaks; call FreeBuf(%s), or annotate //petavet:ignore bufpair <why> if retention is intended", obj.Name(), obj.Name())
+	}
+}
+
+type bufUse int
+
+const (
+	bufLocal bufUse = iota
+	bufFreed
+	bufEscaped
+)
+
+// classifyBufUse judges one appearance of the buffer variable by walking
+// outward from the identifier: reads and in-place growth are local;
+// FreeBuf is the pairing we demand; any other handoff counts as an
+// ownership transfer.
+func classifyBufUse(info *types.Info, id *ast.Ident, stack []ast.Node) bufUse {
+	child := ast.Node(id)
+	for i := len(stack) - 1; i >= 0; i-- {
+		switch p := stack[i].(type) {
+		case *ast.ParenExpr:
+			child = p
+			continue
+		case *ast.IndexExpr:
+			// v[i]: element access, not a use of the buffer itself.
+			return bufLocal
+		case *ast.SliceExpr:
+			// v[a:b] aliases the backing array; keep walking out — the
+			// slice may itself be passed on (escape) or just read.
+			child = p
+			continue
+		case *ast.UnaryExpr:
+			child = p
+			continue
+		case *ast.CallExpr:
+			for _, arg := range p.Args {
+				if arg != child {
+					continue
+				}
+				fn := calleeFunc(info, p)
+				if isRankMethod(fn, "FreeBuf") {
+					return bufFreed
+				}
+				if isBuiltin(info, p, "append") || isBuiltin(info, p, "len") ||
+					isBuiltin(info, p, "cap") || isBuiltin(info, p, "copy") ||
+					isBuiltin(info, p, "clear") {
+					// Growth and reads keep ownership here.
+					return bufLocal
+				}
+				return bufEscaped
+			}
+			// The identifier is the function being called or a type
+			// argument — not a buffer use.
+			return bufLocal
+		case *ast.ReturnStmt, *ast.CompositeLit, *ast.SendStmt, *ast.KeyValueExpr:
+			return bufEscaped
+		case *ast.AssignStmt:
+			for _, rhs := range p.Rhs {
+				if rhs != child {
+					continue
+				}
+				// v on the right-hand side: assigning the buffer
+				// somewhere. Into a plain local is re-aliasing we track
+				// conservatively as escape (the alias may be the one
+				// freed); into fields or indexed slots likewise.
+				return bufEscaped
+			}
+			return bufLocal
+		case *ast.RangeStmt:
+			if p.X == child {
+				return bufLocal
+			}
+			return bufLocal
+		default:
+			child = stack[i].(ast.Node)
+			continue
+		}
+	}
+	return bufLocal
+}

@@ -1,0 +1,134 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"repro/internal/lint/analysis"
+	"repro/internal/runner"
+)
+
+// runnerPkg is the package whose Key function builds content keys.
+const runnerPkg = "repro/internal/runner"
+
+// CacheKey flags arguments to runner.Key whose static type is
+// pointer-bearing — pointers, chans, funcs, maps or containers holding
+// them — or interface-bearing (judgeable only per value). The runtime
+// complement is runner.Key's reflect walk, which panics on the same
+// types at simulate time; this analyzer moves that failure to compile
+// time, before a poisoned key can ever be computed. The verdict
+// definition is shared with the runtime: both sides classify into
+// runner.KeyClass, and TestKeyClassAgreement pins that they agree.
+var CacheKey = &analysis.Analyzer{
+	Name: "cachekey",
+	Doc: "flag runner.Key arguments whose static type would key on a memory address " +
+		"(pointer-bearing) or can only be judged at runtime (interface-bearing)",
+	Run: runCacheKey,
+}
+
+func runCacheKey(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			if !isPkgFunc(calleeFunc(pass.TypesInfo, call), runnerPkg, "Key") {
+				return true
+			}
+			// Key(experiment string, parts ...any): the experiment label
+			// is typed string; only the variadic parts need judging.
+			for i, arg := range call.Args {
+				if i == 0 {
+					continue
+				}
+				t := pass.TypesInfo.TypeOf(arg)
+				if t == nil {
+					continue
+				}
+				if call.Ellipsis.IsValid() && i == len(call.Args)-1 {
+					// Key(exp, parts...) spreads a slice; judge its
+					// element type, which is what each part will be.
+					if s, ok := t.Underlying().(*types.Slice); ok {
+						t = s.Elem()
+					}
+				}
+				switch TypesKeyClass(t) {
+				case runner.KeyPointerBearing:
+					pass.Reportf(arg.Pos(),
+						"runner.Key part has pointer-bearing type %s: it would key on a memory address and panic at simulate time; pass the pointed-to content instead", t)
+				case runner.KeyDynamic:
+					pass.Reportf(arg.Pos(),
+						"runner.Key part has interface-bearing type %s: only a runtime walk can judge its content; pass a concrete pointer-free value (e.g. a Name() string) instead", t)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// TypesKeyClass is the go/types mirror of runner.ClassifyKeyType's
+// reflect walk: same verdicts, same recursion rules, judged on static
+// types at compile time instead of runtime values. Any divergence
+// between the two is a bug; TestKeyClassAgreement pins them together
+// over a table of tricky types.
+func TypesKeyClass(t types.Type) runner.KeyClass {
+	return typesKeyClass(t, map[types.Type]bool{})
+}
+
+func typesKeyClass(t types.Type, seen map[types.Type]bool) runner.KeyClass {
+	t = types.Unalias(t)
+	if seen[t] {
+		// Self-referential types (legal without pointers via slices and
+		// maps) contribute nothing new on this path — same rule as the
+		// reflect walk.
+		return runner.KeyClean
+	}
+	seen[t] = true
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return runner.KeyPointerBearing
+		}
+		// Includes Invalid: a package that failed to type-check reports
+		// its own errors; cascading a key verdict on top helps no one.
+		return runner.KeyClean
+	case *types.Pointer, *types.Chan, *types.Signature:
+		return runner.KeyPointerBearing
+	case *types.Interface:
+		// Includes type parameters, whose underlying type is their
+		// constraint interface: either way, only runtime can judge the
+		// dynamic content.
+		return runner.KeyDynamic
+	case *types.Struct:
+		out := runner.KeyClean
+		for i := 0; i < u.NumFields(); i++ {
+			switch typesKeyClass(u.Field(i).Type(), seen) {
+			case runner.KeyPointerBearing:
+				return runner.KeyPointerBearing
+			case runner.KeyDynamic:
+				out = runner.KeyDynamic
+			}
+		}
+		return out
+	case *types.Slice:
+		return typesKeyClass(u.Elem(), seen)
+	case *types.Array:
+		return typesKeyClass(u.Elem(), seen)
+	case *types.Map:
+		kc := typesKeyClass(u.Key(), seen)
+		ec := typesKeyClass(u.Elem(), seen)
+		if kc == runner.KeyPointerBearing || ec == runner.KeyPointerBearing {
+			return runner.KeyPointerBearing
+		}
+		if kc == runner.KeyDynamic || ec == runner.KeyDynamic {
+			return runner.KeyDynamic
+		}
+		return runner.KeyClean
+	}
+	return runner.KeyClean
+}

@@ -1,0 +1,211 @@
+package lint_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"reflect"
+	"testing"
+	"time"
+	"unsafe"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+	"repro/internal/runner"
+)
+
+// The two halves of the cachekey verdict — runner.ClassifyKeyType's
+// reflect walk at simulate time and lint.TypesKeyClass's go/types walk at
+// vet time — must agree on every type, or the analyzer would pass keys
+// the runtime panics on (or vice versa). agreementSrc declares one var
+// per tricky type; the reflect side mirrors them in agreementCases, in
+// the same order.
+const agreementSrc = `package p
+
+import (
+	"time"
+	"unsafe"
+)
+
+type tree struct {
+	Value    int
+	Children []tree
+}
+
+type plain struct {
+	A int
+	B string
+}
+
+type hiddenPtr struct {
+	Label string
+	p     *int
+}
+
+type hasAny struct {
+	X any
+}
+
+var (
+	c00 int
+	c01 string
+	c02 float64
+	c03 bool
+	c04 uintptr
+	c05 [4]byte
+	c06 []float64
+	c07 map[string]int
+	c08 plain
+	c09 tree
+	c10 *int
+	c11 []*int
+	c12 map[string]*int
+	c13 map[*int]string
+	c14 [4]chan int
+	c15 func()
+	c16 unsafe.Pointer
+	c17 hiddenPtr
+	c18 time.Time
+	c19 any
+	c20 []any
+	c21 hasAny
+	c22 map[string]any
+	c23 error
+	c24 complex128
+	c25 map[string][][]float64
+)
+`
+
+// Mirror types for the reflect side, structurally identical to the
+// source declarations above (names are irrelevant to classification).
+type agreeTree struct {
+	Value    int
+	Children []agreeTree
+}
+
+type agreePlain struct {
+	A int
+	B string
+}
+
+type agreeHiddenPtr struct {
+	Label string
+	p     *int
+}
+
+type agreeHasAny struct {
+	X any
+}
+
+func agreementCases() []reflect.Type {
+	rt := reflect.TypeOf
+	return []reflect.Type{
+		rt(int(0)),
+		rt(""),
+		rt(float64(0)),
+		rt(false),
+		rt(uintptr(0)),
+		rt([4]byte{}),
+		rt([]float64(nil)),
+		rt(map[string]int(nil)),
+		rt(agreePlain{}),
+		rt(agreeTree{}),
+		rt((*int)(nil)),
+		rt([]*int(nil)),
+		rt(map[string]*int(nil)),
+		rt(map[*int]string(nil)),
+		rt([4]chan int{}),
+		rt(func() {}),
+		rt(unsafe.Pointer(nil)),
+		rt(agreeHiddenPtr{}),
+		rt(time.Time{}),
+		reflect.TypeOf((*any)(nil)).Elem(),
+		rt([]any(nil)),
+		rt(agreeHasAny{}),
+		rt(map[string]any(nil)),
+		reflect.TypeOf((*error)(nil)).Elem(),
+		rt(complex128(0)),
+		rt(map[string][][]float64(nil)),
+	}
+}
+
+// agreementVarTypes type-checks agreementSrc and returns the declared
+// vars' go/types representations, in declaration order.
+func agreementVarTypes(t *testing.T) []types.Type {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "agree.go", agreementSrc, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object)}
+	conf := types.Config{Importer: unsafeAware{analysistest.StdImporter(fset)}}
+	if _, err := conf.Check("p", fset, []*ast.File{f}, info); err != nil {
+		t.Fatal(err)
+	}
+	var out []types.Type
+	for _, decl := range f.Decls {
+		gd, ok := decl.(*ast.GenDecl)
+		if !ok || gd.Tok != token.VAR {
+			continue
+		}
+		for _, spec := range gd.Specs {
+			for _, name := range spec.(*ast.ValueSpec).Names {
+				out = append(out, info.Defs[name].Type())
+			}
+		}
+	}
+	return out
+}
+
+// unsafeAware wraps an export-data importer with the "unsafe"
+// pseudo-package, which has no export data.
+type unsafeAware struct {
+	next types.Importer
+}
+
+func (u unsafeAware) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	return u.next.Import(path)
+}
+
+func TestKeyClassAgreement(t *testing.T) {
+	typesSide := agreementVarTypes(t)
+	reflectSide := agreementCases()
+	if len(typesSide) != len(reflectSide) {
+		t.Fatalf("case tables out of sync: %d go/types vars, %d reflect types", len(typesSide), len(reflectSide))
+	}
+	for i := range typesSide {
+		gotStatic := lint.TypesKeyClass(typesSide[i])
+		gotRuntime := runner.ClassifyKeyType(reflectSide[i])
+		if gotStatic != gotRuntime {
+			t.Errorf("case %d (%s): go/types says %v, reflect says %v",
+				i, typesSide[i], gotStatic, gotRuntime)
+		}
+	}
+}
+
+// TestKeyClassSpotChecks pins a few absolute verdicts so the agreement
+// test cannot pass by both sides being wrong the same way.
+func TestKeyClassSpotChecks(t *testing.T) {
+	cases := []struct {
+		rt   reflect.Type
+		want runner.KeyClass
+	}{
+		{reflect.TypeOf(0), runner.KeyClean},
+		{reflect.TypeOf(agreePlain{}), runner.KeyClean},
+		{reflect.TypeOf((*int)(nil)), runner.KeyPointerBearing},
+		{reflect.TypeOf(time.Time{}), runner.KeyPointerBearing}, // wall/ext/*Location
+		{reflect.TypeOf(agreeHiddenPtr{}), runner.KeyPointerBearing},
+		{reflect.TypeOf((*any)(nil)).Elem(), runner.KeyDynamic},
+		{reflect.TypeOf(agreeHasAny{}), runner.KeyDynamic},
+	}
+	for _, c := range cases {
+		if got := runner.ClassifyKeyType(c.rt); got != c.want {
+			t.Errorf("ClassifyKeyType(%s) = %v, want %v", c.rt, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,143 @@
+// Package lint holds the petavet contract checkers: custom static
+// analyzers that enforce, at compile time, the invariants the simulator
+// otherwise only defends with runtime panics, test hooks, or convention.
+// Each analyzer documents the runtime mechanism it complements; DESIGN.md
+// §7 is the prose index. Run them with `go run ./cmd/petavet ./...` or as
+// `go vet -vettool=$(which petavet) ./...`.
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// Analyzers returns the full petavet suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		CacheKey,
+		SimDet,
+		BufPair,
+		CtxFirst,
+		SentinelPanic,
+	}
+}
+
+// pkgPath returns the package's import path with any test-variant
+// decoration stripped: `go vet` presents the test-augmented build of a
+// package as "path [path.test]", and scope rules should treat it as the
+// plain package.
+func pkgPath(pkg *types.Package) string {
+	p := pkg.Path()
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[:i]
+	}
+	return p
+}
+
+// isTestFile reports whether the file is a _test.go file. Test files are
+// exempt from most contracts: their nondeterminism is contained by the
+// test harness, and runtime hooks (poison-on-put, leak tests) already
+// police them dynamically.
+func isTestFile(pass *analysis.Pass, f *ast.File) bool {
+	return strings.HasSuffix(pass.Fset.Position(f.Pos()).Filename, "_test.go")
+}
+
+// calleeFunc resolves a call expression to its statically-known callee,
+// or nil for calls through function values, builtins, or type
+// conversions.
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, _ := info.Uses[id].(*types.Func)
+	return fn
+}
+
+// isPkgFunc reports whether fn is the package-level function (or method
+// set member) path.name, matching the path after test-variant stripping.
+func isPkgFunc(fn *types.Func, path, name string) bool {
+	if fn == nil || fn.Pkg() == nil || fn.Name() != name {
+		return false
+	}
+	p := fn.Pkg().Path()
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[:i]
+	}
+	return p == path
+}
+
+// isBuiltin reports whether the call invokes the named builtin.
+func isBuiltin(info *types.Info, call *ast.CallExpr, name string) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != name {
+		return false
+	}
+	b, ok := info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == name
+}
+
+// inspectStack walks root in depth-first order, calling fn with each
+// node and the stack of its ancestors (outermost first, excluding the
+// node itself). Returning false from fn prunes the subtree.
+func inspectStack(root ast.Node, fn func(n ast.Node, stack []ast.Node) bool) {
+	var stack []ast.Node
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			stack = stack[:len(stack)-1]
+			return true
+		}
+		if !fn(n, stack) {
+			return false
+		}
+		stack = append(stack, n)
+		return true
+	})
+}
+
+// enclosingFuncs returns the functions on the stack, innermost last:
+// *ast.FuncDecl and *ast.FuncLit nodes.
+func enclosingFuncs(stack []ast.Node) []ast.Node {
+	var fns []ast.Node
+	for _, n := range stack {
+		switch n.(type) {
+		case *ast.FuncDecl, *ast.FuncLit:
+			fns = append(fns, n)
+		}
+	}
+	return fns
+}
+
+// objOf resolves an identifier to its object (definition or use).
+func objOf(info *types.Info, id *ast.Ident) types.Object {
+	if o := info.Defs[id]; o != nil {
+		return o
+	}
+	return info.Uses[id]
+}
+
+// namedTypeIs reports whether t is the named type path.name, matching
+// the path after test-variant stripping.
+func namedTypeIs(t types.Type, path, name string) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Name() != name || obj.Pkg() == nil {
+		return false
+	}
+	p := obj.Pkg().Path()
+	if i := strings.IndexByte(p, ' '); i >= 0 {
+		p = p[:i]
+	}
+	return p == path
+}

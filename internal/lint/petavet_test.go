@@ -1,0 +1,32 @@
+package lint_test
+
+import (
+	"testing"
+
+	"repro/internal/lint"
+	"repro/internal/lint/analysistest"
+)
+
+// Each suite pairs violations (want-annotated), false-positive guards
+// (clean idioms, out-of-scope packages, test-file exemptions), and one
+// //petavet:ignore suppression case per analyzer.
+
+func TestCacheKey(t *testing.T) {
+	analysistest.Run(t, "cachekey", lint.CacheKey)
+}
+
+func TestSimDet(t *testing.T) {
+	analysistest.Run(t, "simdet", lint.SimDet)
+}
+
+func TestBufPair(t *testing.T) {
+	analysistest.Run(t, "bufpair", lint.BufPair)
+}
+
+func TestCtxFirst(t *testing.T) {
+	analysistest.Run(t, "ctxfirst", lint.CtxFirst)
+}
+
+func TestSentinelPanic(t *testing.T) {
+	analysistest.Run(t, "sentinelpanic", lint.SentinelPanic)
+}

@@ -1,0 +1,98 @@
+package lint
+
+import (
+	"go/ast"
+
+	"repro/internal/lint/analysis"
+)
+
+// SentinelPanic protects the cooperative scheduler's unwind protocol
+// (internal/simmpi/sched.go): an aborted world unwinds every rank
+// coroutine with the abortedPanic sentinel, and the scheduler's own
+// terminal handler is the one place that sentinel may come to rest. Any
+// other recover() in the simmpi package must type-check the recovered
+// value for abortedPanic and re-raise it — a recover that swallows the
+// sentinel leaves ranks half-unwound, worlds that never tear down, and
+// RunContext calls that hang instead of cancelling. The runtime
+// complement is the teardown loopWG wait and the goroutine-leak tests,
+// which detect a swallowed sentinel only when a test happens to abort
+// through the broken handler.
+//
+// The terminal handler itself (runBody) annotates with
+// //petavet:ignore sentinelpanic — it is the one legitimate absorber.
+var SentinelPanic = &analysis.Analyzer{
+	Name: "sentinelpanic",
+	Doc: "every recover() in internal/simmpi must type-check for abortedPanic and " +
+		"re-raise it, preserving the scheduler's unwind protocol",
+	Run: runSentinelPanic,
+}
+
+func runSentinelPanic(pass *analysis.Pass) error {
+	if pkgPath(pass.Pkg) != simmpiPkg {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		inspectStack(f, func(n ast.Node, stack []ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isBuiltin(pass.TypesInfo, call, "recover") {
+				return true
+			}
+			fns := enclosingFuncs(stack)
+			if len(fns) == 0 {
+				return true
+			}
+			encl := fns[len(fns)-1]
+			checks, reraises := scanRecoverHandler(pass, encl)
+			switch {
+			case !checks:
+				pass.Reportf(call.Pos(),
+					"recover() in simmpi without an abortedPanic type check: a swallowed abort sentinel leaves the world half-unwound; assert for abortedPanic and re-raise it")
+			case !reraises:
+				pass.Reportf(call.Pos(),
+					"recover() in simmpi checks abortedPanic but never re-raises: the sentinel must continue unwinding (panic(rec)) unless this is the scheduler's terminal handler")
+			}
+			return false
+		})
+	}
+	return nil
+}
+
+// scanRecoverHandler looks inside the recovering function for the two
+// halves of the protocol: a type assertion or type-switch case naming
+// abortedPanic, and a panic call that can re-raise the sentinel.
+func scanRecoverHandler(pass *analysis.Pass, fn ast.Node) (checksSentinel, reraises bool) {
+	ast.Inspect(fn, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.TypeAssertExpr:
+			if n.Type != nil && isAbortedPanicExpr(pass, n.Type) {
+				checksSentinel = true
+			}
+		case *ast.TypeSwitchStmt:
+			ast.Inspect(n.Body, func(c ast.Node) bool {
+				if cc, ok := c.(*ast.CaseClause); ok {
+					for _, t := range cc.List {
+						if isAbortedPanicExpr(pass, t) {
+							checksSentinel = true
+						}
+					}
+				}
+				return true
+			})
+		case *ast.CallExpr:
+			if isBuiltin(pass.TypesInfo, n, "panic") {
+				reraises = true
+			}
+		}
+		return true
+	})
+	return checksSentinel, reraises
+}
+
+// isAbortedPanicExpr reports whether the type expression denotes the
+// simmpi abortedPanic sentinel type.
+func isAbortedPanicExpr(pass *analysis.Pass, expr ast.Expr) bool {
+	return namedTypeIs(pass.TypesInfo.TypeOf(expr), simmpiPkg, "abortedPanic")
+}

@@ -1,0 +1,178 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"repro/internal/lint/analysis"
+)
+
+// simScoped reports whether a package is simulation code, where every
+// run must be byte-identical: the scheduler core, the six (and counting)
+// application models, and the experiments layer that assembles Reports
+// into figures.
+func simScoped(path string) bool {
+	return path == "repro/internal/simmpi" ||
+		path == "repro/internal/experiments" ||
+		path == "repro/internal/apps" ||
+		strings.HasPrefix(path, "repro/internal/apps/")
+}
+
+// SimDet bans nondeterminism sources in simulation packages. The repo's
+// headline contract — byte-identical figures across runs, worker counts,
+// and GOMAXPROCS (pinned dynamically by TestAllFiguresDeterministic and
+// TestSchedulerDeterminismUnderStress) — dies by a thousand cuts:
+// a wall-clock read, a draw from the process-global math/rand source, or
+// a map iteration whose order leaks into output. This analyzer rejects
+// those cuts at compile time. Test files are exempt.
+var SimDet = &analysis.Analyzer{
+	Name: "simdet",
+	Doc: "ban nondeterminism sources in simulation packages: time.Now, the global " +
+		"math/rand source, and map iterations whose order leaks into slices or output",
+	Run: runSimDet,
+}
+
+// orderedWriters are call names that serialize data in encounter order;
+// invoked inside a map range, they bake the randomized iteration order
+// into the output.
+var orderedWriters = map[string]bool{
+	"Print": true, "Printf": true, "Println": true,
+	"Fprint": true, "Fprintf": true, "Fprintln": true,
+	"Write": true, "WriteString": true, "WriteByte": true, "WriteRune": true,
+	"Encode": true,
+}
+
+func runSimDet(pass *analysis.Pass) error {
+	if !simScoped(pkgPath(pass.Pkg)) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if isTestFile(pass, f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				checkNondetCall(pass, n)
+			case *ast.RangeStmt:
+				checkMapRange(pass, f, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkNondetCall(pass *analysis.Pass, call *ast.CallExpr) {
+	fn := calleeFunc(pass.TypesInfo, call)
+	if fn == nil || fn.Pkg() == nil {
+		return
+	}
+	switch fn.Pkg().Path() {
+	case "time":
+		if fn.Name() == "Now" {
+			pass.Reportf(call.Pos(),
+				"time.Now in simulation code: wall-clock reads differ across runs; simulation results must depend only on virtual time (vtime, Rank.Now)")
+		}
+	case "math/rand", "math/rand/v2":
+		// Constructors (New, NewSource, NewPCG, ...) build explicitly
+		// seeded generators and are fine; everything else draws from or
+		// reseeds the process-global source, which is seeded per process
+		// and shared across goroutines — nondeterministic twice over.
+		if !strings.HasPrefix(fn.Name(), "New") && fn.Signature().Recv() == nil {
+			pass.Reportf(call.Pos(),
+				"%s.%s uses the process-global math/rand source (random per-process seed, goroutine-shared): simulation code must own a rand.New(rand.NewSource(seed)) instead", fn.Pkg().Name(), fn.Name())
+		}
+	}
+}
+
+// checkMapRange flags `for ... range m` over a map when the body's
+// per-iteration effects are order-sensitive: appending to a slice
+// declared outside the loop that is never sorted afterwards, or writing
+// directly to ordered output. Commutative bodies (counting, summing,
+// filling another map, taking a max) pass untouched, as does the
+// collect-then-sort idiom.
+func checkMapRange(pass *analysis.Pass, file *ast.File, rng *ast.RangeStmt) {
+	t := pass.TypesInfo.TypeOf(rng.X)
+	if t == nil {
+		return
+	}
+	if _, ok := t.Underlying().(*types.Map); !ok {
+		return
+	}
+	ast.Inspect(rng.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if fn := calleeFunc(pass.TypesInfo, call); fn != nil && orderedWriters[fn.Name()] {
+			pass.Reportf(call.Pos(),
+				"write inside a map range: map iteration order is randomized per run, so this bakes a random order into the output; iterate a sorted key slice instead")
+			return true
+		}
+		if !isBuiltin(pass.TypesInfo, call, "append") || len(call.Args) == 0 {
+			return true
+		}
+		target := appendTarget(pass.TypesInfo, call)
+		if target == nil {
+			return true
+		}
+		// A target declared inside the loop body is per-iteration
+		// scratch; order cannot leak out through it.
+		if target.Pos() >= rng.Body.Pos() && target.Pos() <= rng.Body.End() {
+			return true
+		}
+		if sortedAfter(pass.TypesInfo, file, target, rng.End()) {
+			return true
+		}
+		pass.Reportf(call.Pos(),
+			"append to %s inside a map range: the slice inherits the randomized iteration order; sort %s after the loop (or iterate sorted keys)", target.Name(), target.Name())
+		return true
+	})
+}
+
+// appendTarget resolves the variable the append grows: the first
+// argument, when it is a plain identifier.
+func appendTarget(info *types.Info, call *ast.CallExpr) types.Object {
+	id, ok := ast.Unparen(call.Args[0]).(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return objOf(info, id)
+}
+
+// sortedAfter reports whether a sort/slices call mentioning obj appears
+// after pos — the collect-then-sort idiom that launders map order back
+// into a deterministic sequence.
+func sortedAfter(info *types.Info, file *ast.File, obj types.Object, pos token.Pos) bool {
+	sorted := false
+	ast.Inspect(file, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		fn := calleeFunc(info, call)
+		if fn == nil || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(a ast.Node) bool {
+				if id, ok := a.(*ast.Ident); ok && objOf(info, id) == obj {
+					sorted = true
+					return false
+				}
+				return true
+			})
+		}
+		return true
+	})
+	return sorted
+}

@@ -1,0 +1,60 @@
+package a
+
+import "repro/internal/simmpi"
+
+func pairOK(r *simmpi.Rank) {
+	buf := r.GetBuf(8)
+	buf[0] = 1
+	r.FreeBuf(buf)
+}
+
+func leak(r *simmpi.Rank) float64 {
+	buf := r.GetBuf(8) // want `used only as local scratch and never freed`
+	buf[0] = 1
+	return buf[0]
+}
+
+func discarded(r *simmpi.Rank) {
+	r.GetBuf(8) // want `GetBuf result discarded`
+}
+
+func blank(r *simmpi.Rank) {
+	_ = r.GetBuf(8) // want `GetBuf result assigned to _`
+}
+
+func growLocally(r *simmpi.Rank) int {
+	buf := r.GetBuf(8) // want `used only as local scratch and never freed`
+	buf = append(buf, 1)
+	return len(buf)
+}
+
+func escapesReturn(r *simmpi.Rank) []float64 {
+	buf := r.GetBuf(8)
+	return buf
+}
+
+func escapesSend(r *simmpi.Rank) {
+	buf := r.GetBuf(8)
+	r.Send(1, buf)
+}
+
+func escapesDirect(r *simmpi.Rank) {
+	r.Send(1, r.GetBuf(8))
+}
+
+func retained(r *simmpi.Rank) {
+	//petavet:ignore bufpair fixture: retention is the point of this demo
+	buf := r.GetBuf(8)
+	buf[0] = 1
+}
+
+type fake struct{}
+
+func (f *fake) GetBuf(n int) []float64 { return nil }
+
+// fakePool exercises the receiver check: GetBuf on a non-simmpi type is
+// not a pool acquisition.
+func fakePool(f *fake) {
+	buf := f.GetBuf(8)
+	buf[0] = 1
+}

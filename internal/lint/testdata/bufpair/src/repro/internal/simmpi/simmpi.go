@@ -1,0 +1,15 @@
+// Package simmpi stubs the rank payload-pool API: bufpair matches the
+// method set by package path, receiver type name, and method name.
+package simmpi
+
+// Rank is the per-rank handle.
+type Rank struct{}
+
+// GetBuf hands out a pooled payload buffer.
+func (r *Rank) GetBuf(n int) []float64 { return make([]float64, n) }
+
+// FreeBuf returns a buffer to the pool.
+func (r *Rank) FreeBuf(p []float64) {}
+
+// Send transfers a payload to another rank (an ownership handoff).
+func (r *Rank) Send(dst int, payload []float64) {}

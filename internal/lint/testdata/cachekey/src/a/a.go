@@ -1,0 +1,27 @@
+package a
+
+import "repro/internal/runner"
+
+type clean struct {
+	N int
+	S string
+}
+
+type withPtr struct {
+	Label string
+	P     *int
+}
+
+func use(n *int, v any, parts []any) {
+	runner.Key("exp", 1, "s", 2.5, clean{})
+	runner.Key("exp", n)                 // want `pointer-bearing type \*int`
+	runner.Key("exp", v)                 // want `interface-bearing type`
+	runner.Key("exp", withPtr{})         // want `pointer-bearing type`
+	runner.Key("exp", make(chan int))    // want `pointer-bearing type chan int`
+	runner.Key("exp", use)               // want `pointer-bearing type`
+	runner.Key("exp", map[string]*int{}) // want `pointer-bearing type`
+	runner.Key("exp", []any{1})          // want `interface-bearing type`
+	runner.Key("exp", parts...)          // want `interface-bearing type`
+	//petavet:ignore cachekey demonstrating the suppression idiom in tests
+	runner.Key("exp", n)
+}

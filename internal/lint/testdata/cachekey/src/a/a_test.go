@@ -1,0 +1,8 @@
+package a
+
+import "repro/internal/runner"
+
+// Test files are exempt: no diagnostics expected here.
+func testOnlyKey(n *int) string {
+	return runner.Key("exp", n)
+}

@@ -1,0 +1,8 @@
+// Package runner stubs the real content-key builder: cachekey matches
+// call sites by package path and function name only.
+package runner
+
+// Key builds a content key from the experiment label and parts.
+func Key(experiment string, parts ...any) string {
+	return experiment
+}

@@ -1,0 +1,36 @@
+package a
+
+import "context"
+
+func fresh() context.Context {
+	return context.Background() // want `context\.Background outside package main`
+}
+
+func todo() context.Context {
+	return context.TODO() // want `context\.TODO outside package main`
+}
+
+func drops(ctx context.Context) context.Context {
+	return context.Background() // want `drops the caller's cancellation`
+}
+
+func dropsNested(ctx context.Context) func() context.Context {
+	return func() context.Context {
+		return context.Background() // want `drops the caller's cancellation`
+	}
+}
+
+type holder struct {
+	ctx context.Context // want `context\.Context stored in a struct field`
+}
+
+func threaded(ctx context.Context) context.Context {
+	child, cancel := context.WithCancel(ctx)
+	cancel()
+	return child
+}
+
+func suppressed() context.Context {
+	//petavet:ignore ctxfirst fixture: deliberate context-free entry point
+	return context.Background()
+}

@@ -1,0 +1,8 @@
+package a
+
+import "context"
+
+// Test files are exempt: no diagnostics expected here.
+func testOnlyCtx() context.Context {
+	return context.Background()
+}

@@ -1,0 +1,14 @@
+// Command main is a package-main fixture: minting the root context here
+// is the one legitimate library-free site.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	helper(ctx)
+}
+
+func helper(ctx context.Context) {
+	_ = context.Background() // want `drops the caller's cancellation`
+}

@@ -1,0 +1,13 @@
+// Package b is outside simmpi: a bare recover here is not the
+// scheduler's concern.
+package b
+
+func tolerate(body func()) (failed bool) {
+	defer func() {
+		if rec := recover(); rec != nil {
+			failed = true
+		}
+	}()
+	body()
+	return false
+}

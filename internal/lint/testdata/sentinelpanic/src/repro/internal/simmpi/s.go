@@ -1,0 +1,62 @@
+// Package simmpi stubs the scheduler's abort sentinel: sentinelpanic
+// matches the package path and the abortedPanic type name.
+package simmpi
+
+type abortedPanic struct{ reason string }
+
+func swallow(body func()) (failed bool) {
+	defer func() {
+		if rec := recover(); rec != nil { // want `without an abortedPanic type check`
+			failed = true
+		}
+	}()
+	body()
+	return false
+}
+
+func checksNoReraise(body func()) (sawAbort bool) {
+	defer func() {
+		rec := recover() // want `checks abortedPanic but never re-raises`
+		if _, ok := rec.(abortedPanic); ok {
+			sawAbort = true
+		}
+	}()
+	body()
+	return false
+}
+
+func protocol(body func()) (failed bool) {
+	defer func() {
+		rec := recover()
+		if rec == nil {
+			return
+		}
+		if _, isAbort := rec.(abortedPanic); isAbort {
+			panic(rec)
+		}
+		failed = true
+	}()
+	body()
+	return false
+}
+
+func typeSwitchProtocol(body func()) {
+	defer func() {
+		switch rec := recover().(type) {
+		case nil:
+		case abortedPanic:
+			panic(rec)
+		}
+	}()
+	body()
+}
+
+func terminal(body func()) {
+	defer func() {
+		//petavet:ignore sentinelpanic fixture: the terminal handler absorbs the sentinel
+		if rec := recover(); rec != nil {
+			_ = rec
+		}
+	}()
+	body()
+}

@@ -1,0 +1,8 @@
+// Package b is outside the simulation scope: simdet must not fire here.
+package b
+
+import "time"
+
+func hostClock() int64 {
+	return time.Now().UnixNano()
+}

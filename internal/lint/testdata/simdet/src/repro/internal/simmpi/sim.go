@@ -1,0 +1,71 @@
+// Package simmpi carries the import path of the real scheduler so the
+// simdet scope rule applies; its contents are analyzer fixtures.
+package simmpi
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+)
+
+func nondetCalls() (int64, int) {
+	t := time.Now().UnixNano() // want `time\.Now in simulation code`
+	n := rand.Intn(4)          // want `process-global math/rand source`
+	r := rand.New(rand.NewSource(7))
+	return t, n + r.Intn(4)
+}
+
+func mapLeak(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k) // want `append to keys inside a map range`
+	}
+	return keys
+}
+
+func collectThenSort(m map[string]int) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func commutative(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func printLeak(m map[string]int) {
+	for k := range m {
+		fmt.Println(k) // want `write inside a map range`
+	}
+}
+
+func scratchInsideLoop(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var local []int
+		local = append(local, vs...)
+		total += len(local)
+	}
+	return total
+}
+
+func sliceRangeIsFine(s []string) []string {
+	var out []string
+	for _, v := range s {
+		out = append(out, v)
+	}
+	return out
+}
+
+func suppressed() int64 {
+	//petavet:ignore simdet demonstrating the suppression idiom in tests
+	return time.Now().UnixNano()
+}

@@ -53,14 +53,14 @@ func Key(experiment string, parts ...any) string {
 	for i, p := range parts {
 		if p != nil {
 			v := reflect.ValueOf(p)
-			switch classifyKeyType(v.Type()) {
-			case keyTypeClean:
+			switch ClassifyKeyType(v.Type()) {
+			case KeyClean:
 				// Hashability is a property of the type; the verdict is
 				// memoized, so warm traffic pays one map lookup here.
-			case keyTypeDirty:
+			case KeyPointerBearing:
 				panic(fmt.Sprintf("runner: Key part %d has type %s, which contains pointers (or chans/funcs); content keys must be built from pointer-free values (addresses are not stable across runs and would poison the cache)",
 					i, v.Type()))
-			case keyTypeDynamic:
+			case KeyDynamic:
 				// Interface-bearing types can only be judged per value.
 				assertHashable(fmt.Sprintf("part %d", i), v, 0)
 			}
@@ -70,26 +70,48 @@ func Key(experiment string, parts ...any) string {
 	return hex.EncodeToString(h.Sum(nil))
 }
 
-// keyTypeClass is the memoized Key-guard verdict for a type.
-type keyTypeClass int8
+// KeyClass is the memoized Key-guard verdict for a type. It is the one
+// shared definition of "pointer-bearing": the runtime reflect walk below
+// and the petavet cachekey analyzer (internal/lint) both classify into
+// these three verdicts, and a test in internal/lint pins that the two
+// walks agree on a table of tricky types.
+type KeyClass int8
 
 const (
-	// keyTypeClean types can never reach an address: no per-value walk.
-	keyTypeClean keyTypeClass = iota
-	// keyTypeDirty types contain a pointer, chan, or func somewhere —
-	// rejected outright, even when the offending container is empty,
+	// KeyClean types can never reach an address: no per-value walk.
+	KeyClean KeyClass = iota
+	// KeyPointerBearing types contain a pointer, chan, or func somewhere
+	// — rejected outright, even when the offending container is empty,
 	// so the failure does not depend on the data.
-	keyTypeDirty
-	// keyTypeDynamic types contain interfaces, whose contents only a
+	KeyPointerBearing
+	// KeyDynamic types contain interfaces, whose contents only a
 	// per-value walk can judge.
-	keyTypeDynamic
+	KeyDynamic
 )
 
-var keyTypeCache sync.Map // reflect.Type → keyTypeClass
+// String names the verdict for diagnostics and test output.
+func (c KeyClass) String() string {
+	switch c {
+	case KeyClean:
+		return "clean"
+	case KeyPointerBearing:
+		return "pointer-bearing"
+	case KeyDynamic:
+		return "dynamic"
+	default:
+		return fmt.Sprintf("KeyClass(%d)", int8(c))
+	}
+}
 
-func classifyKeyType(t reflect.Type) keyTypeClass {
+var keyTypeCache sync.Map // reflect.Type → KeyClass
+
+// ClassifyKeyType reports whether values of type t are safe to hash into
+// a content key: KeyClean hashes on full content, KeyPointerBearing
+// would hash a memory address (Key panics on these), and KeyDynamic
+// contains interfaces that only a per-value walk can judge.
+func ClassifyKeyType(t reflect.Type) KeyClass {
 	if c, ok := keyTypeCache.Load(t); ok {
-		return c.(keyTypeClass)
+		return c.(KeyClass)
 	}
 	c := classifyType(t, map[reflect.Type]bool{})
 	keyTypeCache.Store(t, c)
@@ -100,24 +122,24 @@ func classifyKeyType(t reflect.Type) keyTypeClass {
 // breaks recursion through self-referential types (legal without
 // pointers via slices/maps); a revisited type contributes nothing new
 // on this path.
-func classifyType(t reflect.Type, seen map[reflect.Type]bool) keyTypeClass {
+func classifyType(t reflect.Type, seen map[reflect.Type]bool) KeyClass {
 	if seen[t] {
-		return keyTypeClean
+		return KeyClean
 	}
 	seen[t] = true
 	switch t.Kind() {
 	case reflect.Pointer, reflect.UnsafePointer, reflect.Chan, reflect.Func:
-		return keyTypeDirty
+		return KeyPointerBearing
 	case reflect.Interface:
-		return keyTypeDynamic
+		return KeyDynamic
 	case reflect.Struct:
-		out := keyTypeClean
+		out := KeyClean
 		for i := 0; i < t.NumField(); i++ {
 			switch classifyType(t.Field(i).Type, seen) {
-			case keyTypeDirty:
-				return keyTypeDirty
-			case keyTypeDynamic:
-				out = keyTypeDynamic
+			case KeyPointerBearing:
+				return KeyPointerBearing
+			case KeyDynamic:
+				out = KeyDynamic
 			}
 		}
 		return out
@@ -126,16 +148,15 @@ func classifyType(t reflect.Type, seen map[reflect.Type]bool) keyTypeClass {
 	case reflect.Map:
 		kc := classifyType(t.Key(), seen)
 		ec := classifyType(t.Elem(), seen)
-		if kc == keyTypeDirty || ec == keyTypeDirty {
-			return keyTypeDirty
+		if kc == KeyPointerBearing || ec == KeyPointerBearing {
+			return KeyPointerBearing
 		}
-		if kc == keyTypeDynamic || ec == keyTypeDynamic {
-			return keyTypeDynamic
+		if kc == KeyDynamic || ec == KeyDynamic {
+			return KeyDynamic
 		}
-		return keyTypeClean
-	default:
-		return keyTypeClean
+		return KeyClean
 	}
+	return KeyClean
 }
 
 // maxKeyDepth bounds the hashability walk; %+v on anything nested this

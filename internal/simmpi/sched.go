@@ -447,6 +447,7 @@ func hostMain(sh *shard) {
 func (w *World) runBody(r *Rank) {
 	completed := false
 	defer func() {
+		//petavet:ignore sentinelpanic runBody is the scheduler's terminal handler: the abortedPanic sentinel comes to rest here by design, after every rank has unwound
 		if rec := recover(); rec != nil {
 			if _, isAbort := rec.(abortedPanic); !isAbort {
 				w.abort(fmt.Errorf("simmpi: rank %d panicked: %v", r.id, rec))

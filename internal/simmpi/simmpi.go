@@ -148,6 +148,7 @@ func defaultShards(ctx context.Context, procs int) int {
 // results. It returns an error if the configuration is invalid or any
 // rank panics.
 func Run(cfg Config, body func(*Rank)) (*Report, error) {
+	//petavet:ignore ctxfirst Run is the deliberate context-free compatibility entry point; callers who have a ctx use RunContext
 	return RunContext(context.Background(), cfg, body)
 }
 
@@ -219,6 +220,7 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Report, err
 
 // MustRun is Run but panics on error; convenient in examples and benches.
 func MustRun(cfg Config, body func(*Rank)) *Report {
+	//petavet:ignore ctxfirst MustRun is the deliberate context-free compatibility entry point; callers who have a ctx use MustRunContext
 	return MustRunContext(context.Background(), cfg, body)
 }
 
