@@ -29,7 +29,8 @@
 //	workloads list the registered workloads (Table 2 metadata)
 //	bench     run the benchmark-trajectory suite; record/gate BENCH_*.json
 //	serve     long-running HTTP JSON service over the same engine
-//	all       everything above except sweep, whatif, bench and serve
+//	jobs      client for a server's async job API (see below)
+//	all       everything above except sweep, whatif, bench, serve and jobs
 //
 // Flags:
 //
@@ -49,6 +50,12 @@
 //	-steps N      whatif: perturbation grid points per side of each half-range (default 1)
 //	-stream       whatif: emit NDJSON point lines as they complete
 //	-addr ADDR    serve: listen address (default :8080)
+//	-jobs-dir DIR serve: enable the async /v1/jobs API; job WALs persist here
+//	-job-workers N  serve: max concurrently executing jobs (default 2)
+//	-job-retries N  serve: re-runs per job after transient failure (default 2)
+//	-job-quota N  serve: max queued+running jobs per client (default 16; 0 unlimited)
+//	-job-rate R   serve: per-client submissions/sec (default 10; 0 unlimited)
+//	-job-burst N  serve: submission token-bucket burst (default 20)
 //	-benchtime T  bench: per-benchmark budget, duration or Nx count (default 1s)
 //	-bench RE     bench: only run suite entries matching RE
 //	-against FILE bench: diff this run against a prior BENCH_*.json record
@@ -92,6 +99,14 @@
 // without re-simulating; the run summary on stderr reports the split.
 // A failed cache write is a one-time warning, never a run failure.
 //
+// serve -jobs-dir DIR additionally runs the durable async job queue:
+// POST /v1/jobs answers 202 immediately and the job executes in the
+// background on the same pool; the WAL directory survives restarts, so
+// a killed server re-enqueues interrupted jobs on the next start. The
+// `petasim jobs` subcommands (submit, list, get, result, watch, cancel)
+// are a client for that API — `petasim jobs submit -app gtc -wait`
+// submits a sweep and follows its progress to completion.
+//
 // serve turns the same engine into a service: every /v1/sweep and
 // /v1/figures query runs through one shared pool, with the -mem-cache
 // LRU in front of -cache and in-flight deduplication, so concurrent
@@ -124,6 +139,7 @@ import (
 	"repro/internal/apps"
 	_ "repro/internal/apps/all" // populate the workload registry
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/machfile"
 	"repro/internal/machine"
 	"repro/internal/runner"
@@ -159,6 +175,12 @@ func main() {
 	perturb := flag.String("perturb", "", "whatif: comma-separated knob=±X% perturbations (default: every knob ±10%)")
 	steps := flag.Int("steps", 1, "whatif: perturbation grid points per side")
 	stream := flag.Bool("stream", false, "whatif: emit NDJSON point lines as they complete")
+	jobsDir := flag.String("jobs-dir", "", "serve: enable the async /v1/jobs API, persisting job WALs here")
+	jobWorkers := flag.Int("job-workers", 2, "serve: max concurrently executing jobs")
+	jobRetries := flag.Int("job-retries", 2, "serve: re-runs per job after transient failure")
+	jobQuota := flag.Int("job-quota", 16, "serve: max queued+running jobs per client (0 = unlimited)")
+	jobRate := flag.Float64("job-rate", 10, "serve: per-client job submissions per second (0 = unlimited)")
+	jobBurst := flag.Int("job-burst", 20, "serve: submission token-bucket burst capacity")
 	benchtime := flag.String("benchtime", "", "bench: per-benchmark budget, duration or Nx count (default: 1s)")
 	benchFilter := flag.String("bench", "", "bench: only run suite entries matching this regexp")
 	cpuProfile := flag.String("cpuprofile", "", "bench: write a CPU profile of the measured suite to this file")
@@ -168,7 +190,9 @@ func main() {
 	pr := flag.Int("pr", 0, "bench: trajectory point label (default: inferred from the -json filename)")
 	flag.Parse()
 
-	if flag.NArg() != 1 {
+	// Every experiment is one argument; only `jobs` carries a
+	// subcommand (and its own flags) after it.
+	if flag.NArg() < 1 || (flag.NArg() > 1 && flag.Arg(0) != "jobs") {
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -198,7 +222,10 @@ func main() {
 		benchtime: *benchtime, benchFilter: *benchFilter,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		against: *against, gate: *gate, pr: *pr,
-		reg: reg,
+		jobsDir: *jobsDir, jobWorkers: *jobWorkers, jobRetries: *jobRetries,
+		jobQuota: *jobQuota, jobRate: *jobRate, jobBurst: *jobBurst,
+		rest: flag.Args()[1:],
+		reg:  reg,
 	}
 	// Ctrl-C (or a supervisor's SIGTERM) cancels the whole run: sweeps
 	// stop scheduling promptly and report what they completed; serve
@@ -243,6 +270,13 @@ type cliConfig struct {
 	against         string
 	gate            bool
 	pr              int
+	jobsDir         string
+	jobWorkers      int
+	jobRetries      int
+	jobQuota        int
+	jobRate         float64
+	jobBurst        int
+	rest            []string // arguments after the `jobs` experiment word
 	reg             *machfile.Registry
 }
 
@@ -365,7 +399,9 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 		// not an artifact directory.
 		return runBench(ctx, cli, out)
 	case "serve":
-		return serve(ctx, opts, cli.addr)
+		return serve(ctx, opts, cli)
+	case "jobs":
+		return runJobs(ctx, cli.rest, out)
 	case "machines":
 		builtin := len(machine.All())
 		for i, m := range cli.reg.All() {
@@ -386,7 +422,7 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep whatif serve gtcopt amropt vnode machines workloads all)", cmd)
+		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep whatif serve jobs gtcopt amropt vnode machines workloads all)", cmd)
 	}
 	return nil
 }
@@ -468,13 +504,50 @@ const drainTimeout = 15 * time.Second
 // then drains: the listener closes immediately, in-flight requests get
 // up to drainTimeout to finish, and only then does the process exit —
 // no request is killed mid-simulation by a clean shutdown.
-func serve(ctx context.Context, opts experiments.Options, addr string) error {
+//
+// With -jobs-dir the async /v1/jobs API is live: a durable queue opens
+// on the directory (recovering any jobs a previous process left
+// queued or running) and its dispatcher runs alongside the listener on
+// the same pool, so async and synchronous requests share one result
+// store. Shutdown cancels the dispatcher too — running jobs keep their
+// durable "running" state and the next start re-enqueues them.
+func serve(ctx context.Context, opts experiments.Options, cli cliConfig) error {
+	addr := cli.addr
+	handler := server.New(opts)
+	queueDone := make(chan struct{})
+	close(queueDone) // no queue: nothing to wait for
+	if cli.jobsDir != "" {
+		q, err := jobs.Open(cli.jobsDir, jobs.Config{
+			Executor:           jobs.NewExecutor(opts),
+			MaxRunning:         cli.jobWorkers,
+			MaxRetries:         cli.jobRetries,
+			MaxActivePerClient: cli.jobQuota,
+			SubmitRate:         cli.jobRate,
+			SubmitBurst:        cli.jobBurst,
+		})
+		if err != nil {
+			return err
+		}
+		handler = server.NewWithQueue(opts, q)
+		queueDone = make(chan struct{})
+		go func() {
+			defer close(queueDone)
+			q.Serve(ctx) // returns ctx.Err() on shutdown; jobs stay durable
+		}()
+		fmt.Fprintf(os.Stderr, "petasim: async jobs on %s (workers=%d)\n", cli.jobsDir, cli.jobWorkers)
+	}
+	defer func() { <-queueDone }() // no exit with executor goroutines live
+	return serveHTTP(ctx, handler, addr)
+}
+
+// serveHTTP runs one handler on addr with the drain-on-cancel contract.
+func serveHTTP(ctx context.Context, handler http.Handler, addr string) error {
 	// Header/idle timeouts so slow or idle clients cannot pin
 	// goroutines forever; no write timeout, because a cold figure
 	// query legitimately simulates for a while before responding.
 	hs := &http.Server{
 		Addr:              addr,
-		Handler:           server.New(opts),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 		// ReadTimeout bounds the whole request read, so a trickled
 		// POST body cannot pin a handler goroutine. It does not

@@ -13,6 +13,7 @@ import (
 	"repro/internal/machfile"
 	"repro/internal/machine"
 	"repro/internal/runner"
+	"repro/internal/simmpi"
 )
 
 // renderSweep runs the acceptance sweep (GTC on BG/L at 64 and 256) and
@@ -216,6 +217,33 @@ func TestSweepPlanStreamDeliversEveryPoint(t *testing.T) {
 // mid-run must stop scheduling, surface the cancellation, and leave no
 // worker goroutines behind (checked under -race in CI).
 func TestSweepCancelMidRunReturnsPromptlyWithoutLeaks(t *testing.T) {
+	// Warm simmpi's pooled cancellation watchers: they park in their
+	// pool after a run by design, so a cold baseline would misread the
+	// first cancellable runs' pooled goroutines as a leak. Two worlds
+	// are held alive concurrently to warm one watcher per pool worker.
+	release := make(chan struct{})
+	entered := make(chan struct{}, 2)
+	warmDone := make(chan error, 2)
+	for i := 0; i < 2; i++ {
+		go func() {
+			wctx, wcancel := context.WithCancel(context.Background())
+			defer wcancel()
+			_, err := simmpi.RunContext(wctx, simmpi.Config{Machine: machine.Bassi, Procs: 1}, func(r *simmpi.Rank) {
+				entered <- struct{}{}
+				<-release
+			})
+			warmDone <- err
+		}()
+	}
+	<-entered
+	<-entered
+	close(release)
+	for i := 0; i < 2; i++ {
+		if err := <-warmDone; err != nil {
+			t.Fatal(err)
+		}
+	}
+
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	// Cancel from a watcher as soon as the first point lands in the

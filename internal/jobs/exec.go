@@ -1,0 +1,214 @@
+package jobs
+
+import (
+	"context"
+	"fmt"
+	"io"
+
+	"repro/internal/experiments"
+	"repro/internal/machfile"
+	"repro/internal/runner"
+	"repro/internal/whatif"
+)
+
+// EngineExecutor is the real Executor: it expands job specs into
+// experiment plans and runs them through the shared simulation pool,
+// so every completed point lands in the pool's result store under its
+// content key — which is why WriteResult can regenerate a finished
+// job's artifact byte-identically without re-simulating anything.
+type EngineExecutor struct {
+	opts experiments.Options
+}
+
+// NewExecutor binds the queue to the experiments engine. opts.Runner is
+// the shared pool (nil gets a serial, uncached one — fine for tests,
+// not for traffic); opts.Machines the machine namespace (nil gets a
+// fresh registry over the built-ins).
+func NewExecutor(opts experiments.Options) *EngineExecutor {
+	if opts.Runner == nil {
+		opts.Runner = &runner.Pool{}
+	}
+	if opts.Machines == nil {
+		opts.Machines = machfile.NewRegistry()
+	}
+	return &EngineExecutor{opts: opts}
+}
+
+// Validate expands the spec into a plan and discards it: every selector
+// error surfaces at submission time, before the job ever queues.
+func (e *EngineExecutor) Validate(spec Spec) error {
+	switch spec.Kind {
+	case KindSweep:
+		_, err := experiments.PlanSweep(e.opts, spec.Apps, spec.Machines, spec.Procs)
+		return err
+	case KindFigure:
+		if spec.Figure < 2 || spec.Figure > 8 {
+			return fmt.Errorf("no figure %d (the engine regenerates figures 2-8)", spec.Figure)
+		}
+		return nil
+	case KindWhatIf:
+		_, err := e.whatifPlan(spec)
+		return err
+	default:
+		return fmt.Errorf("unknown job kind %q (want %s, %s, or %s)", spec.Kind, KindSweep, KindFigure, KindWhatIf)
+	}
+}
+
+// whatifPlan expands a whatif spec with the synchronous endpoint's
+// exact selector rules.
+func (e *EngineExecutor) whatifPlan(spec Spec) (*whatif.Plan, error) {
+	if len(spec.Apps) != 1 {
+		return nil, fmt.Errorf("whatif needs exactly one app (got %d)", len(spec.Apps))
+	}
+	machines, err := experiments.ResolveMachines(e.opts.Machines, spec.Machines)
+	if err != nil {
+		return nil, err
+	}
+	perturbs, err := whatif.ParsePerturbs(spec.Perturb)
+	if err != nil {
+		return nil, err
+	}
+	return whatif.NewPlan(spec.Apps[0], machines, spec.Procs, perturbs, spec.Steps)
+}
+
+// Run executes the spec, reporting the planned total and one event per
+// completed point (sweeps and whatif grids stream point-by-point via
+// Pool.Stream; figures report their pool-view split once the figure is
+// assembled). A failed point does not stop the rest of the batch; the
+// attempt fails afterwards so the queue's retry policy applies.
+func (e *EngineExecutor) Run(ctx context.Context, spec Spec, report func(PointEvent)) error {
+	switch spec.Kind {
+	case KindSweep:
+		plan, err := experiments.PlanSweep(e.opts, spec.Apps, spec.Machines, spec.Procs)
+		if err != nil {
+			return err
+		}
+		report(PointEvent{Total: plan.Points()})
+		failed, total := 0, plan.Points()
+		var firstErr error
+		for ev := range plan.Stream(ctx) {
+			report(PointEvent{Point: true, Served: ev.Served, Failed: ev.Err != nil})
+			if ev.Err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = ev.Err
+				}
+			}
+		}
+		return streamOutcome(ctx, failed, total, firstErr)
+	case KindFigure:
+		return e.runFigure(ctx, spec, report)
+	case KindWhatIf:
+		plan, err := e.whatifPlan(spec)
+		if err != nil {
+			return err
+		}
+		report(PointEvent{Total: plan.Points()})
+		failed, total := 0, plan.Points()
+		var firstErr error
+		for ev := range plan.Stream(ctx, e.opts.Runner) {
+			report(PointEvent{Point: true, Served: ev.Served, Failed: ev.Err != nil})
+			if ev.Err != nil {
+				failed++
+				if firstErr == nil {
+					firstErr = ev.Err
+				}
+			}
+		}
+		return streamOutcome(ctx, failed, total, firstErr)
+	default:
+		return fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+}
+
+// streamOutcome folds a streamed batch's tail into the attempt's error:
+// cancellation wins (it describes the caller), then any failed points.
+func streamOutcome(ctx context.Context, failed, total int, firstErr error) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d of %d points failed: %w", failed, total, firstErr)
+	}
+	return nil
+}
+
+// runFigure regenerates one paper figure under a pool view, then
+// back-fills the progress counters from the view's serving split —
+// figures assemble via batch entry points, so per-point live progress
+// is not available, but the final counters are exact.
+func (e *EngineExecutor) runFigure(ctx context.Context, spec Spec, report func(PointEvent)) error {
+	view := e.opts.Runner.View()
+	opts := e.opts
+	opts.Runner = view
+	var err error
+	if spec.Figure == 8 {
+		_, err = experiments.Fig8Summary(ctx, opts)
+	} else {
+		_, err = experiments.FigureN(ctx, opts, spec.Figure)
+	}
+	if err != nil {
+		return err
+	}
+	st := view.Stats()
+	report(PointEvent{Total: int(st.Points)})
+	emit := func(n int64, via runner.Served) {
+		for i := int64(0); i < n; i++ {
+			report(PointEvent{Point: true, Served: via})
+		}
+	}
+	emit(st.Simulated, runner.ServedSim)
+	emit(st.MemHits, runner.ServedMem)
+	emit(st.Hits, runner.ServedDisk)
+	emit(st.Deduped, runner.ServedDedup)
+	return nil
+}
+
+// WriteResult writes the spec's artifact exactly as the synchronous
+// endpoint would: the sweep body is the concatenated point records,
+// figures are the figure JSON, whatif the study JSON. For a job that
+// just completed, every point is already in the result store, so this
+// serves without re-simulation.
+func (e *EngineExecutor) WriteResult(ctx context.Context, w io.Writer, spec Spec) error {
+	switch spec.Kind {
+	case KindSweep:
+		plan, err := experiments.PlanSweep(e.opts, spec.Apps, spec.Machines, spec.Procs)
+		if err != nil {
+			return err
+		}
+		figs, err := plan.Execute(ctx)
+		if err != nil {
+			return err
+		}
+		var results []runner.Result
+		for _, fig := range figs {
+			results = append(results, fig.Results...)
+		}
+		return runner.WriteJSON(w, results)
+	case KindFigure:
+		if spec.Figure == 8 {
+			sum, err := experiments.Fig8Summary(ctx, e.opts)
+			if err != nil {
+				return err
+			}
+			return sum.JSON(w)
+		}
+		fig, err := experiments.FigureN(ctx, e.opts, spec.Figure)
+		if err != nil {
+			return err
+		}
+		return fig.JSON(w)
+	case KindWhatIf:
+		plan, err := e.whatifPlan(spec)
+		if err != nil {
+			return err
+		}
+		study, err := plan.Execute(ctx, e.opts.Runner)
+		if err != nil {
+			return err
+		}
+		return study.JSON(w)
+	default:
+		return fmt.Errorf("unknown job kind %q", spec.Kind)
+	}
+}

@@ -1,0 +1,172 @@
+package jobs
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+// WAL ops. A job's log is one create followed by state/retry appends;
+// replay folds them back into the job's last durable snapshot.
+const (
+	opCreate = "create"
+	opState  = "state"
+	opRetry  = "retry"
+)
+
+// walEntry is one JSON line of a job's write-ahead log.
+type walEntry struct {
+	// Schema versions the entry (SchemaVersion at write; replay
+	// rejects newer).
+	Schema int `json:"schema"`
+	// Op is the entry kind: create, state, or retry.
+	Op string `json:"op"`
+	// Job carries the full record on create entries.
+	Job *Job `json:"job,omitempty"`
+	// State is the transition target on state entries.
+	State State `json:"state,omitempty"`
+	// Error carries the failure message on failed transitions.
+	Error string `json:"error,omitempty"`
+	// At timestamps the event.
+	At time.Time `json:"at,omitzero"`
+}
+
+// encodeWAL renders entries as the on-disk line format.
+func encodeWAL(entries []walEntry) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return nil, fmt.Errorf("jobs: encoding WAL entry: %w", err)
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
+// parseWAL decodes a job's log and folds it into the job's last durable
+// state, returning the entries it applied. The final line is allowed to
+// be torn (a crash mid-append leaves exactly that) and is discarded; an
+// undecodable or invalid entry anywhere else is corruption and an
+// error. The returned job's Progress is zero — progress is never
+// persisted.
+func parseWAL(data []byte) (Job, []walEntry, error) {
+	lines := bytes.Split(data, []byte("\n"))
+	// A well-formed log ends in '\n', leaving one empty trailing
+	// element; anything after the last newline is a torn tail.
+	var job Job
+	var entries []walEntry
+	for i, line := range lines {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		var e walEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			if i == len(lines)-1 {
+				break // torn tail: recover to the last durable entry
+			}
+			return Job{}, nil, fmt.Errorf("jobs: WAL line %d is corrupt: %w", i+1, err)
+		}
+		if err := applyEntry(&job, len(entries) == 0, e); err != nil {
+			return Job{}, nil, fmt.Errorf("jobs: WAL line %d: %w", i+1, err)
+		}
+		entries = append(entries, e)
+	}
+	if len(entries) == 0 {
+		return Job{}, nil, fmt.Errorf("jobs: WAL holds no durable entries")
+	}
+	return job, entries, nil
+}
+
+// applyEntry folds one WAL entry into the job snapshot, enforcing the
+// schema bound, the create-first shape, and the state machine.
+func applyEntry(job *Job, first bool, e walEntry) error {
+	if e.Schema < 1 || e.Schema > SchemaVersion {
+		return fmt.Errorf("unsupported schema %d (this build speaks <= %d)", e.Schema, SchemaVersion)
+	}
+	switch e.Op {
+	case opCreate:
+		if !first {
+			return fmt.Errorf("duplicate create entry")
+		}
+		if e.Job == nil {
+			return fmt.Errorf("create entry carries no job")
+		}
+		if e.Job.ID == "" {
+			return fmt.Errorf("create entry carries no job id")
+		}
+		if e.Job.State != StateQueued {
+			return fmt.Errorf("created job is %q, want %q", e.Job.State, StateQueued)
+		}
+		*job = *e.Job
+		job.Progress = Progress{} // never persisted
+		return nil
+	case opState:
+		if first {
+			return fmt.Errorf("log does not start with a create entry")
+		}
+		if !e.State.valid() {
+			return fmt.Errorf("unknown state %q", e.State)
+		}
+		if !validTransition(job.State, e.State) {
+			return fmt.Errorf("invalid transition %s → %s", job.State, e.State)
+		}
+		job.State = e.State
+		switch e.State {
+		case StateRunning:
+			if job.Started.IsZero() {
+				job.Started = e.At
+			}
+		case StateDone, StateFailed, StateCancelled:
+			job.Finished = e.At
+			job.Error = e.Error
+		}
+		return nil
+	case opRetry:
+		if first {
+			return fmt.Errorf("log does not start with a create entry")
+		}
+		if job.State != StateRunning {
+			return fmt.Errorf("retry while %s", job.State)
+		}
+		job.Retries++
+		return nil
+	default:
+		return fmt.Errorf("unknown op %q", e.Op)
+	}
+}
+
+// walPath names a job's log file.
+func walPath(dir, id string) string {
+	return filepath.Join(dir, id+".wal")
+}
+
+// appendWAL durably appends one entry to the job's log. Each append
+// opens, writes, syncs, and closes — transitions are rare (a handful
+// per job) and surviving a crash is the whole point of the log.
+func appendWAL(dir, id string, e walEntry) error {
+	line, err := encodeWAL([]walEntry{e})
+	if err != nil {
+		return err
+	}
+	f, err := os.OpenFile(walPath(dir, id), os.O_APPEND|os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("jobs: opening WAL: %w", err)
+	}
+	if _, err := f.Write(line); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: appending WAL: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("jobs: syncing WAL: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("jobs: closing WAL: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,140 @@
+package jobs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleLog builds a well-formed WAL: create → running → (optional
+// retry) → terminal.
+func sampleLog(t *testing.T, terminal State, retries int) []byte {
+	t.Helper()
+	data, err := buildSampleLog(terminal, retries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return data
+}
+
+// buildSampleLog is sampleLog without the test plumbing, shared with
+// the fuzz seeds.
+func buildSampleLog(terminal State, retries int) ([]byte, error) {
+	created := time.Date(2026, 8, 8, 12, 0, 0, 0, time.UTC)
+	job := Job{
+		Schema:  SchemaVersion,
+		ID:      "cafe0123cafe0123",
+		Client:  "alice",
+		Spec:    Spec{Kind: KindSweep, Apps: []string{"cactus"}, Procs: []int{256}},
+		State:   StateQueued,
+		Created: created,
+	}
+	entries := []walEntry{
+		{Schema: SchemaVersion, Op: opCreate, Job: &job, At: created},
+		{Schema: SchemaVersion, Op: opState, State: StateRunning, At: created.Add(time.Second)},
+	}
+	for i := 0; i < retries; i++ {
+		entries = append(entries, walEntry{Schema: SchemaVersion, Op: opRetry, At: created.Add(2 * time.Second)})
+	}
+	if terminal != "" {
+		e := walEntry{Schema: SchemaVersion, Op: opState, State: terminal, At: created.Add(3 * time.Second)}
+		if terminal == StateFailed {
+			e.Error = "boom"
+		}
+		entries = append(entries, e)
+	}
+	return encodeWAL(entries)
+}
+
+func TestWALRoundTrip(t *testing.T) {
+	job, entries, err := parseWAL(sampleLog(t, StateFailed, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 5 {
+		t.Fatalf("replayed %d entries, want 5", len(entries))
+	}
+	if job.ID != "cafe0123cafe0123" || job.Client != "alice" || job.Spec.Apps[0] != "cactus" {
+		t.Fatalf("job identity lost in replay: %+v", job)
+	}
+	if job.State != StateFailed || job.Error != "boom" || job.Retries != 2 {
+		t.Fatalf("job outcome lost in replay: %+v", job)
+	}
+	if job.Started.IsZero() || job.Finished.IsZero() {
+		t.Fatalf("timestamps lost in replay: %+v", job)
+	}
+	// Progress is runtime-only and must come back zeroed.
+	if job.Progress != (Progress{}) {
+		t.Fatalf("progress persisted: %+v", job.Progress)
+	}
+	// Re-encoding the replayed entries reproduces the log byte for byte.
+	again, err := encodeWAL(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != string(sampleLog(t, StateFailed, 2)) {
+		t.Fatal("replayed entries re-encode differently")
+	}
+}
+
+func TestWALTornFinalLineRecovers(t *testing.T) {
+	data := sampleLog(t, "", 0) // ends durably running
+	torn := append(append([]byte{}, data...), []byte(`{"schema":1,"op":"state","st`)...)
+	job, entries, err := parseWAL(torn)
+	if err != nil {
+		t.Fatalf("torn tail did not recover: %v", err)
+	}
+	if job.State != StateRunning || len(entries) != 2 {
+		t.Fatalf("recovered to %s with %d entries, want running with 2", job.State, len(entries))
+	}
+}
+
+func TestWALCorruptMiddleLineErrors(t *testing.T) {
+	lines := strings.Split(strings.TrimSuffix(string(sampleLog(t, StateDone, 0)), "\n"), "\n")
+	lines[1] = `{"schema":1,"op":"st` // corrupt, but not the final line
+	if _, _, err := parseWAL([]byte(strings.Join(lines, "\n") + "\n")); err == nil {
+		t.Fatal("corruption before the final line parsed cleanly")
+	}
+}
+
+func TestWALRejectsBadShapes(t *testing.T) {
+	for name, log := range map[string]string{
+		"empty":             "",
+		"blank lines only":  "\n\n\n",
+		"no create first":   `{"schema":1,"op":"state","state":"running"}` + "\n",
+		"duplicate create":  `{"schema":1,"op":"create","job":{"id":"a","state":"queued"}}` + "\n" + `{"schema":1,"op":"create","job":{"id":"a","state":"queued"}}` + "\n",
+		"create without id": `{"schema":1,"op":"create","job":{"state":"queued"}}` + "\n",
+		"create not queued": `{"schema":1,"op":"create","job":{"id":"a","state":"running"}}` + "\n",
+		"newer schema":      `{"schema":99,"op":"create","job":{"id":"a","state":"queued"}}` + "\n",
+		"unknown op":        `{"schema":1,"op":"compact"}` + "\n",
+		"unknown state":     `{"schema":1,"op":"create","job":{"id":"a","state":"queued"}}` + "\n" + `{"schema":1,"op":"state","state":"paused"}` + "\n",
+		"invalid edge":      `{"schema":1,"op":"create","job":{"id":"a","state":"queued"}}` + "\n" + `{"schema":1,"op":"state","state":"done"}` + "\n",
+		"retry not running": `{"schema":1,"op":"create","job":{"id":"a","state":"queued"}}` + "\n" + `{"schema":1,"op":"retry"}` + "\n",
+	} {
+		if _, _, err := parseWAL([]byte(log)); err == nil {
+			t.Errorf("%s: parsed cleanly, want error", name)
+		}
+	}
+}
+
+func TestValidTransitionTable(t *testing.T) {
+	allowed := map[[2]State]bool{
+		{StateQueued, StateRunning}:    true,
+		{StateQueued, StateCancelled}:  true,
+		{StateRunning, StateDone}:      true,
+		{StateRunning, StateFailed}:    true,
+		{StateRunning, StateCancelled}: true,
+		{StateRunning, StateQueued}:    true, // crash-recovery requeue
+	}
+	states := []State{StateQueued, StateRunning, StateDone, StateFailed, StateCancelled}
+	for _, from := range states {
+		for _, to := range states {
+			if got, want := validTransition(from, to), allowed[[2]State{from, to}]; got != want {
+				t.Errorf("validTransition(%s, %s) = %v, want %v", from, to, got, want)
+			}
+		}
+		if from.Terminal() != (from == StateDone || from == StateFailed || from == StateCancelled) {
+			t.Errorf("%s.Terminal() inconsistent", from)
+		}
+	}
+}

@@ -293,11 +293,13 @@ func (c *counters) stats() Stats {
 }
 
 // Pool fans jobs out across a fixed set of worker goroutines, serving
-// repeated points from a two-tier result store: an optional in-memory
-// LRU (Mem) in front of an optional on-disk Cache. Concurrent lookups
-// of the same key are deduplicated in flight, so a pool shared by many
-// concurrent Run calls — the petasim serve scenario — simulates each
-// point exactly once no matter how many requests race on it.
+// repeated points from a pluggable result Store — by default the
+// classic two-tier stack, an optional in-memory LRU (Mem) in front of
+// an optional on-disk Cache, composed behind the Store interface.
+// Concurrent lookups of the same key are deduplicated in flight, so a
+// pool shared by many concurrent Run calls — the petasim serve
+// scenario — simulates each point exactly once no matter how many
+// requests race on it.
 //
 // The zero value is a serial, uncached pool ready to use. All methods
 // are safe for concurrent use.
@@ -309,13 +311,18 @@ type Pool struct {
 	// from multiplying compute. Values below 1 run serially; values
 	// above the job count are clamped per call.
 	Workers int
-	// Cache, if non-nil, is the persistent tier: consulted after Mem,
-	// updated after a simulated point completes. A failed cache write
-	// is a warning (once per pool), never a job failure — the simulated
-	// result is still returned, the run just loses persistence.
+	// Store, if non-nil, is the pool's result store and takes
+	// precedence over the Cache/Mem convenience fields — the seam that
+	// lets a pool run over a sharded router or any other tier
+	// arrangement. A failed store write is a warning (once per pool),
+	// never a job failure — the simulated result is still returned,
+	// the run just loses persistence.
+	Store Store
+	// Cache, if non-nil (and Store is nil), is the persistent tier:
+	// consulted after Mem, updated after a simulated point completes.
 	Cache *Cache
-	// Mem, if non-nil, is the fast tier: consulted first, filled on
-	// disk hits and simulated points.
+	// Mem, if non-nil (and Store is nil), is the fast tier: consulted
+	// first, filled on disk hits and simulated points.
 	Mem *MemCache
 	// Warnf, if non-nil, receives the pool's non-fatal warnings (e.g.
 	// the first failed cache write). Nil writes to os.Stderr.
@@ -327,14 +334,53 @@ type Pool struct {
 	flightOnce sync.Once
 	sem        chan struct{} // global simulation slots, shared with views
 	semOnce    sync.Once
+	store      Store // resolved once from Store or the Cache/Mem pair
+	storeOnce  sync.Once
 	putWarn    sync.Once
+}
+
+// storeFor resolves the pool's result store once: the explicit Store if
+// set, otherwise the Cache/Mem pair composed into the classic tiered
+// stack (mem in front of disk), or nil when the pool is uncached.
+func (p *Pool) storeFor() Store {
+	p.storeOnce.Do(func() {
+		if p.Store != nil {
+			p.store = p.Store
+			return
+		}
+		var tiers []Store
+		if s := NewMemStore(p.Mem); s != nil {
+			tiers = append(tiers, s)
+		}
+		if s := NewDiskStore(p.Cache); s != nil {
+			tiers = append(tiers, s)
+		}
+		switch len(tiers) {
+		case 0:
+		case 1:
+			p.store = tiers[0]
+		default:
+			p.store = NewTiered(tiers...)
+		}
+	})
+	return p.store
+}
+
+// StoreStats reports the resolved store's lifetime traffic (tier by
+// tier for composites). ok is false for an uncached pool.
+func (p *Pool) StoreStats() (StoreStats, bool) {
+	s := p.storeFor()
+	if s == nil {
+		return StoreStats{}, false
+	}
+	return s.Stats(), true
 }
 
 // Stats returns the totals accumulated by this pool (for a View, by
 // that view only).
 func (p *Pool) Stats() Stats { return p.stats.stats() }
 
-// View returns a pool that shares p's worker count, cache tiers,
+// View returns a pool that shares p's worker count, result store,
 // warning sink, and in-flight deduplication group, but accumulates its
 // own Stats. A long-running server gives each request a view of one
 // shared pool: the request observes exactly what was simulated or
@@ -342,7 +388,7 @@ func (p *Pool) Stats() Stats { return p.stats.stats() }
 // (every count recorded through a view is added to its parents too).
 func (p *Pool) View() *Pool {
 	return &Pool{
-		Workers: p.Workers, Cache: p.Cache, Mem: p.Mem, Warnf: p.Warnf,
+		Workers: p.Workers, Store: p.storeFor(), Cache: p.Cache, Mem: p.Mem, Warnf: p.Warnf,
 		flight: p.flightFor(), sem: p.semFor(), parent: p,
 	}
 }
@@ -521,35 +567,27 @@ feed:
 	wg.Wait()
 }
 
-// runJob serves one job from the memory tier, the disk tier, another
-// caller's in-flight lookup, or a fresh simulation — in that order.
+// runJob serves one job from the result store, another caller's
+// in-flight lookup, or a fresh simulation — in that order.
 func (p *Pool) runJob(ctx context.Context, j Job) (Result, Served, error) {
 	if j.Key == "" {
 		r, err := p.simulate(ctx, j)
 		return r, ServedSim, err
 	}
-	if p.Mem != nil {
-		if r, ok := p.Mem.Get(j.Key); ok {
+	store := p.storeFor()
+	if store != nil {
+		if r, via, ok := storeGet(store, j.Key); ok {
 			r.Cached = true
-			return r, ServedMem, nil
+			return r, via, nil
 		}
 	}
 	via := ServedSim
 	r, dup, err := p.flightFor().do(ctx, j.Key, func(ctx context.Context) (Result, error) {
-		// Re-check the fast tier under the flight: a leader that just
+		// Re-check the store under the flight: a leader that just
 		// finished this key has already filled it.
-		if p.Mem != nil {
-			if r, ok := p.Mem.Get(j.Key); ok {
-				via = ServedMem
-				return r, nil
-			}
-		}
-		if p.Cache != nil {
-			if r, ok := p.Cache.Get(j.Key); ok {
-				via = ServedDisk
-				if p.Mem != nil {
-					p.Mem.Put(j.Key, r)
-				}
+		if store != nil {
+			if r, v, ok := storeGet(store, j.Key); ok {
+				via = v
 				return r, nil
 			}
 		}
@@ -557,11 +595,8 @@ func (p *Pool) runJob(ctx context.Context, j Job) (Result, Served, error) {
 		if err != nil {
 			return Result{}, err
 		}
-		if p.Mem != nil {
-			p.Mem.Put(j.Key, r)
-		}
-		if p.Cache != nil {
-			if err := p.Cache.Put(j.Key, r); err != nil {
+		if store != nil {
+			if err := store.Put(j.Key, r); err != nil {
 				// A result that simulated successfully is never thrown
 				// away because the disk is full or read-only.
 				p.warnPutFailure(err)

@@ -1,0 +1,231 @@
+package runner
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// testCache opens a disk cache in a fresh temp dir (shared helper lives
+// in cache_test.go; this one exists so store tests can mint several).
+func shardCaches(t *testing.T, n int) []Store {
+	t.Helper()
+	shards := make([]Store, n)
+	for i := range shards {
+		c, err := OpenCache(t.TempDir())
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards[i] = NewDiskStore(c)
+	}
+	return shards
+}
+
+func TestTieredGetBackfillsEarlierTiers(t *testing.T) {
+	mem := NewMemStore(NewMemCache(64))
+	disk := shardCaches(t, 1)[0]
+	if err := disk.Put("k", Result{Output: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	tiered := NewTiered(mem, disk)
+	r, via, ok := tiered.getServed("k")
+	if !ok || r.Output != "v" {
+		t.Fatalf("tiered get = %+v, %v", r, ok)
+	}
+	if via != ServedDisk {
+		t.Fatalf("first hit served %v, want disk", via)
+	}
+	// The disk hit must have backfilled the memory tier.
+	if _, ok := mem.Get("k"); !ok {
+		t.Fatal("disk hit did not backfill the memory tier")
+	}
+	if _, via, _ := tiered.getServed("k"); via != ServedMem {
+		t.Fatalf("second hit served %v, want mem", via)
+	}
+}
+
+func TestTieredPutWritesThrough(t *testing.T) {
+	mem := NewMemStore(NewMemCache(64))
+	disk := shardCaches(t, 1)[0]
+	tiered := NewTiered(mem, disk)
+	if err := tiered.Put("k", Result{Output: "v"}); err != nil {
+		t.Fatal(err)
+	}
+	for name, s := range map[string]Store{"mem": mem, "disk": disk} {
+		if r, ok := s.Get("k"); !ok || r.Output != "v" {
+			t.Fatalf("%s tier missing the written entry (%+v, %v)", name, r, ok)
+		}
+	}
+	st := tiered.Stats()
+	if st.Name != "tiered" || len(st.Tiers) != 2 || st.Puts != 1 {
+		t.Fatalf("tiered stats %+v", st)
+	}
+}
+
+func TestShardedRoutesEachKeyToExactlyOneShard(t *testing.T) {
+	const shards, keys = 4, 256
+	router := NewSharded(shardCaches(t, shards)...)
+	perShard := make([]int, shards)
+	for i := 0; i < keys; i++ {
+		key := Key("shardtest", i)
+		idx := router.Shard(key)
+		if again := router.Shard(key); again != idx {
+			t.Fatalf("key %d moved shards between lookups: %d then %d", i, idx, again)
+		}
+		perShard[idx]++
+		if err := router.Put(key, Result{Procs: i}); err != nil {
+			t.Fatal(err)
+		}
+		if r, ok := router.Get(key); !ok || r.Procs != i {
+			t.Fatalf("key %d not served back from its shard", i)
+		}
+	}
+	// Consistent hashing over 64 vnodes/shard spreads SHA-256 keys well
+	// enough that no shard may starve or hog.
+	for i, n := range perShard {
+		if n == 0 {
+			t.Fatalf("shard %d owns no keys: %v", i, perShard)
+		}
+		if n > keys/2 {
+			t.Fatalf("shard %d owns %d of %d keys — degenerate ring: %v", i, n, keys, perShard)
+		}
+	}
+	// Every stored key lives on exactly one shard: per-shard entry
+	// counts sum to the key count.
+	total := 0
+	for _, child := range router.Stats().Tiers {
+		total += child.Len
+	}
+	if total != keys {
+		t.Fatalf("shards hold %d entries in total, want %d (keys written twice or dropped)", total, keys)
+	}
+}
+
+func TestShardedRingStableUnderGrowth(t *testing.T) {
+	// Growing the fleet from 4 to 5 shards must move only the keys
+	// whose ring arc changed hands — the consistent-hashing property
+	// that keeps most of a warm fleet warm through a resize.
+	four := NewSharded(shardCaches(t, 4)...)
+	five := NewSharded(shardCaches(t, 5)...)
+	const keys = 512
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := Key("resize", i)
+		a, b := four.Shard(key), five.Shard(key)
+		if b == 4 {
+			continue // landed on the new shard: expected movement
+		}
+		if a != b {
+			moved++
+		}
+	}
+	// With plain modulo hashing ~4/5 of the surviving keys would move;
+	// consistent hashing keeps same-shard keys in place.
+	if moved > keys/10 {
+		t.Fatalf("%d of %d keys moved between surviving shards; consistent hashing should move (almost) none", moved, keys)
+	}
+}
+
+// TestPoolOverShardedStore is the acceptance scenario: the pool's
+// tiered stack replaced wholesale by a 4-shard hashed Store router
+// (memory tier in front so provenance still differentiates), run
+// concurrently through views under -race. Every key must simulate
+// exactly once and the shard hit distribution must add up.
+func TestPoolOverShardedStore(t *testing.T) {
+	const (
+		goroutines = 8
+		keys       = 16
+	)
+	router := NewSharded(shardCaches(t, 4)...)
+	root := &Pool{Workers: 4, Store: router}
+	execs := make([]atomic.Int64, keys)
+
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			view := root.View()
+			jobs := make([]Job, keys)
+			for i := range jobs {
+				jobs[i] = keyedJob(fmt.Sprintf("k%d", i), &execs[i])
+			}
+			results, err := view.Run(context.Background(), jobs)
+			if err != nil {
+				t.Errorf("goroutine %d: %v", g, err)
+				return
+			}
+			for i, r := range results {
+				if r.Output != fmt.Sprintf("k%d", i) {
+					t.Errorf("goroutine %d result %d carries %q", g, i, r.Output)
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+
+	for i := range execs {
+		if n := execs[i].Load(); n != 1 {
+			t.Errorf("key k%d simulated %d times, want exactly 1", i, n)
+		}
+	}
+	st := root.Stats()
+	if st.Points != goroutines*keys || st.Simulated != keys {
+		t.Fatalf("pool stats %v, want %d points with %d simulated", st, goroutines*keys, keys)
+	}
+	// Store hits through the router all carry disk provenance.
+	if st.Hits+st.Deduped+st.Simulated != st.Points || st.MemHits != 0 {
+		t.Fatalf("stats do not add up over the sharded store: %v", st)
+	}
+	ss, ok := root.StoreStats()
+	if !ok || ss.Name != "sharded" || len(ss.Tiers) != 4 {
+		t.Fatalf("store stats %+v", ss)
+	}
+	var shardHits, shardEntries int64
+	for _, child := range ss.Tiers {
+		shardHits += child.Hits
+		shardEntries += int64(child.Len)
+	}
+	if shardHits != st.Hits {
+		t.Fatalf("shard hits sum %d != pool disk hits %d", shardHits, st.Hits)
+	}
+	if shardEntries != keys {
+		t.Fatalf("shards hold %d entries, want %d", shardEntries, keys)
+	}
+}
+
+// TestPoolStoreFieldWinsOverTierFields pins the precedence contract:
+// an explicit Store makes the Cache/Mem convenience fields inert.
+func TestPoolStoreFieldWinsOverTierFields(t *testing.T) {
+	mem := NewMemCache(64)
+	explicit := NewMemStore(NewMemCache(64))
+	p := &Pool{Store: explicit, Mem: mem}
+	var execs atomic.Int64
+	if _, err := p.Run(context.Background(), []Job{keyedJob("k", &execs)}); err != nil {
+		t.Fatal(err)
+	}
+	if mem.Len() != 0 {
+		t.Fatal("inert Mem field was written despite an explicit Store")
+	}
+	if _, ok := explicit.Get("k"); !ok {
+		t.Fatal("explicit store missing the simulated result")
+	}
+}
+
+func TestMemAndDiskStoreProvenance(t *testing.T) {
+	mem := NewMemStore(NewMemCache(8))
+	disk := shardCaches(t, 1)[0]
+	for _, tc := range []struct {
+		s    Store
+		want Served
+	}{{mem, ServedMem}, {disk, ServedDisk}} {
+		if err := tc.s.Put("k", Result{Output: "v"}); err != nil {
+			t.Fatal(err)
+		}
+		if _, via, ok := storeGet(tc.s, "k"); !ok || via != tc.want {
+			t.Fatalf("%T hit served %v, want %v", tc.s, via, tc.want)
+		}
+	}
+}

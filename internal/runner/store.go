@@ -1,0 +1,334 @@
+package runner
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"sync/atomic"
+)
+
+// Store is the pluggable result tier: anything that can hold simulated
+// points by content key can back a Pool. The two concrete tiers that
+// predate the interface — the sharded in-memory LRU (MemCache) and the
+// on-disk Cache — wrap into Stores via NewMemStore/NewDiskStore; Tiered
+// composes tiers into the classic mem-over-disk stack, and Sharded
+// routes keys across N stores by consistent hashing — the seam worker
+// replicas plug into once each shard is a remote backend instead of a
+// local directory.
+//
+// Get reports a miss as ok=false; a corrupt or unreachable entry is a
+// miss, never an error — every store degrades to re-simulation. Put
+// returns an error only when the result could not be persisted; the
+// Pool treats that as a one-time warning, never a job failure.
+// Implementations must be safe for concurrent use.
+type Store interface {
+	Get(key string) (Result, bool)
+	Put(key string, r Result) error
+	Stats() StoreStats
+}
+
+// StoreStats is one store's lifetime traffic, with composite stores
+// (Tiered, Sharded) reporting their children under Tiers — the
+// shard-hit distribution an operator reads off /v1/stats.
+type StoreStats struct {
+	// Name identifies the store in stats output ("mem", "disk",
+	// "tiered", "shard[3]", ...).
+	Name string `json:"name"`
+	// Gets counts lookups; Hits the ones that found the key.
+	Gets int64 `json:"gets"`
+	Hits int64 `json:"hits"`
+	// Puts counts stores; PutFailures the ones that returned an error.
+	Puts        int64 `json:"puts"`
+	PutFailures int64 `json:"put_failures,omitempty"`
+	// Len and Cap report occupancy for stores that can count entries.
+	Len int `json:"len,omitempty"`
+	Cap int `json:"cap,omitempty"`
+	// Tiers holds the children of a composite store, in lookup order
+	// (Tiered) or shard order (Sharded).
+	Tiers []StoreStats `json:"tiers,omitempty"`
+}
+
+// storeCounters is the atomic backing shared by the store adapters.
+type storeCounters struct {
+	gets, hits, puts, putFailures atomic.Int64
+}
+
+func (c *storeCounters) get(ok bool) {
+	c.gets.Add(1)
+	if ok {
+		c.hits.Add(1)
+	}
+}
+
+func (c *storeCounters) put(err error) {
+	c.puts.Add(1)
+	if err != nil {
+		c.putFailures.Add(1)
+	}
+}
+
+func (c *storeCounters) stats(name string) StoreStats {
+	return StoreStats{
+		Name: name,
+		Gets: c.gets.Load(), Hits: c.hits.Load(),
+		Puts: c.puts.Load(), PutFailures: c.putFailures.Load(),
+	}
+}
+
+// servedReporter lets a store declare which provenance its hits carry;
+// stores that don't implement it count as the persistent tier (disk).
+type servedReporter interface{ servedVia() Served }
+
+// tierGetter lets a composite store report which of its children served
+// a hit, so provenance survives composition.
+type tierGetter interface {
+	getServed(key string) (Result, Served, bool)
+}
+
+// storeGet looks key up in s and reports the hit's provenance: what a
+// tiered store's serving child declares, ServedMem for the memory
+// adapter, ServedDisk for everything else.
+func storeGet(s Store, key string) (Result, Served, bool) {
+	if tg, ok := s.(tierGetter); ok {
+		return tg.getServed(key)
+	}
+	r, ok := s.Get(key)
+	via := ServedDisk
+	if sr, isSR := s.(servedReporter); isSR {
+		via = sr.servedVia()
+	}
+	return r, via, ok
+}
+
+// MemStore adapts the sharded in-memory LRU into a Store. Hits carry
+// ServedMem provenance.
+type MemStore struct {
+	m *MemCache
+	c storeCounters
+}
+
+// NewMemStore wraps the memory tier; a nil MemCache (the disabled tier)
+// returns a nil store.
+func NewMemStore(m *MemCache) *MemStore {
+	if m == nil {
+		return nil
+	}
+	return &MemStore{m: m}
+}
+
+func (s *MemStore) Get(key string) (Result, bool) {
+	r, ok := s.m.Get(key)
+	s.c.get(ok)
+	return r, ok
+}
+
+func (s *MemStore) Put(key string, r Result) error {
+	s.m.Put(key, r)
+	s.c.put(nil)
+	return nil
+}
+
+func (s *MemStore) Stats() StoreStats {
+	st := s.c.stats("mem")
+	st.Len, st.Cap = s.m.Len(), s.m.Cap()
+	return st
+}
+
+func (s *MemStore) servedVia() Served { return ServedMem }
+
+// DiskStore adapts the on-disk Cache into a Store. Hits carry
+// ServedDisk provenance.
+type DiskStore struct {
+	d *Cache
+	c storeCounters
+}
+
+// NewDiskStore wraps the persistent tier; a nil Cache returns a nil
+// store.
+func NewDiskStore(d *Cache) *DiskStore {
+	if d == nil {
+		return nil
+	}
+	return &DiskStore{d: d}
+}
+
+func (s *DiskStore) Get(key string) (Result, bool) {
+	r, ok := s.d.Get(key)
+	s.c.get(ok)
+	return r, ok
+}
+
+func (s *DiskStore) Put(key string, r Result) error {
+	err := s.d.Put(key, r)
+	s.c.put(err)
+	return err
+}
+
+func (s *DiskStore) Stats() StoreStats {
+	st := s.c.stats("disk")
+	st.Len = s.d.Len()
+	return st
+}
+
+// Tiered is the composite store: tiers consulted in order, fastest
+// first. A hit at tier i backfills every earlier tier (the classic
+// disk-hit-promotes-to-mem behavior); a Put writes through every tier,
+// joining the per-tier errors. Backfill failures are swallowed — the
+// fill is opportunistic, the authoritative write already happened.
+type Tiered struct {
+	tiers []Store
+	c     storeCounters
+}
+
+// NewTiered composes stores into one lookup stack, fastest tier first.
+// Nil stores are dropped; at least one non-nil tier is required.
+func NewTiered(tiers ...Store) *Tiered {
+	t := &Tiered{}
+	for _, s := range tiers {
+		if s != nil {
+			t.tiers = append(t.tiers, s)
+		}
+	}
+	if len(t.tiers) == 0 {
+		panic("runner: NewTiered needs at least one non-nil tier")
+	}
+	return t
+}
+
+func (t *Tiered) Get(key string) (Result, bool) {
+	r, _, ok := t.getServed(key)
+	return r, ok
+}
+
+func (t *Tiered) getServed(key string) (Result, Served, bool) {
+	for i, s := range t.tiers {
+		if r, via, ok := storeGet(s, key); ok {
+			for j := 0; j < i; j++ {
+				t.tiers[j].Put(key, r) // opportunistic backfill
+			}
+			t.c.get(true)
+			return r, via, true
+		}
+	}
+	t.c.get(false)
+	return Result{}, ServedDisk, false
+}
+
+func (t *Tiered) Put(key string, r Result) error {
+	errs := make([]error, len(t.tiers))
+	for i, s := range t.tiers {
+		errs[i] = s.Put(key, r)
+	}
+	err := errors.Join(errs...)
+	t.c.put(err)
+	return err
+}
+
+func (t *Tiered) Stats() StoreStats {
+	st := t.c.stats("tiered")
+	for _, s := range t.tiers {
+		st.Tiers = append(st.Tiers, s.Stats())
+	}
+	return st
+}
+
+// ringVnodes is how many points each shard contributes to the hash
+// ring. More vnodes smooth the key distribution across shards at the
+// cost of a larger (still tiny) sorted ring.
+const ringVnodes = 64
+
+// Sharded routes each key to exactly one of N stores by consistent
+// hashing: every shard owns ringVnodes points on a uint32 ring, a key
+// hashes to the ring and is served by the next point clockwise. The
+// same key always lands on the same shard, and adding or removing a
+// shard moves only the keys whose arc changed hands — the property
+// that lets a future coordinator grow a worker fleet without
+// invalidating every cached point. Exercised in-process today over
+// local stores; the shard boundary is where remote backends plug in.
+type Sharded struct {
+	shards []Store
+	ring   []ringPoint
+	c      storeCounters
+}
+
+type ringPoint struct {
+	h   uint32
+	idx int
+}
+
+// NewSharded builds the router over the given shards (at least one,
+// none nil). Shard identity is positional: shard i owns the vnodes
+// labelled "shard-i/v"; keep order stable across restarts or cached
+// keys will rehash to different shards.
+func NewSharded(shards ...Store) *Sharded {
+	if len(shards) == 0 {
+		panic("runner: NewSharded needs at least one shard")
+	}
+	s := &Sharded{shards: shards}
+	for i, sh := range shards {
+		if sh == nil {
+			panic(fmt.Sprintf("runner: NewSharded shard %d is nil", i))
+		}
+		for v := 0; v < ringVnodes; v++ {
+			s.ring = append(s.ring, ringPoint{h: fnv32a(fmt.Sprintf("shard-%d/%d", i, v)), idx: i})
+		}
+	}
+	sort.Slice(s.ring, func(a, b int) bool {
+		if s.ring[a].h != s.ring[b].h {
+			return s.ring[a].h < s.ring[b].h
+		}
+		return s.ring[a].idx < s.ring[b].idx
+	})
+	return s
+}
+
+// fnv32a is the inline FNV-1a the memory tier already uses for shard
+// striping; content keys are SHA-256 hex, so it spreads evenly.
+func fnv32a(key string) uint32 {
+	h := uint32(2166136261)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= 16777619
+	}
+	return h
+}
+
+// Shard returns the index of the store that owns key — exposed so
+// tests (and a future coordinator's placement logic) can ask where a
+// key lives without performing a lookup.
+func (s *Sharded) Shard(key string) int {
+	h := fnv32a(key)
+	// First ring point at or after h, wrapping to the start.
+	i := sort.Search(len(s.ring), func(i int) bool { return s.ring[i].h >= h })
+	if i == len(s.ring) {
+		i = 0
+	}
+	return s.ring[i].idx
+}
+
+func (s *Sharded) Get(key string) (Result, bool) {
+	r, _, ok := s.getServed(key)
+	return r, ok
+}
+
+func (s *Sharded) getServed(key string) (Result, Served, bool) {
+	r, via, ok := storeGet(s.shards[s.Shard(key)], key)
+	s.c.get(ok)
+	return r, via, ok
+}
+
+func (s *Sharded) Put(key string, r Result) error {
+	err := s.shards[s.Shard(key)].Put(key, r)
+	s.c.put(err)
+	return err
+}
+
+func (s *Sharded) Stats() StoreStats {
+	st := s.c.stats("sharded")
+	for i, sh := range s.shards {
+		child := sh.Stats()
+		child.Name = fmt.Sprintf("shard[%d] %s", i, child.Name)
+		st.Tiers = append(st.Tiers, child)
+	}
+	return st
+}

@@ -16,8 +16,20 @@
 //	POST /v1/sweep            same, selectors in query or form body
 //	GET  /v1/whatif           sensitivity study: knob perturbation grid → tornado + frontier
 //	GET  /v1/figures/{n}      paper figure n ∈ 2..8 (8 is the summary)
-//	GET  /v1/stats            lifetime pool statistics
+//	POST /v1/jobs             submit an async job (sweep/figure/whatif) → 202
+//	GET  /v1/jobs             list jobs (state=, kind=, client= filters)
+//	GET  /v1/jobs/{id}        job record: state + progress (+ result once done)
+//	GET  /v1/jobs/{id}/result the completed artifact, byte-identical to the sync endpoint
+//	GET  /v1/jobs/{id}/stream NDJSON job snapshots until terminal
+//	DELETE /v1/jobs/{id}      cancel (queued: immediate; running: context-cancelled)
+//	GET  /v1/stats            lifetime pool statistics, store tiers, job queue
 //	GET  /healthz             liveness probe
+//
+// The jobs endpoints are live when the server is built with a queue
+// (petasim serve -jobs-dir); see internal/jobs for the durability and
+// scheduling contract. Submissions are subject to per-client quotas and
+// a token-bucket rate limit — a rejected submission is 429 with a
+// Retry-After header.
 //
 // Sweep selectors are the CLI's: app, machine (comma-separated,
 // forgiving lookup) and procs (comma-separated counts); empty selectors
@@ -77,6 +89,7 @@ import (
 
 	"repro/internal/apps"
 	"repro/internal/experiments"
+	"repro/internal/jobs"
 	"repro/internal/machfile"
 	"repro/internal/machine"
 	"repro/internal/runner"
@@ -89,6 +102,7 @@ type Server struct {
 	opts     experiments.Options
 	pool     *runner.Pool
 	machines *machfile.Registry
+	queue    *jobs.Queue // nil when async jobs are not enabled
 	mux      *http.ServeMux
 }
 
@@ -101,6 +115,15 @@ type Server struct {
 // (including nil) is replaced by a fresh registry so registration
 // always works.
 func New(opts experiments.Options) *Server {
+	return NewWithQueue(opts, nil)
+}
+
+// NewWithQueue is New plus an async job queue behind the /v1/jobs
+// endpoints. The caller owns the queue's dispatch loop (run
+// q.Serve(ctx) alongside the HTTP server, on the same pool as opts so
+// async and synchronous requests share one result store). A nil queue
+// is New: the jobs routes answer 503.
+func NewWithQueue(opts experiments.Options, q *jobs.Queue) *Server {
 	if opts.Runner == nil {
 		opts.Runner = &runner.Pool{}
 	}
@@ -109,7 +132,7 @@ func New(opts experiments.Options) *Server {
 		reg = machfile.NewRegistry()
 		opts.Machines = reg
 	}
-	s := &Server{opts: opts, pool: opts.Runner, machines: reg}
+	s := &Server{opts: opts, pool: opts.Runner, machines: reg, queue: q}
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/machines", s.handleMachines)
@@ -119,6 +142,12 @@ func New(opts experiments.Options) *Server {
 	mux.HandleFunc("GET /v1/sweep/stream", s.handleSweepStream)
 	mux.HandleFunc("GET /v1/whatif", s.handleWhatif)
 	mux.HandleFunc("GET /v1/figures/{n}", s.handleFigure)
+	mux.HandleFunc("POST /v1/jobs", s.handleJobsPost)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobsList)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJobsGet)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.handleJobsResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobsStream)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobsDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -488,12 +517,16 @@ type memInfo struct {
 	Cap int `json:"cap"`
 }
 
-// statsResponse is the body of /v1/stats.
+// statsResponse is the body of /v1/stats. Store is the result-store
+// tree (per tier or per shard: gets/hits/puts/fill); Jobs the queue's
+// by-state counts and lifetime rejection/retry counters.
 type statsResponse struct {
-	Stats   runner.Stats `json:"stats"`
-	Workers int          `json:"workers"`
-	Mem     *memInfo     `json:"mem_cache,omitempty"`
-	DiskDir string       `json:"disk_cache_dir,omitempty"`
+	Stats   runner.Stats       `json:"stats"`
+	Workers int                `json:"workers"`
+	Mem     *memInfo           `json:"mem_cache,omitempty"`
+	DiskDir string             `json:"disk_cache_dir,omitempty"`
+	Store   *runner.StoreStats `json:"store,omitempty"`
+	Jobs    *jobs.QueueStats   `json:"jobs,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
@@ -503,6 +536,13 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	}
 	if s.pool.Cache != nil {
 		resp.DiskDir = s.pool.Cache.Dir()
+	}
+	if ss, ok := s.pool.StoreStats(); ok {
+		resp.Store = &ss
+	}
+	if s.queue != nil {
+		qs := s.queue.Stats()
+		resp.Jobs = &qs
 	}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)

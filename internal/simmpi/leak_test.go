@@ -57,6 +57,7 @@ func collectiveOps() []struct {
 // gone. A leaked rank would deadlock real workloads that reuse worker
 // pools and would poison goroutine counts for the whole process.
 func TestCancelMidCollectiveNoLeak(t *testing.T) {
+	warmPools(t)
 	for _, op := range collectiveOps() {
 		t.Run(op.name, func(t *testing.T) {
 			before := runtime.NumGoroutine()
@@ -97,6 +98,7 @@ func TestCancelMidCollectiveNoLeak(t *testing.T) {
 // TestCancelSplitCommNoLeak cancels ranks blocked in a collective on a
 // sub-communicator (Split world in half, evens never arrive).
 func TestCancelSplitCommNoLeak(t *testing.T) {
+	warmPools(t)
 	before := runtime.NumGoroutine()
 	ctx, cancel := context.WithCancel(context.Background())
 	entered := make(chan struct{})
@@ -133,6 +135,23 @@ func TestCancelSplitCommNoLeak(t *testing.T) {
 		t.Fatalf("split-comm run did not unwind after cancel:\n%s", stackDump())
 	}
 	waitForGoroutines(t, before)
+}
+
+// warmPools runs one cancellable world to completion so process-wide
+// goroutine pools (duty hosts, the cancellation watcher) are populated
+// before a leak test takes its baseline count: those goroutines park in
+// their pools after a run by design, which a cold baseline would
+// misread as a leak.
+func warmPools(t *testing.T) {
+	t.Helper()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	_, err := RunContext(ctx, Config{Machine: machine.Bassi, Procs: 8}, func(r *Rank) {
+		r.Barrier(r.World())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
 }
 
 // waitForGoroutines polls until the goroutine count returns to the

@@ -1,0 +1,8 @@
+//go:build race
+
+package simmpi
+
+// raceEnabled reports whether the race detector instruments this
+// binary. Race instrumentation allocates per synchronization event, so
+// allocation-bound assertions are meaningless under -race and skip.
+const raceEnabled = true

@@ -1,6 +1,7 @@
 package simmpi
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -438,6 +439,100 @@ func hostMain(sh *shard) {
 	}
 }
 
+// Cancellation watchers are pooled goroutines, like hosts: one watcher
+// serves each cancellable run, parked on a select between the run's
+// ctx.Done and the world's watchStop rendezvous. context.AfterFunc did
+// the same job but cost four heap allocations per run (callback
+// closure, afterFuncCtx, stop closure, done channel); a recycled
+// watcher and the world's two reusable handshake channels cost none.
+//
+// The protocol keeps exactly one owner at every instant. watchCancel
+// writes wt.w and hands the ctx over wt.ch (buffered 1, so a watcher
+// re-pooled before it loops back to its receive can still absorb the
+// next run's handoff). stopWatch detaches after the run with a
+// rendezvous: either the watchStop send pairs with a still-parked
+// watcher, or the watchFired receive pairs with a watcher whose abort
+// sweep has finished — so the arena is never recycled under a live
+// sweep. Only after that rendezvous is the watcher pooled, and a nil
+// ctx tells a surplus watcher to exit.
+
+// maxIdleWatchers bounds pool retention: one watcher is in flight per
+// concurrently-running cancellable world, so the runner's worker pool
+// (≈GOMAXPROCS) sets the realistic high-water mark.
+const maxIdleWatchers = 16
+
+type watcher struct {
+	w  *World               // world to watch; written by watchCancel before the ch handoff
+	ch chan context.Context // run handoff; nil ctx = exit
+}
+
+var (
+	watcherMu    sync.Mutex
+	idleWatchers []*watcher
+)
+
+// watchCancel pairs w with a pooled watcher that aborts the world when
+// ctx is cancelled. The caller must detach with stopWatch after the run.
+func (w *World) watchCancel(ctx context.Context) *watcher {
+	var wt *watcher
+	watcherMu.Lock()
+	if n := len(idleWatchers); n > 0 {
+		wt = idleWatchers[n-1]
+		idleWatchers[n-1] = nil
+		idleWatchers = idleWatchers[:n-1]
+	}
+	watcherMu.Unlock()
+	if wt == nil {
+		wt = &watcher{ch: make(chan context.Context, 1)}
+		go wt.main()
+	}
+	wt.w = w
+	wt.ch <- ctx
+	return wt
+}
+
+// stopWatch detaches w's watcher after the run: a clean detach if the
+// watcher is still parked, or a wait for the abort sweep to finish if
+// cancellation fired. Either way the watcher is past touching the world
+// when this returns, so it is re-pooled and the arena may be recycled.
+func (w *World) stopWatch(wt *watcher) {
+	select {
+	case w.watchStop <- struct{}{}:
+	case <-w.watchFired:
+	}
+	wt.w = nil
+	watcherMu.Lock()
+	if len(idleWatchers) < maxIdleWatchers {
+		idleWatchers = append(idleWatchers, wt)
+		watcherMu.Unlock()
+		return
+	}
+	watcherMu.Unlock()
+	wt.ch <- nil
+}
+
+func (wt *watcher) main() {
+	for {
+		ctx := <-wt.ch
+		if ctx == nil {
+			return
+		}
+		wt.watch(ctx)
+	}
+}
+
+// watch serves one run. The frame pops when it returns, dropping the
+// world and ctx refs while the watcher idles (mirrors hostMain).
+func (wt *watcher) watch(ctx context.Context) {
+	w := wt.w
+	select {
+	case <-ctx.Done():
+		w.abort(context.Cause(ctx))
+		w.watchFired <- struct{}{}
+	case <-w.watchStop:
+	}
+}
+
 // runBody executes one rank's body inline on the duty goroutine,
 // converting panics into world aborts and counting completion. An
 // abortedPanic is the normal unwind of an aborted world. runtime.Goexit
@@ -702,6 +797,12 @@ func (w *World) ensure(procs, nshards int) {
 		sh.heap = sh.heap[:0]
 		sh.fresh = i
 		sh.idle = false
+	}
+	if w.watchStop == nil {
+		// Once per World object, not per run: the rendezvous protocol
+		// leaves both channels empty and open, so reuse is safe.
+		w.watchStop = make(chan struct{})
+		w.watchFired = make(chan struct{})
 	}
 	w.done = make(chan struct{})
 	w.finished.Store(0)

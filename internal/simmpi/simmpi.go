@@ -82,6 +82,12 @@ type World struct {
 	abortMu   sync.Mutex
 	abortErr  error
 
+	// Cancellation-watcher handshake (see watcherMain in sched.go). Both
+	// channels are unbuffered, never closed, and reused across runs: each
+	// watchCancel is matched by exactly one stopWatch rendezvous.
+	watchStop  chan struct{}
+	watchFired chan struct{}
+
 	poolMu   sync.Mutex
 	bufs     [numClasses][][]float64
 	msgqFree []*msgq
@@ -191,23 +197,18 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Report, err
 	// A cancelled ctx aborts the world exactly like a rank failure:
 	// blocked ranks wake, see the abort, and unwind; ranks in a
 	// pure-compute stretch notice at their next communication op. The
-	// callback is skipped entirely for non-cancellable contexts. When
-	// stop() reports the callback already started, the arena must not be
-	// recycled until the callback's sweep has finished with it.
-	var stop func() bool
-	var abortFnDone chan struct{}
+	// watcher is skipped entirely for non-cancellable contexts, and
+	// stopWatch guarantees the arena is not recycled until a fired
+	// watcher's abort sweep has finished with it.
+	var wt *watcher
 	if ctx.Done() != nil {
-		abortFnDone = make(chan struct{})
-		stop = context.AfterFunc(ctx, func() {
-			defer close(abortFnDone)
-			w.abort(context.Cause(ctx))
-		})
+		wt = w.watchCancel(ctx)
 	}
 
 	w.start()
 
-	if stop != nil && !stop() {
-		<-abortFnDone
+	if wt != nil {
+		w.stopWatch(wt)
 	}
 	if err := w.aborted(); err != nil {
 		releaseWorld(w)
