@@ -43,13 +43,13 @@ func runBench(ctx context.Context, cli cliConfig, out io.Writer) error {
 		defer func() {
 			f, err := os.Create(cli.memProfile)
 			if err != nil {
-				fmt.Fprintf(os.Stderr, "petasim: -memprofile: %v\n", err)
+				cliLog.Error("-memprofile: " + err.Error())
 				return
 			}
 			defer f.Close()
 			runtime.GC() // settle live heap so the profile shows retention
 			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintf(os.Stderr, "petasim: -memprofile: %v\n", err)
+				cliLog.Error("-memprofile: " + err.Error())
 			}
 		}()
 	}
@@ -58,7 +58,7 @@ func runBench(ctx context.Context, cli cliConfig, out io.Writer) error {
 		Benchtime: cli.benchtime,
 		Filter:    cli.benchFilter,
 		Logf: func(format string, args ...any) {
-			fmt.Fprintf(os.Stderr, format+"\n", args...)
+			cliLog.Info(fmt.Sprintf(format, args...))
 		},
 	})
 	if err != nil {
@@ -71,7 +71,7 @@ func runBench(ctx context.Context, cli cliConfig, out io.Writer) error {
 		if err := rec.WriteFile(cli.jsonDir); err != nil {
 			return err
 		}
-		fmt.Fprintf(os.Stderr, "petasim: wrote %s\n", cli.jsonDir)
+		cliLog.Info("wrote trajectory record", "file", cli.jsonDir)
 	}
 	against := cli.against
 	if against == "" && cli.gate {

@@ -21,6 +21,7 @@
 //	fig8      cross-application summary
 //	figures   figures 2–7 in sequence
 //	sweep     generic -app × -machine × -procs cross-product
+//	trace     sweep once with tracing on; write Chrome trace-event JSON to -o
 //	whatif    sensitivity study: perturb one machine knob at a time
 //	gtcopt    §3.1 GTC BG/L optimisation ladder
 //	amropt    §8.1 HyperCLaw X1E knapsack/regrid optimisations
@@ -30,7 +31,7 @@
 //	bench     run the benchmark-trajectory suite; record/gate BENCH_*.json
 //	serve     long-running HTTP JSON service over the same engine
 //	jobs      client for a server's async job API (see below)
-//	all       everything above except sweep, whatif, bench, serve and jobs
+//	all       everything above except sweep, trace, whatif, bench, serve and jobs
 //
 // Flags:
 //
@@ -46,6 +47,7 @@
 //	-app LIST     sweep: comma-separated workloads (default: all registered); whatif: exactly one
 //	-machine LIST sweep/whatif: comma-separated platforms (default: the full testbed)
 //	-procs LIST   sweep/whatif: comma-separated concurrencies (default: 64..1024; whatif: 64)
+//	-o FILE       trace: output file for the Chrome trace-event JSON (default trace.json; - for stdout)
 //	-perturb LIST whatif: comma-separated knob=±X% entries (default: every knob ±10%)
 //	-steps N      whatif: perturbation grid points per side of each half-range (default 1)
 //	-stream       whatif: emit NDJSON point lines as they complete
@@ -127,6 +129,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -142,10 +145,16 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/machfile"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/server"
 	"repro/internal/whatif"
 )
+
+// cliLog is the CLI's stderr voice: structured log/slog underneath (so
+// notes can carry request/job ID fields), rendered as the traditional
+// human-readable "petasim: ..." lines.
+var cliLog = obs.NewLogger(os.Stderr, "petasim", slog.LevelInfo)
 
 // multiFlag collects a repeatable string flag.
 type multiFlag []string
@@ -172,6 +181,7 @@ func main() {
 	appList := flag.String("app", "", "sweep: comma-separated workload names (whatif requires exactly one)")
 	machineList := flag.String("machine", "", "sweep/whatif: comma-separated machine names")
 	procsList := flag.String("procs", "", "sweep/whatif: comma-separated processor counts")
+	traceOut := flag.String("o", "trace.json", "trace: write Chrome trace-event JSON here (- for stdout)")
 	perturb := flag.String("perturb", "", "whatif: comma-separated knob=±X% perturbations (default: every knob ±10%)")
 	steps := flag.Int("steps", 1, "whatif: perturbation grid points per side")
 	stream := flag.Bool("stream", false, "whatif: emit NDJSON point lines as they complete")
@@ -200,7 +210,7 @@ func main() {
 	if *cacheDir != "" {
 		cache, err := runner.OpenCache(*cacheDir)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+			cliLog.Error(err.Error())
 			os.Exit(1)
 		}
 		pool.Cache = cache
@@ -209,7 +219,7 @@ func main() {
 	reg := machfile.NewRegistry()
 	for _, path := range specFiles {
 		if _, err := reg.LoadFile(path); err != nil {
-			fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+			cliLog.Error(err.Error())
 			os.Exit(1)
 		}
 	}
@@ -218,7 +228,7 @@ func main() {
 		csvDir: *csvDir, jsonDir: *jsonDir, commP: *commP, addr: *addr,
 		apps:     experiments.SplitList(*appList),
 		machines: experiments.SplitList(*machineList),
-		perturb:  *perturb, steps: *steps, stream: *stream,
+		perturb:  *perturb, steps: *steps, stream: *stream, traceOut: *traceOut,
 		benchtime: *benchtime, benchFilter: *benchFilter,
 		cpuProfile: *cpuProfile, memProfile: *memProfile,
 		against: *against, gate: *gate, pr: *pr,
@@ -239,14 +249,14 @@ func main() {
 		err = run(ctx, strings.ToLower(flag.Arg(0)), opts, cli)
 	}
 	if s := pool.Stats(); s.Points > 0 {
-		fmt.Fprintf(os.Stderr, "petasim: %s across %d workers\n", s, pool.Workers)
+		cliLog.Info(s.String(), "workers", pool.Workers)
 	}
 	if err != nil {
 		if errors.Is(err, context.Canceled) {
 			// The stats line above already reported the partial run.
-			fmt.Fprintln(os.Stderr, "petasim: interrupted; partial results only")
+			cliLog.Warn("interrupted; partial results only")
 		} else {
-			fmt.Fprintf(os.Stderr, "petasim: %v\n", err)
+			cliLog.Error(err.Error())
 		}
 		os.Exit(1)
 	}
@@ -263,6 +273,7 @@ type cliConfig struct {
 	perturb         string
 	steps           int
 	stream          bool
+	traceOut        string
 	benchtime       string
 	benchFilter     string
 	cpuProfile      string
@@ -370,6 +381,25 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 			return err
 		}
 		return figureSet(figs)
+	case "trace":
+		// One traced sweep: the same selectors as `sweep`, but the run
+		// carries a trace through runner and simmpi, written as Chrome
+		// trace-event JSON for chrome://tracing or Perfetto. The trace is
+		// written even when the sweep fails or is interrupted — a partial
+		// timeline is exactly what one wants for diagnosis.
+		tr := obs.NewTrace(obs.NewID(), "petasim trace")
+		root := tr.Root()
+		root.SetAttr("app", strings.Join(cli.apps, ","))
+		root.SetAttr("machine", strings.Join(cli.machines, ","))
+		figs, err := experiments.Sweep(obs.ContextWithTrace(ctx, tr), opts, cli.apps, cli.machines, cli.procs)
+		tr.Finish()
+		if werr := writeTraceFile(cli.traceOut, tr); werr != nil && err == nil {
+			err = werr
+		}
+		if err != nil {
+			return err
+		}
+		return figureSet(figs)
 	case "whatif":
 		return runWhatif(ctx, opts, cli, out)
 	case "fig8":
@@ -422,7 +452,7 @@ func run(ctx context.Context, cmd string, opts experiments.Options, cli cliConfi
 			}
 		}
 	default:
-		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep whatif serve jobs gtcopt amropt vnode machines workloads all)", cmd)
+		return fmt.Errorf("unknown experiment %q (try: table1 table2 fig1..fig8 figures sweep trace whatif serve jobs gtcopt amropt vnode machines workloads all)", cmd)
 	}
 	return nil
 }
@@ -524,6 +554,10 @@ func serve(ctx context.Context, opts experiments.Options, cli cliConfig) error {
 			MaxActivePerClient: cli.jobQuota,
 			SubmitRate:         cli.jobRate,
 			SubmitBurst:        cli.jobBurst,
+			Log:                cliLog,
+			// Job traces land in the same sink the server's request
+			// middleware publishes to, so GET /v1/trace/{job id} works.
+			Sink: obs.DefaultSink,
 		})
 		if err != nil {
 			return err
@@ -534,7 +568,7 @@ func serve(ctx context.Context, opts experiments.Options, cli cliConfig) error {
 			defer close(queueDone)
 			q.Serve(ctx) // returns ctx.Err() on shutdown; jobs stay durable
 		}()
-		fmt.Fprintf(os.Stderr, "petasim: async jobs on %s (workers=%d)\n", cli.jobsDir, cli.jobWorkers)
+		cliLog.Info("async jobs enabled", "dir", cli.jobsDir, "workers", cli.jobWorkers)
 	}
 	defer func() { <-queueDone }() // no exit with executor goroutines live
 	return serveHTTP(ctx, handler, addr)
@@ -556,7 +590,7 @@ func serveHTTP(ctx context.Context, handler http.Handler, addr string) error {
 		ReadTimeout: 30 * time.Second,
 		IdleTimeout: 2 * time.Minute,
 	}
-	fmt.Fprintf(os.Stderr, "petasim: serving on %s\n", addr)
+	cliLog.Info("serving", "addr", addr)
 	errc := make(chan error, 1)
 	go func() { errc <- hs.ListenAndServe() }()
 	select {
@@ -564,7 +598,7 @@ func serveHTTP(ctx context.Context, handler http.Handler, addr string) error {
 		return err // bind failure or another listener error; not a shutdown
 	case <-ctx.Done():
 	}
-	fmt.Fprintf(os.Stderr, "petasim: shutting down, draining for up to %s\n", drainTimeout)
+	cliLog.Info("shutting down, draining in-flight requests", "timeout", drainTimeout)
 	//petavet:ignore ctxfirst the parent ctx is already canceled here; the drain deadline needs a fresh context or Shutdown would hard-close immediately
 	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
 	defer cancel()
@@ -574,6 +608,24 @@ func serveHTTP(ctx context.Context, handler http.Handler, addr string) error {
 		return fmt.Errorf("serve: drain incomplete after %s: %w", drainTimeout, err)
 	}
 	<-errc // reap the ListenAndServe goroutine (returns ErrServerClosed)
+	return nil
+}
+
+// writeTraceFile writes a finished trace as Chrome trace-event JSON to
+// path ("-" for stdout), logging where it went.
+func writeTraceFile(path string, tr *obs.Trace) error {
+	if path == "-" {
+		return tr.WriteChromeJSON(os.Stdout)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	defer f.Close()
+	if err := tr.WriteChromeJSON(f); err != nil {
+		return fmt.Errorf("trace: %w", err)
+	}
+	cliLog.Info("wrote trace", "file", path, "spans", tr.SpanCount(), "dropped", tr.Dropped())
 	return nil
 }
 

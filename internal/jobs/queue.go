@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sort"
@@ -12,6 +13,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -97,8 +99,17 @@ type Config struct {
 	SubmitRate  float64
 	SubmitBurst int
 	// Warnf receives non-fatal warnings (a WAL append that failed, a
-	// corrupt log skipped at recovery). Nil writes to os.Stderr.
+	// corrupt log skipped at recovery). Nil routes through Log.
 	Warnf func(format string, args ...any)
+	// Log receives the queue's structured warnings when Warnf is nil;
+	// nil falls back to a human-readable logger on os.Stderr. Warnings
+	// about a specific job carry a job=<id> field.
+	Log *slog.Logger
+	// Sink, if non-nil, retains one completed trace per executed job,
+	// keyed by the job's ID — the trace GET /v1/trace/{id} serves for an
+	// async submission. Nil disables job tracing entirely (the executor
+	// runs on an untraced context, costing nothing).
+	Sink *obs.Sink
 }
 
 // QueueStats is the queue section of /v1/stats: jobs by state plus the
@@ -214,7 +225,7 @@ func Open(dir string, cfg Config) (*Queue, error) {
 			if err := appendWAL(dir, js.job.ID, walEntry{
 				Schema: SchemaVersion, Op: opState, State: StateQueued, At: q.now(),
 			}); err != nil {
-				q.warnf("jobs: recovering %s without persistence: %v", js.job.ID, err)
+				q.warnJob(js.job.ID, "jobs: recovering %s without persistence: %v", js.job.ID, err)
 			}
 		}
 		q.jobs[js.job.ID] = js
@@ -233,8 +244,30 @@ func (q *Queue) warnf(format string, args ...any) {
 		q.cfg.Warnf(format, args...)
 		return
 	}
-	fmt.Fprintf(os.Stderr, format+"\n", args...)
+	q.logger().Warn(fmt.Sprintf(format, args...))
 }
+
+// warnJob is warnf for warnings about one job: the structured path
+// carries the id as a job= field (the Warnf hook keeps its legacy
+// formatted-only signature).
+func (q *Queue) warnJob(id, format string, args ...any) {
+	if q.cfg.Warnf != nil {
+		q.cfg.Warnf(format, args...)
+		return
+	}
+	q.logger().Warn(fmt.Sprintf(format, args...), "job", id)
+}
+
+func (q *Queue) logger() *slog.Logger {
+	if q.cfg.Log != nil {
+		return q.cfg.Log
+	}
+	return defaultLog
+}
+
+// defaultLog keeps the queue's historical stderr destination, rendered
+// through the shared human-readable handler.
+var defaultLog = obs.NewLogger(os.Stderr, "petasim", slog.LevelInfo)
 
 // Submit validates, persists, and enqueues one job for client,
 // enforcing the per-client quota and token bucket. The returned record
@@ -409,6 +442,19 @@ func (q *Queue) execute(ctx context.Context, id string) {
 	q.mu.Unlock()
 	defer cancel()
 
+	// The job's trace is keyed by its own ID, so the submitter of an
+	// async job can fetch /v1/trace/{jobID} once it completes. Everything
+	// the executor does — runner batches, store lookups, simmpi worlds —
+	// nests under it via jobCtx.
+	if q.cfg.Sink != nil {
+		tr := obs.NewTrace(id, "jobs.execute")
+		tr.Root().SetAttr("job", id)
+		tr.Root().SetAttr("kind", spec.Kind)
+		tr.Root().SetAttr("client", js.job.Client)
+		jobCtx = obs.ContextWithTrace(jobCtx, tr)
+		defer q.cfg.Sink.Publish(tr)
+	}
+
 	maxRetries := q.cfg.MaxRetries
 	if maxRetries == 0 {
 		maxRetries = 2
@@ -419,7 +465,13 @@ func (q *Queue) execute(ctx context.Context, id string) {
 	}
 	for attempt := 0; ; attempt++ {
 		q.resetProgress(id)
-		err := q.cfg.Executor.Run(jobCtx, spec, func(ev PointEvent) { q.progress(id, ev) })
+		attemptCtx, asp := obs.Start(jobCtx, "jobs.attempt")
+		asp.SetInt("attempt", int64(attempt))
+		err := q.cfg.Executor.Run(attemptCtx, spec, func(ev PointEvent) { q.progress(id, ev) })
+		if err != nil {
+			asp.SetAttr("error", err.Error())
+		}
+		asp.End()
 		switch {
 		case err == nil:
 			q.transition(id, StateDone, "")
@@ -440,9 +492,14 @@ func (q *Queue) execute(ctx context.Context, id string) {
 			return
 		}
 		q.noteRetry(id)
+		_, bsp := obs.Start(jobCtx, "jobs.backoff")
+		bsp.SetAttr("delay", backoff.String())
 		select {
 		case <-time.After(backoff):
+			bsp.End()
 		case <-jobCtx.Done():
+			bsp.SetAttr("interrupted", "true")
+			bsp.End()
 			q.mu.Lock()
 			deleted := js.deleted
 			q.mu.Unlock()
@@ -471,7 +528,7 @@ func (q *Queue) transitionLocked(id string, to State, errMsg string) {
 		return
 	}
 	if !validTransition(js.job.State, to) {
-		q.warnf("jobs: dropping invalid transition %s → %s for %s", js.job.State, to, id)
+		q.warnJob(id, "jobs: dropping invalid transition %s → %s for %s", js.job.State, to, id)
 		return
 	}
 	at := q.now().UTC()
@@ -481,7 +538,7 @@ func (q *Queue) transitionLocked(id string, to State, errMsg string) {
 		}); err != nil {
 			// Same philosophy as a failed cache write: keep serving,
 			// lose durability, say so.
-			q.warnf("jobs: %s transition for %s not persisted: %v", to, id, err)
+			q.warnJob(id, "jobs: %s transition for %s not persisted: %v", to, id, err)
 		}
 	}
 	js.job.State = to
@@ -507,7 +564,7 @@ func (q *Queue) noteRetry(id string) {
 	}
 	if q.dir != "" {
 		if err := appendWAL(q.dir, id, walEntry{Schema: SchemaVersion, Op: opRetry, At: q.now().UTC()}); err != nil {
-			q.warnf("jobs: retry for %s not persisted: %v", id, err)
+			q.warnJob(id, "jobs: retry for %s not persisted: %v", id, err)
 		}
 	}
 	js.job.Retries++

@@ -1,0 +1,157 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: a completed Trace serialises to the JSON
+// format chrome://tracing and Perfetto load. Every span becomes one
+// "complete" (ph:"X") event with microsecond timestamps relative to the
+// trace start; attrs and the virtual-time figure ride in args.
+//
+// The viewers stack events that nest on one timeline row ("thread") and
+// garble events that merely overlap, so spans are placed onto lanes:
+// a span may share a lane with its ancestors (proper nesting) but never
+// with a concurrent non-ancestor. A traced sweep fanning out across
+// workers therefore renders as one row per concurrent worker.
+
+// chromeEvent is one trace-event JSON object.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`            // microseconds since trace start
+	Dur  float64        `json:"dur,omitempty"` // microseconds
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeFile is the top-level export shape. The object form (rather
+// than a bare event array) leaves room for metadata and is accepted by
+// both viewers.
+type chromeFile struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+	Meta            struct {
+		TraceID      string `json:"trace_id"`
+		Name         string `json:"name"`
+		DroppedSpans int    `json:"dropped_spans"`
+	} `json:"petasim"`
+}
+
+// WriteChromeJSON writes the trace in Chrome trace-event JSON format.
+// Call after Finish; spans still unended are clamped to the trace end.
+func (t *Trace) WriteChromeJSON(w io.Writer) error {
+	t.mu.Lock()
+	n := t.n
+	dropped := t.dropped
+	t.mu.Unlock()
+	// Flatten the chunked arena into an id-indexed view; span slots
+	// never move once placed, so the pointers stay valid lock-free.
+	spans := make([]*Span, n)
+	for i := range spans {
+		spans[i] = t.span(int32(i))
+	}
+
+	origin := spans[0].start
+	traceEnd := spans[0].end
+	for i := range spans {
+		if e := spans[i].end; !e.IsZero() && e.After(traceEnd) {
+			traceEnd = e
+		}
+	}
+
+	// Place spans onto lanes in start order. lanes[l] holds the indices
+	// already placed on lane l whose intervals may still be open; a lane
+	// accepts a span iff every placed occupant that overlaps it in wall
+	// time is one of its ancestors.
+	order := make([]int, len(spans))
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return spans[order[a]].start.Before(spans[order[b]].start)
+	})
+	isAncestor := func(anc, of int) bool {
+		for p := spans[of].parent; p >= 0; p = spans[p].parent {
+			if int(p) == anc {
+				return true
+			}
+		}
+		return false
+	}
+	endOf := func(i int) float64 {
+		e := spans[i].end
+		if e.IsZero() {
+			e = traceEnd
+		}
+		return float64(e.Sub(origin).Nanoseconds()) / 1e3
+	}
+	startOf := func(i int) float64 {
+		return float64(spans[i].start.Sub(origin).Nanoseconds()) / 1e3
+	}
+	var lanes [][]int
+	lane := make([]int, len(spans))
+place:
+	for _, i := range order {
+		for l := range lanes {
+			ok := true
+			live := lanes[l][:0]
+			for _, j := range lanes[l] {
+				if endOf(j) <= startOf(i) {
+					continue // closed before i opens: retire from the lane
+				}
+				live = append(live, j)
+				if !isAncestor(j, i) {
+					ok = false
+				}
+			}
+			lanes[l] = live
+			if ok {
+				lanes[l] = append(lanes[l], i)
+				lane[i] = l
+				continue place
+			}
+		}
+		lanes = append(lanes, []int{i})
+		lane[i] = len(lanes) - 1
+	}
+
+	var f chromeFile
+	f.DisplayTimeUnit = "ms"
+	f.Meta.TraceID = t.id
+	f.Meta.Name = t.name
+	f.Meta.DroppedSpans = dropped
+	f.TraceEvents = make([]chromeEvent, 0, len(spans)+len(lanes))
+	for l := range lanes {
+		ev := chromeEvent{Name: "thread_name", Ph: "M", Pid: 1, Tid: l}
+		ev.Args = map[string]any{"name": "lane"}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+	for _, i := range order {
+		s := spans[i]
+		ev := chromeEvent{
+			Name: s.name,
+			Ph:   "X",
+			Ts:   startOf(i),
+			Dur:  endOf(i) - startOf(i),
+			Pid:  1,
+			Tid:  lane[i],
+		}
+		if s.nattrs > 0 || s.vtime != 0 {
+			ev.Args = make(map[string]any, int(s.nattrs)+1)
+			for _, a := range s.attrs[:s.nattrs] {
+				ev.Args[a.Key] = a.Val
+			}
+			if s.vtime != 0 {
+				ev.Args["virtual_sec"] = s.vtime
+			}
+		}
+		f.TraceEvents = append(f.TraceEvents, ev)
+	}
+
+	enc := json.NewEncoder(w)
+	return enc.Encode(&f)
+}

@@ -1,0 +1,139 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Prometheus text exposition (version 0.0.4): # HELP and # TYPE lines
+// per family, one sample line per series, histograms expanded into
+// cumulative _bucket{le=...} series plus _sum and _count. Families are
+// written in name order so scrapes — and the golden-shaped test — are
+// deterministic.
+
+// WriteText writes every family in Prometheus text format. Sampled
+// families run their callbacks here; this is the one place the registry
+// pays for snapshotting subsystem state.
+func (r *Registry) WriteText(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	r.mu.Unlock()
+
+	bw := bufio.NewWriter(w)
+	for _, f := range fams {
+		writeHeader(bw, f)
+		if f.sample != nil {
+			for _, s := range f.sample() {
+				writeSample(bw, f.name, s.Labels, "", s.Value)
+			}
+			continue
+		}
+		// Series slice only appends under the registry lock; reading the
+		// prefix we snapshotted the length of implicitly via range over
+		// the current value is safe because append never mutates placed
+		// entries and instruments are atomic.
+		for _, s := range f.series {
+			switch f.kind {
+			case kindCounter:
+				writeSample(bw, f.name, s.labels, "", float64(s.ctr.Value()))
+			case kindGauge:
+				writeSample(bw, f.name, s.labels, "", float64(s.gauge.Value()))
+			case kindHistogram:
+				writeHistogram(bw, f, s)
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// Handler returns the /metrics handler.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WriteText(w)
+	})
+}
+
+func writeHeader(w *bufio.Writer, f *family) {
+	w.WriteString("# HELP ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(escapeHelp(f.help))
+	w.WriteString("\n# TYPE ")
+	w.WriteString(f.name)
+	w.WriteByte(' ')
+	w.WriteString(f.kind.String())
+	w.WriteByte('\n')
+}
+
+// writeSample emits one `name{labels,extra} value` line. extraLe, when
+// non-empty, is appended as the le label (histogram buckets).
+func writeSample(w *bufio.Writer, name string, labels []Label, extraLe string, v float64) {
+	w.WriteString(name)
+	if len(labels) > 0 || extraLe != "" {
+		w.WriteByte('{')
+		for i, l := range labels {
+			if i > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(l.Key)
+			w.WriteString(`="`)
+			w.WriteString(escapeLabel(l.Val))
+			w.WriteByte('"')
+		}
+		if extraLe != "" {
+			if len(labels) > 0 {
+				w.WriteByte(',')
+			}
+			w.WriteString(`le="`)
+			w.WriteString(extraLe)
+			w.WriteByte('"')
+		}
+		w.WriteByte('}')
+	}
+	w.WriteByte(' ')
+	w.WriteString(formatValue(v))
+	w.WriteByte('\n')
+}
+
+// writeHistogram expands one histogram series: cumulative buckets in
+// ascending le order ending at +Inf, then _sum and _count. The bucket
+// counts are loaded once each; cumulating after the loads keeps the
+// emitted buckets monotone even while observations land concurrently
+// (count may momentarily exceed the +Inf bucket, which scrapers accept).
+func writeHistogram(w *bufio.Writer, f *family, s *series) {
+	h := s.hist
+	var cum int64
+	for i, ub := range h.buckets {
+		cum += h.counts[i].Load()
+		writeSample(w, f.name+"_bucket", s.labels, formatValue(ub), float64(cum))
+	}
+	cum += h.counts[len(h.buckets)].Load()
+	writeSample(w, f.name+"_bucket", s.labels, "+Inf", float64(cum))
+	writeSample(w, f.name+"_sum", s.labels, "", h.Sum())
+	writeSample(w, f.name+"_count", s.labels, "", float64(cum))
+}
+
+func formatValue(v float64) string {
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(s string) string { return labelEscaper.Replace(s) }
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(s string) string { return helpEscaper.Replace(s) }

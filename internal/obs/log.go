@@ -1,0 +1,138 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Logging: the CLI and server speak through log/slog so every note can
+// carry a request or job ID, but the default output stays the
+// human-readable single-line form the tools have always printed:
+//
+//	petasim: serving on :8080 (4 workers)
+//	petasim: warning: jobs: job 4f3a... attempt 2 failed: ... job=4f3a
+//
+// Handler is that renderer. It is not a general slog backend — no
+// groups, no source locations, no timestamps (terminals and journald
+// stamp their own) — just the old prefix plus trailing key=value pairs
+// for the IDs.
+
+// Handler renders slog records as "prefix: [level:] msg k=v ...".
+type Handler struct {
+	mu       *sync.Mutex
+	w        io.Writer
+	prefix   string
+	level    slog.Level
+	attrs    []slog.Attr // from WithAttrs, rendered before record attrs
+	keyGroup string      // accumulated WithGroup names as "a.b."
+}
+
+// NewHandler builds a Handler writing to w with the given line prefix
+// (conventionally the program name) at the given minimum level.
+func NewHandler(w io.Writer, prefix string, level slog.Level) *Handler {
+	return &Handler{mu: &sync.Mutex{}, w: w, prefix: prefix, level: level}
+}
+
+// NewLogger is NewHandler wrapped into a *slog.Logger.
+func NewLogger(w io.Writer, prefix string, level slog.Level) *slog.Logger {
+	return slog.New(NewHandler(w, prefix, level))
+}
+
+// Enabled implements slog.Handler.
+func (h *Handler) Enabled(_ context.Context, level slog.Level) bool {
+	return level >= h.level
+}
+
+// Handle implements slog.Handler.
+func (h *Handler) Handle(_ context.Context, rec slog.Record) error {
+	var b strings.Builder
+	b.WriteString(h.prefix)
+	b.WriteString(": ")
+	switch {
+	case rec.Level >= slog.LevelError:
+		b.WriteString("error: ")
+	case rec.Level >= slog.LevelWarn:
+		b.WriteString("warning: ")
+	}
+	b.WriteString(rec.Message)
+	for _, a := range h.attrs {
+		writeAttr(&b, a)
+	}
+	rec.Attrs(func(a slog.Attr) bool {
+		if h.keyGroup != "" {
+			a.Key = h.keyGroup + a.Key
+		}
+		writeAttr(&b, a)
+		return true
+	})
+	b.WriteByte('\n')
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	_, err := io.WriteString(h.w, b.String())
+	return err
+}
+
+// WithAttrs implements slog.Handler.
+func (h *Handler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	nh := *h
+	nh.attrs = append([]slog.Attr(nil), h.attrs...)
+	for _, a := range attrs {
+		if h.keyGroup != "" {
+			a.Key = h.keyGroup + a.Key
+		}
+		nh.attrs = append(nh.attrs, a)
+	}
+	return &nh
+}
+
+// WithGroup implements slog.Handler; groups flatten to "name.key"
+// prefixes on subsequent attr keys.
+func (h *Handler) WithGroup(name string) slog.Handler {
+	if name == "" {
+		return h
+	}
+	nh := *h
+	nh.attrs = append([]slog.Attr(nil), h.attrs...)
+	nh.keyGroup = h.keyGroup + name + "."
+	return &nh
+}
+
+func writeAttr(b *strings.Builder, a slog.Attr) {
+	if a.Equal(slog.Attr{}) {
+		return
+	}
+	v := a.Value.Resolve()
+	if v.Kind() == slog.KindGroup {
+		for _, ga := range v.Group() {
+			ga.Key = a.Key + "." + ga.Key
+			writeAttr(b, ga)
+		}
+		return
+	}
+	b.WriteByte(' ')
+	b.WriteString(a.Key)
+	b.WriteByte('=')
+	switch v.Kind() {
+	case slog.KindString:
+		writeMaybeQuoted(b, v.String())
+	case slog.KindDuration:
+		b.WriteString(v.Duration().Round(time.Millisecond).String())
+	default:
+		writeMaybeQuoted(b, fmt.Sprint(v.Any()))
+	}
+}
+
+// writeMaybeQuoted quotes only values that would be ambiguous bare.
+func writeMaybeQuoted(b *strings.Builder, s string) {
+	if s == "" || strings.ContainsAny(s, " \t\n\"=") {
+		b.WriteString(strconv.Quote(s))
+		return
+	}
+	b.WriteString(s)
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"log/slog"
+	"strings"
+	"testing"
+)
+
+func TestHandlerHumanReadable(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, "petasim", slog.LevelInfo)
+	log.Info("serving on :8080", "workers", 4)
+	log.Warn("jobs: attempt failed", "job", "4f3a", "err", "boom boom")
+	log.Error("store: put failed", "shard", 2)
+	log.Debug("invisible at info level")
+
+	got := b.String()
+	want := []string{
+		"petasim: serving on :8080 workers=4\n",
+		`petasim: warning: jobs: attempt failed job=4f3a err="boom boom"` + "\n",
+		"petasim: error: store: put failed shard=2\n",
+	}
+	for _, w := range want {
+		if !strings.Contains(got, w) {
+			t.Fatalf("output missing %q:\n%s", w, got)
+		}
+	}
+	if strings.Contains(got, "invisible") {
+		t.Fatalf("debug line leaked: %s", got)
+	}
+}
+
+func TestHandlerWithAttrsAndGroup(t *testing.T) {
+	var b strings.Builder
+	log := NewLogger(&b, "petasim", slog.LevelInfo)
+	log.With("request", "abc").WithGroup("job").Info("queued", "id", "4f3a")
+	got := b.String()
+	if want := "petasim: queued request=abc job.id=4f3a\n"; got != want {
+		t.Fatalf("got %q, want %q", got, want)
+	}
+}

@@ -1,0 +1,341 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// The metrics half of obs: a typed registry of counters, gauges, and
+// fixed-bucket histograms exposed in Prometheus text format (expose.go).
+//
+// Two recording styles, chosen per family:
+//
+//   - Direct instruments. Registration (Registry.Counter etc.) interns
+//     the (name, label set) pair once and hands back a pointer; the
+//     record site holds that pointer and calls Inc/Observe, which is a
+//     single atomic op — no map lookup, no label formatting, no
+//     allocation. This is for events only the record site witnesses:
+//     HTTP request latency, trace publishes.
+//
+//   - Sampled families (CounterFunc / GaugeFunc). Subsystems that
+//     already maintain their own atomic counters — the runner pool, the
+//     store tiers, the job queue, the simmpi host pool — are read at
+//     scrape time by a callback that emits the current values. The hot
+//     paths those counters live on are untouched; /metrics pays the
+//     (cold) cost of snapshotting.
+//
+// Registration is for startup: registering the same name with a
+// different kind, label keys, or buckets panics, as does an invalid
+// metric name. Recording is safe from any goroutine at any time.
+
+// Label is one metric label pair.
+type Label struct {
+	Key, Val string
+}
+
+// Sample is one scrape-time value from a sampled family.
+type Sample struct {
+	Value  float64
+	Labels []Label
+}
+
+type kind int
+
+const (
+	kindCounter kind = iota
+	kindGauge
+	kindHistogram
+)
+
+func (k kind) String() string {
+	switch k {
+	case kindCounter:
+		return "counter"
+	case kindGauge:
+		return "gauge"
+	case kindHistogram:
+		return "histogram"
+	}
+	return "unknown"
+}
+
+// Counter is a monotonically increasing count.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n; negative n is a programming error and is ignored.
+func (c *Counter) Add(n int64) {
+	if n > 0 {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is an integer value that can move both ways (queue depth,
+// in-flight requests, pool occupancy).
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add moves the value by n (negative to decrease).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Histogram counts observations into fixed buckets chosen at
+// registration. Observe is two atomic adds plus a CAS loop for the sum.
+type Histogram struct {
+	buckets []float64 // upper bounds, ascending, +Inf excluded
+	counts  []atomic.Int64
+	count   atomic.Int64
+	sumBits atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	i := sort.SearchFloat64s(h.buckets, v) // first bucket with v <= upper bound
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sumBits.Load()
+		nw := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sumBits.CompareAndSwap(old, nw) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 { return h.count.Load() }
+
+// Sum returns the sum of observed values.
+func (h *Histogram) Sum() float64 { return math.Float64frombits(h.sumBits.Load()) }
+
+// LatencyBuckets is the default histogram layout for request/run
+// durations in seconds: 1ms to ~100s, roughly 3 buckets per decade.
+var LatencyBuckets = []float64{0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 25, 50, 100}
+
+// series is one interned label set within a family plus its instrument.
+type series struct {
+	labels []Label
+	ctr    *Counter
+	gauge  *Gauge
+	hist   *Histogram
+}
+
+// family is one metric name: its kind, help, and label sets. Exactly
+// one of (series, sample) is populated.
+type family struct {
+	name      string
+	help      string
+	kind      kind
+	labelKeys []string  // the key schema every series must match
+	buckets   []float64 // histograms only
+	series    []*series // registration order
+	sample    func() []Sample
+}
+
+// Registry holds metric families. The zero value is not usable; use
+// NewRegistry. Registration takes the lock; recording through the
+// returned instruments does not touch the registry at all.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry builds an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// validName reports whether name fits the Prometheus metric name
+// charset [a-zA-Z_:][a-zA-Z0-9_:]*.
+func validName(name string) bool {
+	if name == "" {
+		return false
+	}
+	for i, c := range name {
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c == '_', c == ':':
+		case c >= '0' && c <= '9':
+			if i == 0 {
+				return false
+			}
+		default:
+			return false
+		}
+	}
+	return true
+}
+
+// validLabelKey is validName minus the colon, which label names forbid.
+func validLabelKey(name string) bool {
+	if !validName(name) {
+		return false
+	}
+	for _, c := range name {
+		if c == ':' {
+			return false
+		}
+	}
+	return true
+}
+
+func labelKeys(labels []Label) []string {
+	ks := make([]string, len(labels))
+	for i, l := range labels {
+		ks[i] = l.Key
+	}
+	return ks
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// get returns the family for (name, kind, keys), creating it on first
+// use and panicking on any schema conflict — registration runs at
+// startup, where a conflicting name is a bug to fail loudly on.
+func (r *Registry) get(name, help string, k kind, keys []string, buckets []float64) *family {
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	for _, key := range keys {
+		if !validLabelKey(key) {
+			panic(fmt.Sprintf("obs: invalid label key %q on metric %q", key, name))
+		}
+	}
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, kind: k, labelKeys: keys, buckets: buckets}
+		r.families[name] = f
+		return f
+	}
+	if f.kind != k {
+		panic(fmt.Sprintf("obs: metric %q registered as %v and %v", name, f.kind, k))
+	}
+	if !sameKeys(f.labelKeys, keys) {
+		panic(fmt.Sprintf("obs: metric %q registered with label keys %v and %v", name, f.labelKeys, keys))
+	}
+	return f
+}
+
+// find returns the existing series with exactly these labels, if any.
+func (f *family) find(labels []Label) *series {
+	for _, s := range f.series {
+		if len(s.labels) != len(labels) {
+			continue
+		}
+		match := true
+		for i := range labels {
+			if s.labels[i] != labels[i] {
+				match = false
+				break
+			}
+		}
+		if match {
+			return s
+		}
+	}
+	return nil
+}
+
+// Counter interns (name, labels) and returns its counter; repeated
+// registration with identical labels returns the same instrument.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, kindCounter, labelKeys(labels), nil)
+	if s := f.find(labels); s != nil {
+		return s.ctr
+	}
+	s := &series{labels: labels, ctr: &Counter{}}
+	f.series = append(f.series, s)
+	return s.ctr
+}
+
+// Gauge interns (name, labels) and returns its gauge.
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, kindGauge, labelKeys(labels), nil)
+	if s := f.find(labels); s != nil {
+		return s.gauge
+	}
+	s := &series{labels: labels, gauge: &Gauge{}}
+	f.series = append(f.series, s)
+	return s.gauge
+}
+
+// Histogram interns (name, labels) with the given bucket upper bounds
+// (ascending, +Inf implied) and returns its histogram. Buckets must
+// match across series of one family.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...Label) *Histogram {
+	if len(buckets) == 0 {
+		panic(fmt.Sprintf("obs: histogram %q needs at least one bucket", name))
+	}
+	for i := 1; i < len(buckets); i++ {
+		if buckets[i] <= buckets[i-1] {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f := r.get(name, help, kindHistogram, labelKeys(labels), buckets)
+	if len(f.buckets) != len(buckets) {
+		panic(fmt.Sprintf("obs: histogram %q registered with differing buckets", name))
+	}
+	for i := range buckets {
+		if f.buckets[i] != buckets[i] {
+			panic(fmt.Sprintf("obs: histogram %q registered with differing buckets", name))
+		}
+	}
+	if s := f.find(labels); s != nil {
+		return s.hist
+	}
+	h := &Histogram{buckets: buckets, counts: make([]atomic.Int64, len(buckets)+1)}
+	s := &series{labels: labels, hist: h}
+	f.series = append(f.series, s)
+	return s.hist
+}
+
+// CounterFunc registers a sampled counter family: fn runs at each
+// scrape and emits the current cumulative values. Values must be
+// monotone over time; that is the sampled subsystem's contract.
+func (r *Registry) CounterFunc(name, help string, fn func() []Sample) {
+	r.sampled(name, help, kindCounter, fn)
+}
+
+// GaugeFunc registers a sampled gauge family.
+func (r *Registry) GaugeFunc(name, help string, fn func() []Sample) {
+	r.sampled(name, help, kindGauge, fn)
+}
+
+func (r *Registry) sampled(name, help string, k kind, fn func() []Sample) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if !validName(name) {
+		panic(fmt.Sprintf("obs: invalid metric name %q", name))
+	}
+	if _, ok := r.families[name]; ok {
+		panic(fmt.Sprintf("obs: metric %q registered twice", name))
+	}
+	r.families[name] = &family{name: name, help: help, kind: k, sample: fn}
+}

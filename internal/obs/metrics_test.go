@@ -1,0 +1,386 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// buildRegistry populates a registry the way the server does: direct
+// instruments for edge-witnessed events, sampled families for
+// subsystem state, one of each kind.
+func buildRegistry() (*Registry, *Counter, *Gauge, *Histogram) {
+	r := NewRegistry()
+	c := r.Counter("petasim_http_requests_total", "HTTP requests served.",
+		Label{"route", "GET /v1/sweep"}, Label{"status", "200"})
+	r.Counter("petasim_http_requests_total", "HTTP requests served.",
+		Label{"route", "GET /v1/stats"}, Label{"status", "200"})
+	g := r.Gauge("petasim_http_inflight", "Requests currently being served.")
+	h := r.Histogram("petasim_http_request_seconds", "HTTP request latency.",
+		LatencyBuckets, Label{"route", "GET /v1/sweep"})
+	r.CounterFunc("petasim_store_gets_total", "Store lookups by tier.", func() []Sample {
+		return []Sample{
+			{Value: 12, Labels: []Label{{"tier", "mem"}}},
+			{Value: 3, Labels: []Label{{"tier", "disk"}}},
+		}
+	})
+	r.GaugeFunc("petasim_jobs_queue_depth", "Jobs waiting to run.", func() []Sample {
+		return []Sample{{Value: 4}}
+	})
+	return r, c, g, h
+}
+
+var (
+	nameRe   = regexp.MustCompile(`^[a-zA-Z_:][a-zA-Z0-9_:]*$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([^}]*)\})? (\S+)$`)
+	labelRe  = regexp.MustCompile(`^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$`)
+)
+
+// validateExposition parses Prometheus text format strictly: every
+// family has HELP then TYPE then ≥0 samples whose names match the
+// family (allowing histogram suffixes), names obey the charset, values
+// parse as floats, histogram buckets are cumulative-monotone and end in
+// +Inf with _count equal to the +Inf bucket.
+func validateExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	values := map[string]float64{}
+	sc := bufio.NewScanner(strings.NewReader(text))
+	var curName, curType string
+	var lastHelp string
+	buckets := map[string]float64{} // per labelled series, last cumulative value
+	var lastLe = map[string]float64{}
+	sawInf := map[string]bool{}
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "" {
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("HELP line without text: %q", line)
+			}
+			if !nameRe.MatchString(name) {
+				t.Fatalf("invalid family name %q", name)
+			}
+			lastHelp = name
+			continue
+		}
+		if rest, ok := strings.CutPrefix(line, "# TYPE "); ok {
+			name, typ, found := strings.Cut(rest, " ")
+			if !found {
+				t.Fatalf("TYPE line malformed: %q", line)
+			}
+			if name != lastHelp {
+				t.Fatalf("TYPE %q not preceded by its HELP (last HELP %q)", name, lastHelp)
+			}
+			switch typ {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("unknown TYPE %q", typ)
+			}
+			curName, curType = name, typ
+			continue
+		}
+		m := sampleRe.FindStringSubmatch(line)
+		if m == nil {
+			t.Fatalf("unparseable sample line %q", line)
+		}
+		name, labelBlob, valStr := m[1], m[3], m[4]
+		base := name
+		var le string
+		if curType == "histogram" {
+			for _, suf := range []string{"_bucket", "_sum", "_count"} {
+				if cut, ok := strings.CutSuffix(name, suf); ok && cut == curName {
+					base = cut
+					break
+				}
+			}
+		}
+		if base != curName {
+			t.Fatalf("sample %q under family %q", name, curName)
+		}
+		var nonLe []string
+		if labelBlob != "" {
+			for _, lp := range strings.Split(labelBlob, ",") {
+				lm := labelRe.FindStringSubmatch(lp)
+				if lm == nil {
+					t.Fatalf("bad label pair %q in %q", lp, line)
+				}
+				if lm[1] == "le" {
+					le = lm[2]
+				} else {
+					nonLe = append(nonLe, lp)
+				}
+			}
+		}
+		v, err := strconv.ParseFloat(valStr, 64)
+		if err != nil {
+			t.Fatalf("bad value %q in %q", valStr, line)
+		}
+		seriesKey := name + "{" + strings.Join(nonLe, ",") + "}"
+		values[seriesKey] = v
+		if strings.HasSuffix(name, "_bucket") && curType == "histogram" {
+			if le == "" {
+				t.Fatalf("bucket without le: %q", line)
+			}
+			if v < buckets[seriesKey] {
+				t.Fatalf("bucket regression in %q: %v after %v", seriesKey, v, buckets[seriesKey])
+			}
+			buckets[seriesKey] = v
+			if le == "+Inf" {
+				sawInf[seriesKey] = true
+			} else {
+				ub, err := strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("bad le %q", le)
+				}
+				if prev, ok := lastLe[seriesKey]; ok && ub <= prev {
+					t.Fatalf("le bounds not ascending in %q", seriesKey)
+				}
+				lastLe[seriesKey] = ub
+			}
+		}
+	}
+	for series := range buckets {
+		if !sawInf[series] {
+			t.Fatalf("histogram %q missing +Inf bucket", series)
+		}
+		countKey := strings.Replace(series, "_bucket{", "_count{", 1)
+		if values[countKey] != buckets[series] {
+			t.Fatalf("histogram %q count %v != +Inf bucket %v", series, values[countKey], buckets[series])
+		}
+	}
+	return values
+}
+
+func TestExpositionValid(t *testing.T) {
+	r, c, g, h := buildRegistry()
+	c.Add(5)
+	g.Set(2)
+	h.Observe(0.003)
+	h.Observe(0.003)
+	h.Observe(7)
+	h.Observe(1e6) // lands in +Inf
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	text := b.String()
+	values := validateExposition(t, text)
+
+	if got := values[`petasim_http_requests_total{route="GET /v1/sweep",status="200"}`]; got != 5 {
+		t.Fatalf("counter = %v, want 5", got)
+	}
+	if got := values[`petasim_http_inflight{}`]; got != 2 {
+		t.Fatalf("gauge = %v, want 2", got)
+	}
+	if got := values[`petasim_http_request_seconds_count{route="GET /v1/sweep"}`]; got != 4 {
+		t.Fatalf("hist count = %v, want 4", got)
+	}
+	if got := values[`petasim_http_request_seconds_bucket{route="GET /v1/sweep"}`]; got != 4 {
+		t.Fatalf("hist +Inf bucket = %v, want 4", got)
+	}
+	sum := values[`petasim_http_request_seconds_sum{route="GET /v1/sweep"}`]
+	if want := 0.003 + 0.003 + 7 + 1e6; sum < want-1e-9 || sum > want+1e-9 {
+		t.Fatalf("hist sum = %v, want %v", sum, want)
+	}
+	if got := values[`petasim_store_gets_total{tier="mem"}`]; got != 12 {
+		t.Fatalf("sampled counter = %v, want 12", got)
+	}
+	if got := values[`petasim_jobs_queue_depth{}`]; got != 4 {
+		t.Fatalf("sampled gauge = %v, want 4", got)
+	}
+
+	// Families must be in sorted name order for deterministic scrapes.
+	var fams []string
+	for _, line := range strings.Split(text, "\n") {
+		if rest, ok := strings.CutPrefix(line, "# HELP "); ok {
+			name, _, _ := strings.Cut(rest, " ")
+			fams = append(fams, name)
+		}
+	}
+	for i := 1; i < len(fams); i++ {
+		if fams[i] < fams[i-1] {
+			t.Fatalf("families out of order: %q after %q", fams[i], fams[i-1])
+		}
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("esc_total", "Escaping.", Label{"path", `a"b\c` + "\nd"})
+	c.Inc()
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{path="a\"b\\c\nd"} 1`
+	if !strings.Contains(b.String(), want) {
+		t.Fatalf("exposition %q missing %q", b.String(), want)
+	}
+	validateExposition(t, b.String())
+}
+
+func TestRegistrationInterning(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "X.", Label{"k", "v"})
+	b := r.Counter("x_total", "X.", Label{"k", "v"})
+	if a != b {
+		t.Fatal("same name+labels must intern to one instrument")
+	}
+	c := r.Counter("x_total", "X.", Label{"k", "w"})
+	if a == c {
+		t.Fatal("different labels must be distinct series")
+	}
+}
+
+func TestRegistrationConflictsPanic(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"kind", func(r *Registry) { r.Counter("m", "h"); r.Gauge("m", "h") }},
+		{"labels", func(r *Registry) { r.Counter("m", "h", Label{"a", "1"}); r.Counter("m", "h", Label{"b", "1"}) }},
+		{"bad name", func(r *Registry) { r.Counter("0bad", "h") }},
+		{"bad label", func(r *Registry) { r.Counter("m", "h", Label{"le:x", "1"}) }},
+		{"buckets", func(r *Registry) {
+			r.Histogram("m", "h", []float64{1, 2})
+			r.Histogram("m", "h", []float64{1, 3})
+		}},
+		{"unsorted buckets", func(r *Registry) { r.Histogram("m", "h", []float64{2, 1}) }},
+		{"sampled twice", func(r *Registry) {
+			r.CounterFunc("m", "h", func() []Sample { return nil })
+			r.CounterFunc("m", "h", func() []Sample { return nil })
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("want panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestConcurrentRecordingUnderRace(t *testing.T) {
+	r, c, g, h := buildRegistry()
+	var recorders sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		recorders.Add(1)
+		go func() {
+			defer recorders.Done()
+			for j := 0; j < 500; j++ {
+				c.Inc()
+				g.Add(1)
+				g.Add(-1)
+				h.Observe(float64(j) / 100)
+			}
+		}()
+	}
+	// Scrape concurrently with recording; snapshots are validated on
+	// the test goroutine afterwards — output must stay parseable and
+	// histogram invariants must hold mid-flight.
+	stop := make(chan struct{})
+	var scraper sync.WaitGroup
+	var snaps []string
+	scraper.Add(1)
+	go func() {
+		defer scraper.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.WriteText(&b); err != nil {
+				t.Error(err)
+				return
+			}
+			if len(snaps) < 64 {
+				snaps = append(snaps, b.String())
+			}
+		}
+	}()
+	recorders.Wait()
+	close(stop)
+	scraper.Wait()
+	for _, snap := range snaps {
+		validateExposition(t, snap)
+	}
+	if got := c.Value(); got != 4*500 {
+		t.Fatalf("counter = %d, want %d", got, 4*500)
+	}
+	if got := h.Count(); got != 4*500 {
+		t.Fatalf("hist count = %d, want %d", got, 4*500)
+	}
+}
+
+func TestRecordingIsAllocationFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "C.", Label{"k", "v"})
+	g := r.Gauge("g", "G.")
+	h := r.Histogram("h_seconds", "H.", LatencyBuckets)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		g.Set(3)
+		h.Observe(0.42)
+	}); allocs != 0 {
+		t.Fatalf("record path allocated %.1f/op, want 0", allocs)
+	}
+}
+
+func TestHistogramBucketPlacement(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("p_seconds", "P.", []float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	values := validateExposition(t, b.String())
+	// le="1" holds 0.5 and the boundary value 1 (le is inclusive).
+	lines := b.String()
+	for _, want := range []string{
+		`p_seconds_bucket{le="1"} 2`,
+		`p_seconds_bucket{le="2"} 4`,
+		`p_seconds_bucket{le="4"} 6`,
+		`p_seconds_bucket{le="+Inf"} 7`,
+	} {
+		if !strings.Contains(lines, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, lines)
+		}
+	}
+	if values[`p_seconds_count{}`] != 7 {
+		t.Fatalf("count = %v", values[`p_seconds_count{}`])
+	}
+}
+
+func TestSampledFamiliesRunAtScrape(t *testing.T) {
+	r := NewRegistry()
+	n := 0
+	r.GaugeFunc("s", "S.", func() []Sample {
+		n++
+		return []Sample{{Value: float64(n)}}
+	})
+	for want := 1; want <= 3; want++ {
+		var b strings.Builder
+		if err := r.WriteText(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), fmt.Sprintf("s %d", want)) {
+			t.Fatalf("scrape %d: %q", want, b.String())
+		}
+	}
+}

@@ -1,0 +1,78 @@
+package obs
+
+import "sync"
+
+// Sink retains completed traces for later retrieval — the backing store
+// for GET /v1/trace/{id}. It is a bounded FIFO keyed by trace ID: when
+// the cap is reached the oldest trace is evicted, so a long-lived
+// server holds the most recent N traces and nothing grows without
+// bound. Job traces are published under the job's own ID, which is how
+// an async submitter later fetches the trace for the job it was told
+// about.
+type Sink struct {
+	mu     sync.Mutex
+	cap    int
+	order  []string // insertion order, oldest first
+	traces map[string]*Trace
+	pubs   int64 // total Publish calls, including evicted
+}
+
+// NewSink builds a sink retaining at most capacity traces (minimum 1).
+func NewSink(capacity int) *Sink {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Sink{cap: capacity, traces: make(map[string]*Trace, capacity)}
+}
+
+// DefaultSink is the process-wide sink the server's request middleware
+// and the jobs queue publish into — one namespace, so GET /v1/trace/{id}
+// resolves both request IDs and job IDs. 64 traces bounds worst-case
+// retention at a few MB of span chunks.
+var DefaultSink = NewSink(64)
+
+// Publish finishes the trace (idempotent) and retains it, evicting the
+// oldest if full. Re-publishing an ID replaces the stored trace without
+// consuming a slot.
+func (k *Sink) Publish(t *Trace) {
+	if k == nil || t == nil {
+		return
+	}
+	t.Finish()
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	k.pubs++
+	if _, ok := k.traces[t.id]; ok {
+		k.traces[t.id] = t
+		return
+	}
+	if len(k.order) == k.cap {
+		oldest := k.order[0]
+		k.order = k.order[1:]
+		delete(k.traces, oldest)
+	}
+	k.order = append(k.order, t.id)
+	k.traces[t.id] = t
+}
+
+// Get returns the retained trace for id, if still held.
+func (k *Sink) Get(id string) (*Trace, bool) {
+	if k == nil {
+		return nil, false
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	t, ok := k.traces[id]
+	return t, ok
+}
+
+// Stats reports the sink's retained count and lifetime publishes — the
+// obs section of /v1/stats.
+func (k *Sink) Stats() (retained int, published int64) {
+	if k == nil {
+		return 0, 0
+	}
+	k.mu.Lock()
+	defer k.mu.Unlock()
+	return len(k.traces), k.pubs
+}

@@ -1,0 +1,280 @@
+// Package obs is the observability layer: context-propagated tracing
+// and a typed metrics registry, stdlib-only, built so that instrumented
+// hot paths cost nothing when nobody is watching.
+//
+// # Tracing
+//
+// A Trace is one request's (or job's, or CLI run's) tree of Spans. The
+// edge of the system — an HTTP middleware, the job dispatcher, the
+// `petasim trace` subcommand — creates the trace and threads it through
+// a context; every layer below instruments itself with
+//
+//	ctx, sp := obs.Start(ctx, "runner.point")
+//	defer sp.End()
+//	sp.SetAttr("served", via.String())
+//
+// and never needs to know whether anyone is tracing. When the context
+// carries no trace, Start returns the context unchanged and a nil
+// *Span whose methods are no-ops: no allocation, no lock, one context
+// value lookup. The benchmark gate holds the simulation core to its
+// exact allocs/op with this instrumentation compiled in.
+//
+// When a trace is live, spans come from the trace's chunked arena:
+// fixed-capacity chunks of chunkSpans spans, allocated one chunk at a
+// time, within which the backing arrays never move — so *Span handles
+// stay valid for the trace's lifetime while a one-span healthz trace
+// costs one small chunk, not the worst case. A trace that reaches
+// maxTraceSpans drops further spans (counted) rather than growing.
+// Attrs are a fixed inline array per span. Completed traces export as
+// Chrome trace-event JSON (chrome.go) loadable in chrome://tracing and
+// Perfetto, and are retained in a bounded Sink (sink.go) behind
+// GET /v1/trace/{id}.
+//
+// Spans record wall time (when the work happened on the host) and,
+// where the instrumented layer knows it, virtual simulated time
+// (Span.SetVirtual) — so a trace answers both "where did the six
+// seconds go" and "how much simulated time did that world cover".
+//
+// # Metrics
+//
+// See metrics.go. Counters, gauges and histograms are atomics resolved
+// to concrete instruments at registration time — record sites hold a
+// *Counter and call Inc(), never a map lookup — and composite state
+// that already maintains its own atomic counters (pool stats, store
+// tiers, the job queue) is sampled at scrape time through SampleFunc
+// collectors instead of double-counting at record sites.
+package obs
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+)
+
+// chunkSpans is the arena's allocation unit; maxTraceSpans caps one
+// trace's total. A figure-sized sweep is a few hundred points, each
+// costing a point span, a simulate span, and a world span — well inside
+// the cap; the cap exists so a runaway loop cannot hold the sink's
+// memory hostage.
+const (
+	chunkSpans    = 64
+	maxTraceSpans = 4096
+)
+
+// maxSpanAttrs is the fixed per-span attribute capacity; SetAttr past
+// it is dropped. Instrumentation sites use at most ~6.
+const maxSpanAttrs = 8
+
+// Attr is one span key/value pair. Values are strings; use SetInt /
+// SetVirtual for the numeric helpers.
+type Attr struct {
+	Key, Val string
+}
+
+// Span is one timed operation inside a Trace. The zero *Span (nil) is
+// the not-tracing span: every method no-ops, so instrumentation sites
+// never branch on whether a trace is live.
+type Span struct {
+	tr     *Trace
+	id     int32
+	parent int32 // -1 for the root
+	name   string
+	start  time.Time
+	end    time.Time
+	vtime  float64 // virtual simulated seconds covered, 0 if unset
+	nattrs int32
+	attrs  [maxSpanAttrs]Attr
+}
+
+// spanKey is the context key carrying the current *Span.
+type spanKey struct{}
+
+// Trace is one tree of spans under a string ID. Create with NewTrace,
+// attach to a context with ContextWithTrace, close with Finish (which
+// also ends the root span), then hand to a Sink or export with
+// WriteChromeJSON. All methods are safe for concurrent use by the
+// many goroutines a traced request fans out across.
+type Trace struct {
+	id   string
+	name string
+
+	mu      sync.Mutex
+	chunks  [][]Span // fixed-cap chunks; backing arrays never move
+	n       int      // spans recorded across all chunks
+	dropped int
+	done    bool
+}
+
+// NewTrace builds a trace whose root span is named name. The id is the
+// externally visible handle (the X-Petasim-Trace header value, the
+// /v1/trace/{id} path element); NewID mints a fresh one.
+func NewTrace(id, name string) *Trace {
+	t := &Trace{id: id, name: name}
+	c0 := make([]Span, 1, chunkSpans)
+	c0[0] = Span{tr: t, id: 0, parent: -1, name: name, start: time.Now()}
+	t.chunks = [][]Span{c0}
+	t.n = 1
+	return t
+}
+
+// NewID mints a random 16-hex-char trace identifier.
+func NewID() string {
+	var b [8]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is a broken platform; ids must not collide.
+		panic(fmt.Sprintf("obs: reading random trace id: %v", err))
+	}
+	return hex.EncodeToString(b[:])
+}
+
+// ID returns the trace's external identifier.
+func (t *Trace) ID() string { return t.id }
+
+// Name returns the root span's name.
+func (t *Trace) Name() string { return t.name }
+
+// Root returns the root span, for attaching request-level attrs.
+func (t *Trace) Root() *Span { return &t.chunks[0][0] }
+
+// Dropped reports how many spans overflowed the arena.
+func (t *Trace) Dropped() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.dropped
+}
+
+// SpanCount reports how many spans the trace recorded.
+func (t *Trace) SpanCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.n
+}
+
+// Finish ends the root span and marks the trace complete. Idempotent.
+func (t *Trace) Finish() {
+	t.mu.Lock()
+	if !t.done {
+		t.done = true
+		if t.chunks[0][0].end.IsZero() {
+			t.chunks[0][0].end = time.Now()
+		}
+	}
+	t.mu.Unlock()
+}
+
+// startSpan appends a child span to the arena, growing it one chunk at
+// a time. At the cap the span is dropped: the child handle is nil and
+// descendants attach to parent.
+func (t *Trace) startSpan(name string, parent int32) *Span {
+	now := time.Now()
+	t.mu.Lock()
+	if t.n == maxTraceSpans {
+		t.dropped++
+		t.mu.Unlock()
+		return nil
+	}
+	id := int32(t.n)
+	ci := t.n / chunkSpans
+	if ci == len(t.chunks) {
+		t.chunks = append(t.chunks, make([]Span, 0, chunkSpans))
+	}
+	t.chunks[ci] = append(t.chunks[ci], Span{tr: t, id: id, parent: parent, name: name, start: now})
+	s := &t.chunks[ci][len(t.chunks[ci])-1]
+	t.n++
+	t.mu.Unlock()
+	return s
+}
+
+// span returns the span with the given id; caller holds no lock (span
+// slots are never moved once placed).
+func (t *Trace) span(id int32) *Span {
+	return &t.chunks[id/chunkSpans][id%chunkSpans]
+}
+
+// ContextWithTrace returns ctx carrying t's root span: every Start
+// below derives from it. The caller owns Finish.
+func ContextWithTrace(ctx context.Context, t *Trace) context.Context {
+	return context.WithValue(ctx, spanKey{}, t.Root())
+}
+
+// FromContext returns the context's current span, or nil when the
+// context is untraced.
+func FromContext(ctx context.Context) *Span {
+	s, _ := ctx.Value(spanKey{}).(*Span)
+	return s
+}
+
+// Start begins a child span of the context's current span. On an
+// untraced context it returns (ctx, nil) without allocating — the nil
+// span's methods all no-op, so call sites need no branch. The returned
+// context carries the new span for further nesting.
+func Start(ctx context.Context, name string) (context.Context, *Span) {
+	cur := FromContext(ctx)
+	if cur == nil {
+		return ctx, nil
+	}
+	s := cur.tr.startSpan(name, cur.id)
+	if s == nil {
+		return ctx, nil // arena full: descendants attach to cur
+	}
+	return context.WithValue(ctx, spanKey{}, s), s
+}
+
+// End stamps the span's end time. Safe on nil; idempotent enough for
+// the single-owner discipline (each span is ended by the goroutine
+// that started it, before the trace is finished).
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	if s.end.IsZero() {
+		s.end = time.Now()
+	}
+}
+
+// SetAttr records one key/value attribute; past the fixed capacity it
+// is dropped. Safe on nil.
+func (s *Span) SetAttr(key, val string) {
+	if s == nil || int(s.nattrs) == len(s.attrs) {
+		return
+	}
+	s.attrs[s.nattrs] = Attr{Key: key, Val: val}
+	s.nattrs++
+}
+
+// SetInt records an integer attribute. Safe on nil.
+func (s *Span) SetInt(key string, v int64) {
+	if s == nil {
+		return
+	}
+	s.SetAttr(key, strconv.FormatInt(v, 10))
+}
+
+// SetVirtual records the virtual simulated seconds the span covered —
+// the simulation-time twin of the span's wall duration. Safe on nil.
+func (s *Span) SetVirtual(seconds float64) {
+	if s == nil {
+		return
+	}
+	s.vtime = seconds
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Attrs returns the span's recorded attributes (nil on nil).
+func (s *Span) Attrs() []Attr {
+	if s == nil {
+		return nil
+	}
+	return s.attrs[:s.nattrs]
+}

@@ -1,0 +1,278 @@
+package obs
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestUntracedStartIsFreeAndSafe(t *testing.T) {
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		c2, sp := Start(ctx, "op")
+		sp.SetAttr("k", "v")
+		sp.SetInt("n", 7)
+		sp.SetVirtual(1.5)
+		sp.End()
+		if c2 != ctx {
+			t.Fatal("untraced Start must return the context unchanged")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("untraced Start allocated %.1f/op, want 0", allocs)
+	}
+	if got := FromContext(ctx); got != nil {
+		t.Fatalf("FromContext on untraced ctx = %v, want nil", got)
+	}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace("abc123", "request")
+	ctx := ContextWithTrace(context.Background(), tr)
+	if sp := FromContext(ctx); sp != tr.Root() {
+		t.Fatal("context does not carry the root span")
+	}
+	ctx1, sp1 := Start(ctx, "child")
+	sp1.SetAttr("served", "mem")
+	_, sp2 := Start(ctx1, "grandchild")
+	sp2.SetVirtual(42.5)
+	sp2.End()
+	sp1.End()
+	tr.Finish()
+
+	if got := tr.SpanCount(); got != 3 {
+		t.Fatalf("SpanCount = %d, want 3", got)
+	}
+	if sp1.parent != 0 || sp2.parent != sp1.id {
+		t.Fatalf("parent links wrong: sp1.parent=%d sp2.parent=%d (sp1.id=%d)", sp1.parent, sp2.parent, sp1.id)
+	}
+	if got := sp1.Attrs(); len(got) != 1 || got[0] != (Attr{"served", "mem"}) {
+		t.Fatalf("sp1 attrs = %v", got)
+	}
+	if sp2.vtime != 42.5 {
+		t.Fatalf("sp2 vtime = %v, want 42.5", sp2.vtime)
+	}
+}
+
+func TestTraceArenaOverflowDrops(t *testing.T) {
+	tr := NewTrace("id", "root")
+	ctx := ContextWithTrace(context.Background(), tr)
+	for i := 0; i < maxTraceSpans+10; i++ {
+		_, sp := Start(ctx, "s")
+		sp.End()
+	}
+	if got := tr.SpanCount(); got != maxTraceSpans {
+		t.Fatalf("SpanCount = %d, want arena cap %d", got, maxTraceSpans)
+	}
+	if got := tr.Dropped(); got != 11 {
+		t.Fatalf("Dropped = %d, want 11", got)
+	}
+	// A dropped span is a nil handle whose children attach to the parent.
+	ctx2, sp := Start(ctx, "overflow")
+	if sp != nil {
+		t.Fatal("overflow Start should return nil span")
+	}
+	if FromContext(ctx2) != tr.Root() {
+		t.Fatal("overflow Start should keep the parent span current")
+	}
+}
+
+func TestSpanPointersStableAcrossChunkGrowth(t *testing.T) {
+	tr := NewTrace("id", "root")
+	ctx := ContextWithTrace(context.Background(), tr)
+	var handles []*Span
+	for i := 0; i < 5*chunkSpans; i++ {
+		_, sp := Start(ctx, fmt.Sprintf("s%d", i))
+		sp.SetInt("i", int64(i))
+		handles = append(handles, sp)
+		sp.End()
+	}
+	for i, sp := range handles {
+		if want := fmt.Sprintf("s%d", i); sp.Name() != want {
+			t.Fatalf("handle %d reads name %q after growth, want %q", i, sp.Name(), want)
+		}
+	}
+}
+
+func TestSpanAttrOverflowDrops(t *testing.T) {
+	tr := NewTrace("id", "root")
+	sp := tr.Root()
+	for i := 0; i < maxSpanAttrs+3; i++ {
+		sp.SetAttr(fmt.Sprintf("k%d", i), "v")
+	}
+	if got := len(sp.Attrs()); got != maxSpanAttrs {
+		t.Fatalf("attrs len = %d, want %d", got, maxSpanAttrs)
+	}
+}
+
+func TestConcurrentSpansUnderRace(t *testing.T) {
+	tr := NewTrace("id", "root")
+	ctx := ContextWithTrace(context.Background(), tr)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				c, sp := Start(ctx, "worker")
+				sp.SetInt("g", int64(g))
+				_, in := Start(c, "inner")
+				in.End()
+				sp.End()
+			}
+		}(g)
+	}
+	wg.Wait()
+	tr.Finish()
+	if got := tr.SpanCount(); got != 1+8*50*2 {
+		t.Fatalf("SpanCount = %d, want %d", got, 1+8*50*2)
+	}
+}
+
+func TestWriteChromeJSON(t *testing.T) {
+	tr := NewTrace("deadbeef", "request")
+	ctx := ContextWithTrace(context.Background(), tr)
+	ctx1, sp1 := Start(ctx, "runner.point")
+	sp1.SetAttr("served", "simulated")
+	_, sp2 := Start(ctx1, "simmpi.world")
+	sp2.SetVirtual(3.25)
+	time.Sleep(time.Millisecond)
+	sp2.End()
+	sp1.End()
+	// A sibling overlapping sp1 would need its own lane; here everything
+	// nests, so one lane suffices.
+	tr.Finish()
+
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			Ts   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			Tid  int            `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+		Petasim struct {
+			TraceID string `json:"trace_id"`
+		} `json:"petasim"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if f.Petasim.TraceID != "deadbeef" {
+		t.Fatalf("trace_id = %q", f.Petasim.TraceID)
+	}
+	var complete, meta int
+	byName := map[string]int{}
+	for i, ev := range f.TraceEvents {
+		switch ev.Ph {
+		case "X":
+			complete++
+			byName[ev.Name] = i
+			if ev.Dur < 0 || ev.Ts < 0 {
+				t.Fatalf("negative ts/dur on %q", ev.Name)
+			}
+		case "M":
+			meta++
+		default:
+			t.Fatalf("unexpected event phase %q", ev.Ph)
+		}
+	}
+	if complete != 3 {
+		t.Fatalf("complete events = %d, want 3", complete)
+	}
+	world := f.TraceEvents[byName["simmpi.world"]]
+	if got := world.Args["virtual_sec"]; got != 3.25 {
+		t.Fatalf("virtual_sec = %v, want 3.25", got)
+	}
+	point := f.TraceEvents[byName["runner.point"]]
+	if got := point.Args["served"]; got != "simulated" {
+		t.Fatalf("served attr = %v", got)
+	}
+	// Nesting spans share the lane; the world span must sit inside the
+	// point span's interval.
+	if world.Tid != point.Tid {
+		t.Fatalf("nested spans on different lanes: %d vs %d", world.Tid, point.Tid)
+	}
+	if world.Ts < point.Ts || world.Ts+world.Dur > point.Ts+point.Dur+0.001 {
+		t.Fatalf("child [%v,%v] escapes parent [%v,%v]", world.Ts, world.Ts+world.Dur, point.Ts, point.Ts+point.Dur)
+	}
+}
+
+func TestChromeLanesSeparateConcurrentSiblings(t *testing.T) {
+	tr := NewTrace("id", "root")
+	ctx := ContextWithTrace(context.Background(), tr)
+	// Two siblings overlapping in wall time must land on distinct lanes.
+	_, a := Start(ctx, "a")
+	_, b := Start(ctx, "b")
+	time.Sleep(time.Millisecond)
+	a.End()
+	b.End()
+	tr.Finish()
+	var buf bytes.Buffer
+	if err := tr.WriteChromeJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var f struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+			Tid  int    `json:"tid"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &f); err != nil {
+		t.Fatal(err)
+	}
+	tid := map[string]int{}
+	for _, ev := range f.TraceEvents {
+		if ev.Ph == "X" {
+			tid[ev.Name] = ev.Tid
+		}
+	}
+	if tid["a"] == tid["b"] {
+		t.Fatalf("overlapping siblings share lane %d", tid["a"])
+	}
+}
+
+func TestSinkBoundedEviction(t *testing.T) {
+	k := NewSink(2)
+	t1, t2, t3 := NewTrace("t1", "a"), NewTrace("t2", "b"), NewTrace("t3", "c")
+	k.Publish(t1)
+	k.Publish(t2)
+	k.Publish(t3)
+	if _, ok := k.Get("t1"); ok {
+		t.Fatal("t1 should have been evicted")
+	}
+	for _, id := range []string{"t2", "t3"} {
+		if _, ok := k.Get(id); !ok {
+			t.Fatalf("%s missing", id)
+		}
+	}
+	retained, pubs := k.Stats()
+	if retained != 2 || pubs != 3 {
+		t.Fatalf("Stats = (%d, %d), want (2, 3)", retained, pubs)
+	}
+	// Re-publishing an existing ID replaces without eviction.
+	k.Publish(NewTrace("t3", "c2"))
+	if tr, ok := k.Get("t3"); !ok || tr.Name() != "c2" {
+		t.Fatal("republish did not replace t3")
+	}
+	if _, ok := k.Get("t2"); !ok {
+		t.Fatal("republish must not evict")
+	}
+}
+
+func TestNewIDShape(t *testing.T) {
+	a, b := NewID(), NewID()
+	if len(a) != 16 || len(b) != 16 || a == b {
+		t.Fatalf("NewID gave %q, %q", a, b)
+	}
+}

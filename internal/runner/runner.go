@@ -7,13 +7,19 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"reflect"
 	"sync"
 	"sync/atomic"
 
+	"repro/internal/obs"
 	"repro/internal/simslot"
 )
+
+// defaultLog keeps the pool's historical stderr warning destination,
+// rendered through the shared human-readable handler.
+var defaultLog = obs.NewLogger(os.Stderr, "petasim", slog.LevelInfo)
 
 // cacheVersion salts every content key. Bump it when a change to the
 // performance models or experiment configurations invalidates points
@@ -434,13 +440,11 @@ func (p *Pool) warnPutFailure(err error) {
 		root = root.parent
 	}
 	root.putWarn.Do(func() {
-		warnf := root.Warnf
-		if warnf == nil {
-			warnf = func(format string, args ...any) {
-				fmt.Fprintf(os.Stderr, format+"\n", args...)
-			}
+		if root.Warnf != nil {
+			root.Warnf("runner: cache write failed, continuing without persisting results: %v", err)
+			return
 		}
-		warnf("runner: cache write failed, continuing without persisting results: %v", err)
+		defaultLog.Warn(fmt.Sprintf("runner: cache write failed, continuing without persisting results: %v", err))
 	})
 }
 
@@ -461,6 +465,9 @@ func (p *Pool) warnPutFailure(err error) {
 // on views of one pool); the cache tiers and the in-flight dedup group
 // are shared, so overlapping job sets simulate each key once.
 func (p *Pool) Run(ctx context.Context, jobs []Job) ([]Result, error) {
+	ctx, sp := obs.Start(ctx, "runner.run")
+	sp.SetInt("jobs", int64(len(jobs)))
+	defer sp.End()
 	results := make([]Result, len(jobs))
 	errs := make([]error, len(jobs))
 	p.dispatch(ctx, jobs, true, func(i int, r Result, _ Served, err error) {
@@ -501,9 +508,12 @@ type Event struct {
 // Callers that stop consuming must cancel ctx, or workers block
 // forever on the undelivered events.
 func (p *Pool) Stream(ctx context.Context, jobs []Job) <-chan Event {
+	ctx, sp := obs.Start(ctx, "runner.stream")
+	sp.SetInt("jobs", int64(len(jobs)))
 	out := make(chan Event)
 	go func() {
 		defer close(out)
+		defer sp.End()
 		p.dispatch(ctx, jobs, false, func(i int, r Result, via Served, err error) {
 			select {
 			case out <- Event{Index: i, Result: r, Served: via, Err: err}:
@@ -567,9 +577,28 @@ feed:
 	wg.Wait()
 }
 
-// runJob serves one job from the result store, another caller's
-// in-flight lookup, or a fresh simulation — in that order.
+// runJob wraps serveJob in a span carrying the point's provenance: on a
+// traced request every point shows where it was served from; untraced
+// (the steady-state CLI sweep) this is one nil check.
 func (p *Pool) runJob(ctx context.Context, j Job) (Result, Served, error) {
+	ctx, sp := obs.Start(ctx, "runner.point")
+	r, via, err := p.serveJob(ctx, j)
+	if sp != nil {
+		sp.SetAttr("served", via.String())
+		if len(j.Key) >= 12 {
+			sp.SetAttr("key", j.Key[:12])
+		}
+		if err != nil {
+			sp.SetAttr("error", err.Error())
+		}
+		sp.End()
+	}
+	return r, via, err
+}
+
+// serveJob serves one job from the result store, another caller's
+// in-flight lookup, or a fresh simulation — in that order.
+func (p *Pool) serveJob(ctx context.Context, j Job) (Result, Served, error) {
 	if j.Key == "" {
 		r, err := p.simulate(ctx, j)
 		return r, ServedSim, err
@@ -623,6 +652,8 @@ func (p *Pool) runJob(ctx context.Context, j Job) (Result, Served, error) {
 // behind cold traffic — and a cancelled caller stops queueing for one.
 func (p *Pool) simulate(ctx context.Context, j Job) (Result, error) {
 	sem := p.semFor()
+	ctx, sp := obs.Start(ctx, "runner.simulate")
+	defer sp.End()
 	select {
 	case sem <- struct{}{}:
 	case <-ctx.Done():
@@ -635,6 +666,16 @@ func (p *Pool) simulate(ctx context.Context, j Job) (Result, error) {
 	// lone big world fans out. Shard count never changes virtual-time
 	// results (the determinism stress test pins this), so a dynamic
 	// budget cannot perturb artifacts.
-	ctx = simslot.With(ctx, 1+cap(sem)-len(sem))
+	budget := 1 + cap(sem) - len(sem)
+	sp.SetInt("slot_budget", int64(budget))
+	ctx = simslot.With(ctx, budget)
 	return j.Run(ctx)
+}
+
+// SlotStats reports the global simulation semaphore's occupancy: busy
+// slots (simulations in flight right now) out of total. Sampled by the
+// /metrics pool gauges.
+func (p *Pool) SlotStats() (busy, total int) {
+	sem := p.semFor()
+	return len(sem), cap(sem)
 }

@@ -40,6 +40,9 @@ type StoreStats struct {
 	// Puts counts stores; PutFailures the ones that returned an error.
 	Puts        int64 `json:"puts"`
 	PutFailures int64 `json:"put_failures,omitempty"`
+	// Backfills counts opportunistic promotions into faster tiers on a
+	// lower-tier hit (Tiered only).
+	Backfills int64 `json:"backfills,omitempty"`
 	// Len and Cap report occupancy for stores that can count entries.
 	Len int `json:"len,omitempty"`
 	Cap int `json:"cap,omitempty"`
@@ -176,8 +179,9 @@ func (s *DiskStore) Stats() StoreStats {
 // joining the per-tier errors. Backfill failures are swallowed — the
 // fill is opportunistic, the authoritative write already happened.
 type Tiered struct {
-	tiers []Store
-	c     storeCounters
+	tiers     []Store
+	c         storeCounters
+	backfills atomic.Int64
 }
 
 // NewTiered composes stores into one lookup stack, fastest tier first.
@@ -205,6 +209,7 @@ func (t *Tiered) getServed(key string) (Result, Served, bool) {
 		if r, via, ok := storeGet(s, key); ok {
 			for j := 0; j < i; j++ {
 				t.tiers[j].Put(key, r) // opportunistic backfill
+				t.backfills.Add(1)
 			}
 			t.c.get(true)
 			return r, via, true
@@ -226,6 +231,7 @@ func (t *Tiered) Put(key string, r Result) error {
 
 func (t *Tiered) Stats() StoreStats {
 	st := t.c.stats("tiered")
+	st.Backfills = t.backfills.Load()
 	for _, s := range t.tiers {
 		st.Tiers = append(st.Tiers, s.Stats())
 	}

@@ -92,6 +92,7 @@ import (
 	"repro/internal/jobs"
 	"repro/internal/machfile"
 	"repro/internal/machine"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/whatif"
 )
@@ -104,6 +105,9 @@ type Server struct {
 	machines *machfile.Registry
 	queue    *jobs.Queue // nil when async jobs are not enabled
 	mux      *http.ServeMux
+	reg      *obs.Registry
+	sink     *obs.Sink
+	metrics  *httpMetrics
 }
 
 // New builds a server around opts. opts.Runner is the shared backend
@@ -149,19 +153,50 @@ func NewWithQueue(opts experiments.Options, q *jobs.Queue) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.handleJobsStream)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleJobsDelete)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /v1/trace/{id}", s.handleTrace)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		fmt.Fprintln(w, `{"status":"ok"}`)
 	})
 	s.mux = mux
+	s.initObs()
+	mux.Handle("GET /metrics", s.reg.Handler())
 	return s
 }
 
 // Stats returns the shared pool's lifetime totals.
 func (s *Server) Stats() runner.Stats { return s.pool.Stats() }
 
+// ServeHTTP is the observability middleware around the mux: every
+// request gets an ID echoed as X-Petasim-Trace, the simulating routes
+// get a trace carried through the handler's context (published to the
+// sink on completion, retrievable at /v1/trace/{id}), and the request
+// is recorded into the metrics registry by route and status class.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
-	s.mux.ServeHTTP(w, r)
+	start := time.Now()
+	route := s.routeLabel(r)
+	s.metrics.inflight.Add(1)
+	defer s.metrics.inflight.Add(-1)
+
+	id := obs.NewID()
+	w.Header().Set("X-Petasim-Trace", id)
+	var tr *obs.Trace
+	if !untracedRoute(route) {
+		tr = obs.NewTrace(id, route)
+		tr.Root().SetAttr("path", r.URL.Path)
+		r = r.WithContext(obs.ContextWithTrace(r.Context(), tr))
+	}
+	sw := &statusWriter{ResponseWriter: w}
+	s.mux.ServeHTTP(sw, r)
+	code := sw.code
+	if code == 0 {
+		code = http.StatusOK // handler wrote nothing: net/http sends 200
+	}
+	if tr != nil {
+		tr.Root().SetInt("status", int64(code))
+		s.sink.Publish(tr)
+	}
+	s.metrics.observe(route, code, time.Since(start))
 }
 
 // requestOptions clones the options around a per-request view of the
@@ -517,20 +552,39 @@ type memInfo struct {
 	Cap int `json:"cap"`
 }
 
-// statsResponse is the body of /v1/stats. Store is the result-store
-// tree (per tier or per shard: gets/hits/puts/fill); Jobs the queue's
-// by-state counts and lifetime rejection/retry counters.
+// statsSchemaVersion versions the /v1/stats body shape. Bump on any
+// breaking change to the response's sections.
+// v1: the four-section form — pool (stats/workers/mem_cache/
+// disk_cache_dir), store tiers, job queue, obs — plus this field.
+const statsSchemaVersion = 1
+
+// obsInfo is the obs section of /v1/stats: the trace sink's health.
+type obsInfo struct {
+	// TracesRetained is how many completed traces /v1/trace/{id} can
+	// currently serve; TracesPublished counts lifetime publishes
+	// (requests plus jobs), including those since evicted.
+	TracesRetained  int   `json:"traces_retained"`
+	TracesPublished int64 `json:"traces_published"`
+}
+
+// statsResponse is the body of /v1/stats, in four sections: the pool
+// (Stats/Workers/Mem/DiskDir), the result-store tree Store (per tier or
+// per shard: gets/hits/puts/backfills/fill), the job queue Jobs
+// (by-state counts and lifetime rejection/retry counters), and Obs (the
+// trace sink). Schema versions the shape.
 type statsResponse struct {
+	Schema  int                `json:"schema"`
 	Stats   runner.Stats       `json:"stats"`
 	Workers int                `json:"workers"`
 	Mem     *memInfo           `json:"mem_cache,omitempty"`
 	DiskDir string             `json:"disk_cache_dir,omitempty"`
 	Store   *runner.StoreStats `json:"store,omitempty"`
 	Jobs    *jobs.QueueStats   `json:"jobs,omitempty"`
+	Obs     *obsInfo           `json:"obs,omitempty"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := statsResponse{Stats: s.pool.Stats(), Workers: s.pool.Workers}
+	resp := statsResponse{Schema: statsSchemaVersion, Stats: s.pool.Stats(), Workers: s.pool.Workers}
 	if s.pool.Mem != nil {
 		resp.Mem = &memInfo{Len: s.pool.Mem.Len(), Cap: s.pool.Mem.Cap()}
 	}
@@ -544,6 +598,8 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 		qs := s.queue.Stats()
 		resp.Jobs = &qs
 	}
+	retained, published := s.sink.Stats()
+	resp.Obs = &obsInfo{TracesRetained: retained, TracesPublished: published}
 	w.Header().Set("Content-Type", "application/json")
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")

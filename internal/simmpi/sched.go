@@ -395,6 +395,14 @@ var (
 	idleHosts []*host
 )
 
+// IdleHosts reports the host pool's current occupancy — the simmpi
+// pool-size gauge /metrics samples.
+func IdleHosts() int {
+	hostMu.Lock()
+	defer hostMu.Unlock()
+	return len(idleHosts)
+}
+
 // dispatchLooper hands a shard needing a duty holder to a pooled host,
 // spawning a fresh one only when the pool is empty.
 func (w *World) dispatchLooper(sh *shard) {

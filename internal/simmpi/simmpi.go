@@ -27,6 +27,7 @@ import (
 
 	"repro/internal/machine"
 	"repro/internal/netmodel"
+	"repro/internal/obs"
 	"repro/internal/simslot"
 	"repro/internal/topology"
 	"repro/internal/trace"
@@ -171,6 +172,12 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Report, err
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
+	ctx, sp := obs.Start(ctx, "simmpi.world")
+	defer sp.End()
+	sp.SetAttr("machine", cfg.Machine.Name)
+	sp.SetInt("procs", int64(cfg.Procs))
+	activeWorlds.Add(1)
+	defer activeWorlds.Add(-1)
 	var net *netmodel.Model
 	var err error
 	if cfg.Mapping == nil {
@@ -188,6 +195,7 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Report, err
 	if nshards > cfg.Procs {
 		nshards = cfg.Procs
 	}
+	sp.SetInt("shards", int64(nshards))
 	w := acquireWorld(cfg.Procs, nshards)
 	w.cfg = cfg
 	w.net = net
@@ -212,12 +220,25 @@ func RunContext(ctx context.Context, cfg Config, body func(*Rank)) (*Report, err
 	}
 	if err := w.aborted(); err != nil {
 		releaseWorld(w)
+		if ctx.Err() != nil {
+			sp.SetAttr("cancelled", "true")
+		} else {
+			sp.SetAttr("error", err.Error())
+		}
 		return nil, err
 	}
 	rep := buildReport(cfg, net, w.ranks)
 	releaseWorld(w)
+	sp.SetVirtual(float64(rep.Wall))
 	return rep, nil
 }
+
+// activeWorlds counts worlds currently executing — the simmpi gauge
+// /metrics samples.
+var activeWorlds atomic.Int64
+
+// ActiveWorlds reports how many simulated worlds are running right now.
+func ActiveWorlds() int64 { return activeWorlds.Load() }
 
 // MustRun is Run but panics on error; convenient in examples and benches.
 func MustRun(cfg Config, body func(*Rank)) *Report {
